@@ -1,0 +1,89 @@
+"""Ablation A1 — batch update strategies (DESIGN.md design-choice list).
+
+The paper's motivating workload is periodic bulk loads ("new information
+may arrive on a daily basis"). This ablation measures the crossover
+between per-update cascades and a full rebuild for the RPS cube, and the
+one-pass batch path of the prefix-sum cube.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.prefix import PrefixSumCube
+from repro.core.rps import RelativePrefixSumCube
+from repro.workloads import datagen, updategen
+
+N = 128
+
+
+@pytest.fixture(scope="module")
+def cube():
+    return datagen.uniform_cube((N, N), seed=31)
+
+
+@pytest.mark.parametrize("batch_size", [8, 64, 512])
+@pytest.mark.parametrize("strategy", ["incremental", "rebuild"])
+def test_a1_rps_batch_strategies(benchmark, cube, batch_size, strategy):
+    """Wall-clock of both strategies across batch sizes; small batches
+    should favour incremental, large ones rebuild."""
+    benchmark.group = f"rps-batch-{batch_size}"
+    updates = list(
+        updategen.random_updates((N, N), batch_size, seed=batch_size)
+    )
+    inverse = [(cell, -delta) for cell, delta in updates]
+    rps = RelativePrefixSumCube(cube, box_size=11)  # sqrt(128) ~ 11
+
+    def run():
+        rps.apply_batch(list(updates), strategy=strategy)
+        rps.apply_batch(list(inverse), strategy=strategy)
+
+    benchmark(run)
+    assert rps.total() == cube.sum()
+
+
+def test_a1_auto_crossover_cell_costs(benchmark, cube):
+    """The auto strategy's cell cost never exceeds the better of the two
+    fixed strategies (up to the estimation pass)."""
+
+    def run():
+        results = {}
+        for batch_size in (4, 32, 256, 2048):
+            updates = list(
+                updategen.random_updates((N, N), batch_size, seed=7)
+            )
+            costs = {}
+            for strategy in ("incremental", "rebuild", "auto"):
+                rps = RelativePrefixSumCube(cube, box_size=11)
+                before = rps.counter.snapshot()
+                rps.apply_batch(list(updates), strategy=strategy)
+                costs[strategy] = before.delta(rps.counter).cells_written
+            results[batch_size] = costs
+        return results
+
+    results = benchmark(run)
+    for batch_size, costs in results.items():
+        best_fixed = min(costs["incremental"], costs["rebuild"])
+        assert costs["auto"] <= best_fixed
+    # the crossover exists: tiny batches favour incremental, huge rebuild
+    assert results[4]["incremental"] < results[4]["rebuild"]
+    assert results[2048]["rebuild"] < results[2048]["incremental"]
+
+
+def test_a1_prefix_sum_daily_batch(benchmark, cube):
+    """The PS one-pass batch vs replaying updates one by one."""
+    updates = list(updategen.random_updates((N, N), 128, seed=9))
+    inverse = [(cell, -delta) for cell, delta in updates]
+    ps = PrefixSumCube(cube)
+
+    def run():
+        ps.apply_batch(list(updates))
+        ps.apply_batch(list(inverse))
+
+    benchmark(run)
+    sequential = PrefixSumCube(cube)
+    for cell, delta in updates:
+        sequential.apply_delta(cell, delta)
+    batched = PrefixSumCube(cube)
+    batched.apply_batch(list(updates))
+    assert batched.counter.cells_written < sequential.counter.cells_written
+    assert np.array_equal(batched.prefix_array(), sequential.prefix_array())

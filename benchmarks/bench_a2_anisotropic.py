@@ -1,0 +1,81 @@
+"""Ablation A2 — per-axis box sizes on anisotropic cubes.
+
+The paper assumes one k on every dimension "without loss of generality";
+on a cube whose dimensions differ widely (365 days x 50 age buckets), the
+per-axis rule ``k_i = sqrt(n_i)`` beats any single uniform k on
+worst-case update cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.rps import RelativePrefixSumCube, default_box_sizes
+from repro.workloads import datagen, updategen
+
+SHAPE = (365, 50)
+
+
+@pytest.fixture(scope="module")
+def cube():
+    return datagen.uniform_cube(SHAPE, seed=41)
+
+
+@pytest.mark.parametrize("label,box", [
+    ("uniform-7", 7),
+    ("uniform-19", 19),
+    ("per-axis", default_box_sizes(SHAPE)),  # (19, 7)
+])
+def test_a2_update_cost_by_box_choice(benchmark, cube, label, box):
+    """Worst-case update cost under each box-size policy."""
+    benchmark.group = "anisotropic-update"
+    rps = RelativePrefixSumCube(cube, box_size=box)
+    worst = updategen.worst_case_cell(SHAPE, "rps")
+
+    def run():
+        rps.apply_delta(worst, 1)
+        rps.apply_delta(worst, -1)
+
+    benchmark(run)
+    assert rps.total() == cube.sum()
+
+
+def test_a2_per_axis_beats_uniform_on_cells(benchmark, cube):
+    """Cell-count comparison: the per-axis rule's worst-case update cost
+    is at most that of either uniform compromise."""
+    worst = updategen.worst_case_cell(SHAPE, "rps")
+
+    def run():
+        costs = {}
+        for label, box in (
+            ("uniform_small", 7),
+            ("uniform_large", 19),
+            ("per_axis", default_box_sizes(SHAPE)),
+        ):
+            rps = RelativePrefixSumCube(cube, box_size=box)
+            costs[label] = rps.update_cost_breakdown(worst)["total"]
+        return costs
+
+    costs = benchmark(run)
+    assert costs["per_axis"] <= costs["uniform_small"]
+    assert costs["per_axis"] <= costs["uniform_large"]
+
+
+def test_a2_queries_remain_exact(benchmark, cube):
+    """Correctness does not depend on the box-size choice."""
+    rng = np.random.default_rng(3)
+    queries = []
+    for _ in range(50):
+        low = tuple(int(rng.integers(0, n)) for n in SHAPE)
+        high = tuple(int(rng.integers(l, n)) for l, n in zip(low, SHAPE))
+        queries.append((low, high))
+    per_axis = RelativePrefixSumCube(cube, box_size=default_box_sizes(SHAPE))
+
+    def run():
+        return [int(per_axis.range_sum(lo, hi)) for lo, hi in queries]
+
+    answers = benchmark(run)
+    expected = [
+        int(cube[lo[0]:hi[0] + 1, lo[1]:hi[1] + 1].sum())
+        for lo, hi in queries
+    ]
+    assert answers == expected

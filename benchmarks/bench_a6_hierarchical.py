@@ -1,0 +1,120 @@
+"""Ablation A6 — multi-level RPS: growth rate vs constants.
+
+The extension of DESIGN.md's future-work note: backing overlay value
+arrays with inner RPS structures (range-add/point-query duality) drops
+the worst-case update *growth rate* below the paper's n^{d/2} while
+queries stay O(1). The constants grow ~4^d per level, so on feasible
+dense cubes the flat structure usually wins in absolute cells; this
+ablation measures both sides of that trade honestly.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.extensions.hierarchical import HierarchicalRPSCube
+from repro.workloads import datagen
+
+
+def _build(levels: int, n: int) -> HierarchicalRPSCube:
+    k = round(math.sqrt(n)) if levels == 1 else max(2, round(n ** 0.4))
+    return HierarchicalRPSCube(
+        np.zeros((n, n), dtype=np.int64), box_size=k, levels=levels
+    )
+
+
+@pytest.mark.parametrize("levels", [1, 2])
+def test_a6_worst_update_latency(benchmark, levels):
+    """Wall-clock of a worst-case update per level (n=512)."""
+    benchmark.group = "hier-update-512"
+    cube = _build(levels, 512)
+
+    def run():
+        cube.apply_delta((1, 1), 1)
+        cube.apply_delta((1, 1), -1)
+
+    benchmark(run)
+
+
+def test_a6_growth_rates(benchmark):
+    """Measured update-cell growth per 4x of n, per level."""
+
+    def run():
+        table = {}
+        for levels in (1, 2):
+            costs = []
+            for n in (64, 256, 1024):
+                cube = _build(levels, n)
+                before = cube.counter.snapshot()
+                cube.apply_delta((1, 1), 1)
+                costs.append(before.delta(cube.counter).cells_written)
+            table[levels] = costs
+        return table
+
+    table = benchmark(run)
+    flat, deep = table[1], table[2]
+    # flat tracks ~n^{d/2}: x4 cells per x4 of n
+    assert 3.5 < flat[2] / flat[1] < 4.8
+    # the deep structure's growth is measurably slower at every step
+    for i in (1, 2):
+        assert deep[i] / deep[i - 1] < flat[i] / flat[i - 1]
+    # ... but its constants are larger at these feasible sizes
+    assert deep[0] > flat[0]
+
+
+def test_a6_queries_stay_constant(benchmark):
+    """Query cells are flat in n for both levels."""
+    rng = np.random.default_rng(81)
+
+    def run():
+        table = {}
+        for levels in (1, 2):
+            per_n = []
+            for n in (64, 256):
+                cube = HierarchicalRPSCube(
+                    datagen.uniform_cube((n, n), seed=82),
+                    box_size=max(2, round(math.sqrt(n))),
+                    levels=levels,
+                )
+                worst = 0
+                for _ in range(20):
+                    t = tuple(int(x) for x in rng.integers(1, n, size=2))
+                    before = cube.counter.snapshot()
+                    cube.prefix_sum(t)
+                    worst = max(
+                        worst, before.delta(cube.counter).cells_read
+                    )
+                per_n.append(worst)
+            table[levels] = per_n
+        return table
+
+    table = benchmark(run)
+    for levels, (small, large) in table.items():
+        assert large <= small + 4, (levels, small, large)
+
+
+def test_a6_correctness_under_load(benchmark):
+    """A mixed stream on the 2-level structure stays exact."""
+    cube_data = datagen.uniform_cube((128, 128), seed=83)
+    rng = np.random.default_rng(84)
+
+    def run():
+        cube = HierarchicalRPSCube(cube_data, box_size=7, levels=2)
+        oracle = cube_data.copy()
+        mismatches = 0
+        for _ in range(60):
+            cell = tuple(int(x) for x in rng.integers(0, 128, size=2))
+            delta = int(rng.integers(-5, 6))
+            oracle[cell] += delta
+            cube.apply_delta(cell, delta)
+            low = tuple(int(x) for x in rng.integers(0, 128, size=2))
+            high = tuple(int(rng.integers(l, 128)) for l in low)
+            expected = oracle[
+                low[0]:high[0] + 1, low[1]:high[1] + 1
+            ].sum()
+            if cube.range_sum(low, high) != expected:
+                mismatches += 1
+        return mismatches
+
+    assert benchmark(run) == 0

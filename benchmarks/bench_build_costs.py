@@ -1,0 +1,66 @@
+"""Construction-cost benchmarks: building each structure from a cube.
+
+Not a paper artifact (the paper treats precomputation as given) but a
+figure downstream users need: what one rebuild costs, which is also the
+unit the A1 batch-strategy crossover is expressed in.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fenwick import FenwickCube
+from repro.baselines.naive import NaiveCube
+from repro.baselines.prefix import PrefixSumCube
+from repro.baselines.sparse import SparseNaiveCube
+from repro.core.rps import RelativePrefixSumCube
+from repro.extensions.hierarchical import HierarchicalRPSCube
+from repro.workloads import datagen
+
+BUILDERS = {
+    "naive": NaiveCube,
+    "prefix_sum": PrefixSumCube,
+    "rps": RelativePrefixSumCube,
+    "fenwick": FenwickCube,
+    "sparse_naive": SparseNaiveCube,
+}
+
+
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+def test_build_256(benchmark, uniform_256, name):
+    """Build each structure from the shared 256x256 cube."""
+    benchmark.group = "build-256x256"
+    cube = benchmark(BUILDERS[name], uniform_256)
+    assert cube.total() == uniform_256.sum()
+
+
+def test_build_hierarchical_256(benchmark, uniform_256):
+    benchmark.group = "build-256x256"
+    cube = benchmark(
+        lambda a: HierarchicalRPSCube(a, levels=2), uniform_256
+    )
+    assert cube.total() == uniform_256.sum()
+
+
+def test_build_rps_3d(benchmark, uniform_64_3d):
+    """RPS construction on a 64^3 cube (2^d - 1 = 7 subset arrays)."""
+    benchmark.group = "build-64^3"
+    cube = benchmark(RelativePrefixSumCube, uniform_64_3d)
+    assert cube.total() == uniform_64_3d.sum()
+
+
+def test_build_scales_linearly(benchmark):
+    """RPS build cost is O(n^d): 4x the cells ~ 4x the time (roughly)."""
+    import time
+
+    def run():
+        timings = {}
+        for n in (128, 256, 512):
+            data = datagen.uniform_cube((n, n), seed=1)
+            start = time.perf_counter()
+            RelativePrefixSumCube(data)
+            timings[n] = time.perf_counter() - start
+        return timings
+
+    timings = benchmark.pedantic(run, rounds=3, iterations=1)
+    # growth should be polynomial ~n^2, certainly below n^3
+    assert timings[512] < timings[128] * 64

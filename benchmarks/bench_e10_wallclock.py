@@ -1,0 +1,75 @@
+"""E10 — wall-clock microbenchmarks of the four methods.
+
+The per-method query/update latencies whose *ordering* must reflect the
+paper's complexity table: naive queries slow / updates instant; prefix-sum
+queries instant / updates slow; RPS both fast; Fenwick balanced.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fenwick import FenwickCube
+from repro.baselines.naive import NaiveCube
+from repro.baselines.prefix import PrefixSumCube
+from repro.core.rps import RelativePrefixSumCube
+from repro.workloads import querygen, updategen
+
+METHODS = {
+    "naive": NaiveCube,
+    "prefix_sum": PrefixSumCube,
+    "rps": RelativePrefixSumCube,
+    "fenwick": FenwickCube,
+}
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return list(querygen.random_ranges((256, 256), 100, seed=21))
+
+
+@pytest.fixture(scope="module")
+def updates():
+    return list(updategen.random_updates((256, 256), 100, seed=22))
+
+
+@pytest.mark.parametrize("name", sorted(METHODS))
+def test_e10_query_latency(benchmark, uniform_256, queries, name):
+    """100 random range queries per round, per method."""
+    method = METHODS[name](uniform_256)
+    benchmark.group = "query-256x256"
+
+    def run():
+        return sum(int(method.range_sum(lo, hi)) for lo, hi in queries)
+
+    total = benchmark(run)
+    naive = NaiveCube(uniform_256)
+    assert total == sum(int(naive.range_sum(lo, hi)) for lo, hi in queries)
+
+
+@pytest.mark.parametrize("name", sorted(METHODS))
+def test_e10_update_latency(benchmark, uniform_256, updates, name):
+    """100 random point updates per round, per method (net zero delta)."""
+    method = METHODS[name](uniform_256)
+    benchmark.group = "update-256x256"
+
+    def run():
+        for cell, delta in updates:
+            method.apply_delta(cell, delta)
+        for cell, delta in updates:
+            method.apply_delta(cell, -delta)  # restore for the next round
+
+    benchmark(run)
+    assert method.total() == uniform_256.sum()
+
+
+@pytest.mark.parametrize("name", ["prefix_sum", "rps", "fenwick"])
+def test_e10_query_latency_3d(benchmark, uniform_64_3d, name):
+    """Constant-time methods on a 64^3 cube (naive omitted: too slow)."""
+    method = METHODS[name](uniform_64_3d)
+    benchmark.group = "query-64^3"
+    queries = list(querygen.random_ranges((64, 64, 64), 50, seed=23))
+
+    def run():
+        return sum(int(method.range_sum(lo, hi)) for lo, hi in queries)
+
+    benchmark(run)

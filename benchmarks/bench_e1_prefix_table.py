@@ -1,0 +1,19 @@
+"""E1 — Figure 2: regenerate the prefix-sum array P of the example cube."""
+
+import numpy as np
+
+from repro import paper
+from repro.baselines.prefix import build_prefix_array
+from repro.bench.experiments import e1_prefix_table
+
+
+def test_e1_build_prefix_array(benchmark):
+    """Time the P-array build; assert it matches Figure 2 cell-for-cell."""
+    result = benchmark(build_prefix_array, paper.ARRAY_A)
+    assert np.array_equal(result, paper.ARRAY_P)
+
+
+def test_e1_full_table_regeneration(benchmark):
+    """Time the full E1 experiment (build + row-by-row comparison)."""
+    table = benchmark(e1_prefix_table)
+    assert all(table.column("match"))

@@ -1,0 +1,26 @@
+"""E2 — Figure 3: the 2^d-corner inclusion-exclusion identity."""
+
+from repro.baselines.naive import NaiveCube
+from repro.baselines.prefix import PrefixSumCube
+from repro.bench.experiments import e2_region_sums
+from repro.workloads import querygen
+
+
+def test_e2_identity_check(benchmark):
+    """Time the full identity sweep across d = 1..4; zero mismatches."""
+    table = benchmark(e2_region_sums, trials=100)
+    assert all(m == 0 for m in table.column("mismatches"))
+
+
+def test_e2_corner_queries_2d(benchmark, uniform_256):
+    """Time 2-D range sums answered purely via prefix corners."""
+    ps = PrefixSumCube(uniform_256)
+    queries = list(querygen.random_ranges(uniform_256.shape, 200, seed=1))
+    naive = NaiveCube(uniform_256)
+    expected = [naive.range_sum(lo, hi) for lo, hi in queries]
+
+    def run():
+        return [ps.range_sum(lo, hi) for lo, hi in queries]
+
+    answers = benchmark(run)
+    assert answers == expected

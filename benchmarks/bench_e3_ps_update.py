@@ -1,0 +1,38 @@
+"""E3 — Figure 4: the prefix-sum update cascade (64 cells on 9x9)."""
+
+import numpy as np
+
+from repro import paper
+from repro.baselines.prefix import PrefixSumCube
+from repro.bench.experiments import e3_prefix_update
+
+
+def test_e3_update_cascade_cost(benchmark):
+    """Time PS updates at the paper's example cell; cost must be 64."""
+
+    def run():
+        ps = PrefixSumCube(paper.ARRAY_A)
+        before = ps.counter.snapshot()
+        ps.apply_delta(paper.UPDATE_EXAMPLE_CELL, 1)
+        return before.delta(ps.counter).cells_written, ps
+
+    written, ps = benchmark(run)
+    assert written == paper.UPDATE_EXAMPLE_PS_CELLS
+    assert np.array_equal(ps.prefix_array(), paper.ARRAY_P_AFTER_UPDATE)
+
+
+def test_e3_experiment_table(benchmark):
+    table = benchmark(e3_prefix_update)
+    assert table.column("cells_written") == [64]
+
+
+def test_e3_worst_case_update_large_cube(benchmark, uniform_256):
+    """Worst-case PS update on 256x256 rewrites all 65536 cells."""
+    ps = PrefixSumCube(uniform_256)
+
+    def run():
+        before = ps.counter.snapshot()
+        ps.apply_delta((0, 0), 1)
+        return before.delta(ps.counter).cells_written
+
+    assert benchmark(run) == 256 * 256

@@ -1,0 +1,34 @@
+"""E4 — Figures 5-13: regenerate the overlay and RP tables."""
+
+import numpy as np
+
+from repro import paper
+from repro.bench.experiments import e4_overlay_tables
+from repro.core.overlay import Overlay
+from repro.core.rp import RelativePrefixArray
+from repro.core.rps import RelativePrefixSumCube
+
+
+def test_e4_build_overlay(benchmark):
+    """Time overlay construction on the paper's cube; verify anchors."""
+    overlay = benchmark(Overlay, paper.ARRAY_A, paper.BOX_SIZE)
+    assert np.array_equal(
+        overlay.anchors_array().astype(np.int64), paper.OVERLAY_ANCHORS
+    )
+
+
+def test_e4_build_rp(benchmark):
+    """Time RP construction; verify Figure 10 exactly."""
+    rp = benchmark(RelativePrefixArray, paper.ARRAY_A, paper.BOX_SIZE)
+    assert np.array_equal(rp.array(), paper.ARRAY_RP)
+
+
+def test_e4_experiment_table(benchmark):
+    table = benchmark(e4_overlay_tables)
+    assert all(table.column("matches"))
+
+
+def test_e4_build_scales(benchmark, uniform_256):
+    """Construction of the full RPS structure on a 256x256 cube."""
+    cube = benchmark(RelativePrefixSumCube, uniform_256, 16)
+    assert cube.total() == uniform_256.sum()

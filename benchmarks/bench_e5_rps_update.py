@@ -1,0 +1,43 @@
+"""E5 — Figure 15: the constrained RPS update (16 cells vs PS's 64)."""
+
+import numpy as np
+
+from repro import paper
+from repro.bench.experiments import e5_rps_update
+from repro.core.rps import RelativePrefixSumCube
+
+
+def test_e5_update_cost(benchmark):
+    """Time RPS updates at the paper's example cell; cost must be 16."""
+
+    def run():
+        rps = RelativePrefixSumCube(paper.ARRAY_A, box_size=paper.BOX_SIZE)
+        before = rps.counter.snapshot()
+        rps.apply_delta(paper.UPDATE_EXAMPLE_CELL, 1)
+        return before.delta(rps.counter).cells_written, rps
+
+    written, rps = benchmark(run)
+    assert written == paper.UPDATE_EXAMPLE_RPS_TOTAL_CELLS
+    assert np.array_equal(rps.rp.array(), paper.ARRAY_RP_AFTER_UPDATE)
+
+
+def test_e5_experiment_table(benchmark):
+    table = benchmark(e5_rps_update)
+    assert all(table.column("match"))
+
+
+def test_e5_update_throughput_large_cube(benchmark, uniform_256):
+    """Sustained random updates on 256x256 at the optimal box size."""
+    rps = RelativePrefixSumCube(uniform_256, box_size=16)
+    rng = np.random.default_rng(3)
+    cells = [tuple(int(x) for x in rng.integers(0, 256, size=2))
+             for _ in range(100)]
+
+    def run():
+        for cell in cells:
+            rps.apply_delta(cell, 1)
+
+    benchmark(run)
+    # the structure stays internally consistent under the hammering:
+    # a full-range query must equal the reconstructed array's total
+    assert rps.range_sum((0, 0), (255, 255)) == rps.to_array().sum()

@@ -1,0 +1,37 @@
+"""E6 — Figure 16: overlay storage as a percentage of the RP region."""
+
+import pytest
+
+from repro.bench.experiments import e6_storage_ratio
+from repro.core.overlay import Overlay
+from repro.metrics import complexity
+from repro.workloads import datagen
+
+
+def test_e6_table_regeneration(benchmark):
+    """Time the Figure 16 grid; verify the paper's quoted data point."""
+    table = benchmark(e6_storage_ratio)
+    pairs = dict(
+        zip(
+            zip(table.column("d"), table.column("k")),
+            table.column("paper_percent"),
+        )
+    )
+    assert pairs[(2, 100)] == pytest.approx(1.99)
+    # the figure's qualitative shape: falls with k, rises with d
+    assert pairs[(2, 2)] > pairs[(2, 100)]
+    assert pairs[(5, 10)] > pairs[(2, 10)]
+
+
+def test_e6_measured_overlay_matches_formula(benchmark):
+    """Build a real overlay and compare its live cell count to the
+    analytic k^d - (k-1)^d per box."""
+    cube = datagen.uniform_cube((120, 120), seed=1)
+
+    def run():
+        overlay = Overlay(cube, 10)
+        return overlay.storage_cells()
+
+    cells = benchmark(run)
+    boxes = (120 // 10) ** 2
+    assert cells == boxes * complexity.overlay_cells_per_box(10, 2)

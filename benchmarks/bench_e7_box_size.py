@@ -1,0 +1,50 @@
+"""E7 — Section 4.3: update cost versus overlay box size; optimum at sqrt(n)."""
+
+import math
+
+from repro.bench.experiments import e7_box_size_sweep
+from repro.core.rps import RelativePrefixSumCube
+from repro.metrics import complexity
+from repro.workloads import updategen
+
+
+def test_e7_sweep(benchmark):
+    """Time the full k-sweep; the measured minimum must sit near sqrt(n)."""
+    n = 256
+    table = benchmark(e7_box_size_sweep, n=n, d=2)
+    ks = table.column("k")
+    measured = table.column("measured_worst")
+    best_k = ks[measured.index(min(measured))]
+    assert abs(best_k - math.sqrt(n)) <= 8
+
+
+def test_e7_updates_at_optimal_k(benchmark, uniform_256):
+    """Worst-case update at the paper's optimal k = sqrt(n) = 16."""
+    rps = RelativePrefixSumCube(uniform_256, box_size=16)
+    worst = updategen.worst_case_cell(uniform_256.shape, "rps")
+
+    def run():
+        rps.apply_delta(worst, 1)
+        rps.apply_delta(worst, -1)
+
+    benchmark(run)
+    cost = rps.update_cost_breakdown(worst)["total"]
+    assert cost <= complexity.rps_update_cost_bound(256, 2, 16)
+
+
+def test_e7_updates_at_bad_k(benchmark, uniform_256):
+    """The same update with a deliberately bad box size costs far more
+    cells — the other side of the Section 4.3 trade-off."""
+    rps = RelativePrefixSumCube(uniform_256, box_size=2)
+    worst = updategen.worst_case_cell(uniform_256.shape, "rps")
+
+    def run():
+        rps.apply_delta(worst, 1)
+        rps.apply_delta(worst, -1)
+
+    benchmark(run)
+    bad_cost = rps.update_cost_breakdown(worst)["total"]
+    good_cost = RelativePrefixSumCube(
+        uniform_256, box_size=16
+    ).update_cost_breakdown(worst)["total"]
+    assert bad_cost > 5 * good_cost

@@ -1,0 +1,38 @@
+"""E8 — Sections 2/5: the query x update cost product across methods."""
+
+from repro.bench.experiments import e8_complexity_table
+
+
+def test_e8_table_regeneration(benchmark):
+    """Time the measured complexity table; verify the paper's ordering."""
+    table = benchmark(e8_complexity_table, sizes=(16, 64), dims=(1, 2))
+    products = {}
+    for d, n, method, product in zip(
+        table.column("d"), table.column("n"),
+        table.column("method"), table.column("product"),
+    ):
+        products[(d, n, method)] = product
+    # The paper's conclusion, instantiated: at every (d, n) the RPS
+    # product undercuts both the naive and prefix-sum products once the
+    # cube is non-trivial.
+    for d in (1, 2):
+        assert products[(d, 64, "rps")] < products[(d, 64, "naive")]
+        assert products[(d, 64, "rps")] < products[(d, 64, "prefix_sum")]
+    # The naive product equals the measured query volume (the interior
+    # near-full range spans n-2 cells per axis) times its O(1) update.
+    assert products[(2, 64, "naive")] == (64 - 2) ** 2
+
+
+def test_e8_sublinear_product_growth(benchmark):
+    """Quadrupling n multiplies the RPS product by ~2 (n^{d/2}, d=2),
+    while the prefix-sum product grows ~16x."""
+    table = benchmark(e8_complexity_table, sizes=(64, 256), dims=(2,))
+    products = {}
+    for n, method, product in zip(
+        table.column("n"), table.column("method"), table.column("product")
+    ):
+        products[(n, method)] = product
+    rps_growth = products[(256, "rps")] / products[(64, "rps")]
+    ps_growth = products[(256, "prefix_sum")] / products[(64, "prefix_sum")]
+    assert rps_growth < 8
+    assert ps_growth == 16

@@ -1,0 +1,74 @@
+"""E9 — Section 4.4: page I/O with RP on disk and the overlay in RAM."""
+
+import numpy as np
+
+from repro.bench.experiments import e9_disk_io
+from repro.storage.layout import BoxAlignedLayout, RowMajorLayout
+from repro.storage.paged_rps import PagedRPSCube
+from repro.workloads import datagen
+
+
+def test_e9_table_regeneration(benchmark):
+    """Time the layout x buffer grid; verify the constant-pages claim."""
+    table = benchmark(e9_disk_io, n=64, box_size=8, operations=16)
+    worst = {}
+    for layout, op, value in zip(
+        table.column("layout"), table.column("op"),
+        table.column("max_pages_per_op"),
+    ):
+        worst[(layout, op)] = max(worst.get((layout, op), 0), value)
+    assert worst[("box_aligned", "query")] <= 4
+    assert worst[("box_aligned", "update")] <= 2
+    assert worst[("row_major", "update")] > worst[("box_aligned", "update")]
+
+
+def test_e9_cold_queries_box_aligned(benchmark):
+    """Per-query page reads with a cold buffer, box-aligned layout."""
+    cube = datagen.uniform_cube((128, 128), seed=2)
+    paged = PagedRPSCube(cube, box_size=16, buffer_capacity=4)
+    rng = np.random.default_rng(5)
+    queries = [
+        tuple(sorted(int(x) for x in rng.integers(0, 128, size=2)))
+        for _ in range(30)
+    ]
+
+    def run():
+        total_pages = 0
+        for a, b in queries:
+            paged.rp_pages.pool.drop()
+            paged.reset_io_stats()
+            paged.range_sum((a, a), (b, b))
+            total_pages += paged.io_stats()["pages_read"]
+        return total_pages
+
+    total = benchmark(run)
+    assert total <= 30 * 4  # never more than 2^d pages per query
+
+
+def test_e9_update_io_row_major_vs_aligned(benchmark):
+    """A box-local update straddles pages under a row-major layout."""
+    n, k = 128, 16
+    cube = datagen.uniform_cube((n, n), seed=2)
+    aligned = PagedRPSCube(cube, box_size=k, buffer_capacity=64)
+    unaligned = PagedRPSCube(
+        cube, box_size=k, layout=RowMajorLayout((n, n), k * k),
+        buffer_capacity=64,
+    )
+
+    def run():
+        for paged in (aligned, unaligned):
+            paged.rp_pages.pool.drop()
+            paged.reset_io_stats()
+            paged.apply_delta((0, 0), 1)
+            paged.apply_delta((0, 0), -1)
+            paged.flush()
+        return (
+            aligned.io_stats()["pages_read"],
+            unaligned.io_stats()["pages_read"],
+        )
+
+    aligned_pages, unaligned_pages = benchmark(run)
+    assert aligned_pages == 1
+    # A row-major page of k^2 cells holds k^2/n full rows of the cube, so
+    # the k-row cascade straddles k / (k^2/n) = n/k pages.
+    assert unaligned_pages == n // k

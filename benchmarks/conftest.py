@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md's experiment index). Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Benchmarks assert the reproduction facts (exact table matches, cost
+shapes) in addition to timing the regeneration, so a passing benchmark
+run doubles as a reproduction check.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads import datagen
+
+
+@pytest.fixture(scope="session")
+def uniform_256():
+    """A 256x256 uniform cube shared across benchmarks."""
+    return datagen.uniform_cube((256, 256), seed=7)
+
+
+@pytest.fixture(scope="session")
+def uniform_64_3d():
+    """A 64^3 uniform cube for the d=3 benchmarks."""
+    return datagen.uniform_cube((64, 64, 64), seed=7)

@@ -1,0 +1,88 @@
+"""Section 4.4 in practice: RP on disk, overlays in main memory.
+
+"Given suitable box sizes, it may be feasible to keep all of the overlay
+boxes in main memory, while RP resides on disk ... it would be preferred
+to set the overlay box size such that the corresponding region of RP fits
+exactly into a constant number of disk pages."
+
+This example builds the disk-resident configuration on the simulated
+block device, compares the paper-recommended box-aligned page layout with
+a naive row-major layout, and prints page-I/O counts per operation.
+
+Run:  python examples/disk_resident.py
+"""
+
+import numpy as np
+
+from repro import BoxAlignedLayout, PagedRPSCube, RowMajorLayout
+from repro.workloads import datagen, querygen
+
+N = 256
+K = 16  # sqrt(n): one overlay box = one 256-cell disk page
+
+
+def measure(paged, label, rng):
+    """Cold-cache page I/O per query and per update."""
+    query_pages, update_pages = [], []
+    for low, high in querygen.random_ranges((N, N), 40, seed=3):
+        paged.rp_pages.pool.drop()
+        paged.reset_io_stats()
+        paged.range_sum(low, high)
+        query_pages.append(paged.io_stats()["pages_read"])
+    for _ in range(40):
+        cell = tuple(int(x) for x in rng.integers(0, N, size=2))
+        paged.rp_pages.pool.drop()
+        paged.reset_io_stats()
+        paged.apply_delta(cell, 1)
+        paged.flush()
+        stats = paged.io_stats()
+        update_pages.append(stats["pages_read"] + stats["pages_written"])
+    print(
+        f"{label:>12}: query pages mean={np.mean(query_pages):.2f} "
+        f"max={max(query_pages)};  update pages "
+        f"mean={np.mean(update_pages):.2f} max={max(update_pages)}"
+    )
+
+
+def main():
+    cube = datagen.uniform_cube((N, N), seed=4)
+    rng = np.random.default_rng(5)
+
+    aligned = PagedRPSCube(cube, box_size=K, buffer_capacity=8)
+    row_major = PagedRPSCube(
+        cube, box_size=K, layout=RowMajorLayout((N, N), K * K),
+        buffer_capacity=8,
+    )
+
+    overlay_cells = aligned.overlay_memory_cells()
+    print(
+        f"{N}x{N} cube, box size {K}: RP on disk "
+        f"({aligned.rp_pages.layout.page_count} pages of {K * K} cells), "
+        f"overlay in RAM ({overlay_cells} cells = "
+        f"{100.0 * overlay_cells / cube.size:.1f}% of the cube)\n"
+    )
+    measure(aligned, "box-aligned", rng)
+    measure(row_major, "row-major", rng)
+
+    print(
+        "\nwith box-aligned pages a query never reads more than 2^d = 4\n"
+        "pages and an update rewrites exactly one — the paper's 'constant\n"
+        "number of disk reads or writes'. The row-major layout spreads one\n"
+        "box over many pages and pays for it on every update."
+    )
+
+    # Warm-cache behaviour: the buffer pool absorbs repeated dashboards.
+    aligned.rp_pages.pool.drop()
+    aligned.reset_io_stats()
+    for _ in range(5):
+        aligned.range_sum((64, 64), (191, 191))
+    stats = aligned.io_stats()
+    print(
+        f"\n5 repeats of one dashboard query: {stats['pages_read']} cold "
+        f"page reads, buffer hit rate {stats['buffer_hit_rate']:.0%}"
+    )
+    print("disk-resident example OK")
+
+
+if __name__ == "__main__":
+    main()

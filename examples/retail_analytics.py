@@ -1,0 +1,117 @@
+"""A fuller OLAP session: multiple measures, hierarchies, textual queries.
+
+Models a retail chain's year: facts carry SALES and COST over
+(REGION, CUSTOMER_AGE, DAY) dimensions. The example exercises the whole
+cube layer on top of the relative prefix sum backend:
+
+* multi-measure totals, margins, and profit (derived measures),
+* the textual query language,
+* calendar rollups (monthly revenue) and age-band rollups,
+* everything while facts keep streaming in.
+
+Run:  python examples/retail_analytics.py
+"""
+
+import datetime
+
+import numpy as np
+
+from repro import (
+    CategoricalEncoder,
+    DateEncoder,
+    Dimension,
+    IntegerEncoder,
+    MultiMeasureEngine,
+)
+from repro.cube.hierarchy import BandHierarchy, CalendarHierarchy
+from repro.cube.query import execute_query
+
+REGIONS = ["north", "south", "east", "west"]
+START = datetime.date(2026, 1, 1)
+
+
+def synthesize_facts(count=8000, seed=23):
+    """A year of purchases with regional and seasonal structure."""
+    rng = np.random.default_rng(seed)
+    facts = []
+    for _ in range(count):
+        day_index = int(rng.integers(0, 365))
+        season_boost = 1.0 + 0.5 * np.cos(
+            2 * np.pi * (day_index - 350) / 365.0
+        )
+        region = REGIONS[int(rng.integers(0, 4))]
+        price = float(
+            np.round(rng.lognormal(3.4, 0.5) * season_boost, 2)
+        )
+        facts.append(
+            {
+                "region": region,
+                "age": int(np.clip(rng.normal(42, 15), 18, 85)),
+                "day": START + datetime.timedelta(days=day_index),
+                "sales": price,
+                "cost": float(np.round(price * rng.uniform(0.5, 0.8), 2)),
+            }
+        )
+    return facts
+
+
+def main():
+    dims = [
+        Dimension("region", CategoricalEncoder(REGIONS)),
+        Dimension("age", IntegerEncoder(18, 85)),
+        Dimension("day", DateEncoder(START, 365)),
+    ]
+    engine = MultiMeasureEngine(dims, ["sales", "cost"], synthesize_facts())
+    print(f"built {engine!r}\n")
+
+    # Company-level derived measures.
+    revenue = engine.sum("sales")
+    profit = engine.difference("sales", "cost")
+    margin = 1.0 - engine.ratio("cost", "sales")
+    print(f"revenue {revenue:>12.2f}")
+    print(f"profit  {profit:>12.2f}")
+    print(f"margin  {margin:>12.1%}\n")
+
+    # The textual query language against the sales engine.
+    q = (
+        "SUM(sales) WHERE region BETWEEN east AND east "
+        "AND day BETWEEN '2026-11-01' AND '2026-12-31'"
+    )
+    print(f"query: {q}")
+    print(f"  -> {execute_query(engine.engine('sales'), q):.2f}\n")
+
+    # Monthly revenue rollup: one O(1) range query per month.
+    monthly = CalendarHierarchy(engine.engine("sales"), "day").rollup("month")
+    best = max(monthly, key=monthly.get)
+    print("monthly revenue:")
+    for month, value in monthly.items():
+        bar = "#" * int(40 * value / monthly[best])
+        print(f"  {month}  {value:>11.2f}  {bar}")
+    print(f"best month: {best}\n")
+
+    # Age-band profitability (profit needs both measures per band).
+    bands = {"18-29": (18, 29), "30-44": (30, 44),
+             "45-64": (45, 64), "65+": (65, 85)}
+    sales_by_band = BandHierarchy(
+        engine.engine("sales"), "age", bands
+    ).rollup()
+    cost_by_band = BandHierarchy(
+        engine.engine("cost"), "age", bands
+    ).rollup()
+    print("profit by age band:")
+    for band in bands:
+        print(f"  {band:>6}: {sales_by_band[band] - cost_by_band[band]:>11.2f}")
+    print()
+
+    # Live ingest keeps every aggregate current.
+    engine.ingest(
+        {"region": "west", "age": 33, "day": "2026-12-31",
+         "sales": 999.99, "cost": 500.00}
+    )
+    print(f"after one more sale, revenue {engine.sum('sales'):.2f} "
+          f"(was {revenue:.2f})")
+    print("retail analytics example OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e . --no-use-pep517`` (and plain ``python setup.py
+develop``) in offline environments that lack the ``wheel`` package needed
+by PEP 660 editable installs. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""Invertible aggregate operators: SUM, COUNT, AVERAGE, rolling variants."""
+
+from repro.aggregates.generalized import (
+    GROUP_PRODUCT,
+    GROUP_SUM,
+    GROUP_XOR,
+    GroupOperator,
+    GroupPrefixCube,
+    GroupRelativePrefixCube,
+)
+from repro.aggregates.operators import (
+    SUM,
+    PRODUCT,
+    AggregateCube,
+    InvertibleOperator,
+)
+
+__all__ = [
+    "GROUP_PRODUCT",
+    "GROUP_SUM",
+    "GROUP_XOR",
+    "GroupOperator",
+    "GroupPrefixCube",
+    "GroupRelativePrefixCube",
+    "SUM",
+    "PRODUCT",
+    "AggregateCube",
+    "InvertibleOperator",
+]

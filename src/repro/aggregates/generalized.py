@@ -1,0 +1,323 @@
+"""Prefix structures over arbitrary invertible operators (paper Section 2).
+
+"The techniques presented here can also be applied to obtain COUNT,
+AVERAGE, ROLLING SUM, ROLLING AVERAGE, and any binary operator + for
+which there exists an inverse binary operator - such that a + b - b = a."
+
+This module demonstrates that claim constructively: the prefix-sum method
+and the relative prefix sum method, parameterized by any *commutative
+group* operator supplied as a numpy ufunc pair. ``SUM`` is the paper's
+running instance; ``XOR`` and floating-point ``PRODUCT`` are included as
+genuinely different groups (sets with an associative, commutative,
+invertible operation — the structure the prefix identities actually
+need).
+
+The classes here mirror :class:`~repro.baselines.prefix.PrefixSumCube`
+and :class:`~repro.core.rps.RelativePrefixSumCube` but speak the group
+language: ``combine`` instead of add, ``invert`` instead of subtract,
+``identity`` instead of zero. They share the same asymptotics
+(O(1)-lookup prefixes; box-constrained cascades for the RPS variant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core import indexing
+
+Coord = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class GroupOperator:
+    """A commutative group operation as a numpy ufunc pair.
+
+    Attributes:
+        name: human-readable name.
+        combine: the group operation (binary ufunc).
+        invert: its inverse, satisfying ``invert(combine(a, b), b) == a``.
+        identity: the neutral element.
+        dtype: numpy dtype the structure should carry values in.
+    """
+
+    name: str
+    combine: np.ufunc
+    invert: np.ufunc
+    identity: object
+    dtype: object = np.int64
+
+
+#: Ordinary addition — the paper's running example.
+GROUP_SUM = GroupOperator("sum", np.add, np.subtract, 0, np.int64)
+
+#: Bitwise XOR — a self-inverse group over ints.
+GROUP_XOR = GroupOperator(
+    "xor", np.bitwise_xor, np.bitwise_xor, 0, np.int64
+)
+
+#: Multiplication over nonzero floats.
+GROUP_PRODUCT = GroupOperator(
+    "product", np.multiply, np.divide, 1.0, np.float64
+)
+
+
+def _blocked_accumulate(
+    array: np.ndarray, axis: int, block: int, op: GroupOperator
+) -> np.ndarray:
+    """Group-accumulate along ``axis`` restarting at block boundaries.
+
+    The group generalization of
+    :func:`repro.core.blocked.blocked_cumsum`: the carried-in total of
+    each block is removed with ``op.invert`` instead of subtraction.
+    """
+    out = op.combine.accumulate(array, axis=axis, dtype=op.dtype)
+    n = array.shape[axis]
+    if block >= n:
+        return out
+    starts = np.arange(block, n, block)
+    carried = np.take(out, starts - 1, axis=axis)
+    block_ids = np.arange(n) // block
+    carry_index = np.maximum(block_ids - 1, 0)
+    carried_full = np.take(carried, carry_index, axis=axis)
+    mask_shape = [1] * array.ndim
+    mask_shape[axis] = n
+    in_first_block = (block_ids == 0).reshape(mask_shape)
+    return np.where(in_first_block, out, op.invert(out, carried_full))
+
+
+class GroupPrefixCube:
+    """Ho et al.'s prefix method over an arbitrary group operator.
+
+    Same structure and costs as :class:`~repro.baselines.prefix.PrefixSumCube`:
+    O(1) range queries via ``2^d`` corners, O(n^d) worst-case updates.
+    """
+
+    def __init__(self, array: np.ndarray, operator: GroupOperator) -> None:
+        source = np.asarray(array).astype(operator.dtype)
+        self.operator = operator
+        self.shape = source.shape
+        self.ndim = source.ndim
+        self._p = source.copy()
+        for axis in range(self.ndim):
+            # accumulate in the group's own dtype: numpy otherwise
+            # promotes small ints, breaking wrap-around groups
+            self._p = operator.combine.accumulate(
+                self._p, axis=axis, dtype=operator.dtype
+            )
+
+    def prefix(self, target: Sequence[int]):
+        """Group-combine of ``A[0..target]`` — one lookup."""
+        t = indexing.normalize_index(target, self.shape)
+        return self._p[t]
+
+    def range_query(self, low: Sequence[int], high: Sequence[int]):
+        """Group-combine over the inclusive range, via signed corners.
+
+        Positive-parity corners are combined in, negative-parity corners
+        inverted out — the group reading of Figure 3.
+        """
+        lo, hi = indexing.normalize_range(low, high, self.shape)
+        total = np.asarray(self.operator.identity, dtype=self.operator.dtype)[()]
+        for sign, corner in indexing.iter_corners(lo, hi):
+            if indexing.has_empty_axis(corner):
+                continue
+            value = self._p[corner]
+            if sign > 0:
+                total = self.operator.combine(total, value)
+            else:
+                total = self.operator.invert(total, value)
+        return total
+
+    def combine_into(self, index: Sequence[int], value) -> None:
+        """Combine ``value`` into one cell (the group's 'delta' update).
+
+        Cascades over every dominating P cell, exactly as in Figure 4.
+        """
+        idx = indexing.normalize_index(index, self.shape)
+        suffix = tuple(slice(i, None) for i in idx)
+        region = self._p[suffix]
+        self._p[suffix] = self.operator.combine(region, value)
+
+    def cell_value(self, index: Sequence[int]):
+        """Recover one cell's value by corner differencing."""
+        idx = indexing.normalize_index(index, self.shape)
+        return self.range_query(idx, idx)
+
+
+class GroupRelativePrefixCube:
+    """The relative prefix sum method over an arbitrary group operator.
+
+    Keeps the group analogue of the RP array (box-relative accumulations)
+    and the overlay (anchor plus subset border values); queries and
+    updates have the same shape and costs as the SUM instance —
+    demonstrating that the paper's construction uses nothing beyond the
+    group axioms.
+    """
+
+    def __init__(
+        self,
+        array: np.ndarray,
+        operator: GroupOperator,
+        box_size=None,
+    ) -> None:
+        from repro.core.rps import default_box_size
+
+        source = np.asarray(array).astype(operator.dtype)
+        self.operator = operator
+        self.shape = source.shape
+        self.ndim = source.ndim
+        if box_size is None:
+            box_size = default_box_size(source.shape)
+        self.box_sizes = indexing.normalize_box_sizes(box_size, source.shape)
+        self._full_mask = (1 << self.ndim) - 1
+        self._build(source)
+
+    # -- construction -------------------------------------------------------
+
+    def _build(self, array: np.ndarray) -> None:
+        op = self.operator
+        rp = array
+        for axis in range(self.ndim):
+            rp = _blocked_accumulate(rp, axis, self.box_sizes[axis], op)
+        self._rp = rp
+        self._values = {}
+        for mask in range(1, self._full_mask + 1):
+            work = array
+            for axis in range(self.ndim):
+                if not mask & (1 << axis):
+                    work = self._exclusive_blocked(work, axis)
+            inclusive = work
+            for axis in range(self.ndim):
+                if mask & (1 << axis):
+                    inclusive = op.combine.accumulate(
+                        inclusive, axis=axis, dtype=op.dtype
+                    )
+            s1, s2 = inclusive, work
+            for axis in range(self.ndim):
+                if mask & (1 << axis):
+                    starts = np.arange(
+                        0, self.shape[axis], self.box_sizes[axis]
+                    )
+                    s1 = np.take(s1, starts, axis=axis)
+                    s2 = np.take(s2, starts, axis=axis)
+            self._values[mask] = op.invert(s1, s2)
+
+    def _exclusive_blocked(self, array: np.ndarray, axis: int) -> np.ndarray:
+        """Group analogue of the exclusive blocked accumulation."""
+        op = self.operator
+        k = self.box_sizes[axis]
+        inclusive = _blocked_accumulate(array, axis, k, op)
+        starts = np.arange(0, array.shape[axis], k)
+        start_vals = np.take(array, starts, axis=axis)
+        full, rem = divmod(array.shape[axis], k)
+        reps = [k] * full + ([rem] if rem else [])
+        expanded = np.repeat(start_vals, np.array(reps, dtype=np.intp),
+                             axis=axis)
+        return op.invert(inclusive, expanded)
+
+    # -- queries ------------------------------------------------------------
+
+    def prefix(self, target: Sequence[int]):
+        """Group-combine of ``A[0..target]`` from overlay values + RP."""
+        op = self.operator
+        t = indexing.normalize_index(target, self.shape)
+        anchor = indexing.anchor_of(t, self.box_sizes)
+        off_mask = 0
+        for axis in range(self.ndim):
+            if t[axis] != anchor[axis]:
+                off_mask |= 1 << axis
+        total = self._rp[t]
+        anchor_index = tuple(
+            a // k for a, k in zip(anchor, self.box_sizes)
+        )
+        total = op.combine(total, self._values[self._full_mask][anchor_index])
+        sub = off_mask
+        while sub > 0:
+            if sub != self._full_mask:
+                z_mask = self._full_mask ^ sub
+                cell = tuple(
+                    t[axis] if sub & (1 << axis) else anchor[axis]
+                    for axis in range(self.ndim)
+                )
+                loc = tuple(
+                    c // self.box_sizes[axis] if z_mask & (1 << axis) else c
+                    for axis, c in enumerate(cell)
+                )
+                total = op.combine(total, self._values[z_mask][loc])
+            sub = (sub - 1) & off_mask
+        return total
+
+    def range_query(self, low: Sequence[int], high: Sequence[int]):
+        """Group-combine over the inclusive range via signed corners."""
+        op = self.operator
+        lo, hi = indexing.normalize_range(low, high, self.shape)
+        total = np.asarray(op.identity, dtype=op.dtype)[()]
+        for sign, corner in indexing.iter_corners(lo, hi):
+            if indexing.has_empty_axis(corner):
+                continue
+            value = self.prefix(corner)
+            total = op.combine(total, value) if sign > 0 else op.invert(
+                total, value
+            )
+        return total
+
+    # -- updates ------------------------------------------------------------
+
+    def combine_into(self, index: Sequence[int], value) -> None:
+        """Combine ``value`` into one cell with the constrained cascade.
+
+        Exactly Figure 15's update, in group language: the RP cascade
+        stays inside one box; the overlay slices combine (or invert, for
+        the anchor-exclusion slice) the value in.
+        """
+        op = self.operator
+        idx = indexing.normalize_index(index, self.shape)
+        rp_region = tuple(
+            slice(i, min((i // k) * k + k, n))
+            for i, k, n in zip(idx, self.box_sizes, self.shape)
+        )
+        self._rp[rp_region] = op.combine(self._rp[rp_region], value)
+        for mask in range(1, self._full_mask + 1):
+            add, sub = self._update_slices(idx, mask)
+            if add is None:
+                continue
+            values = self._values[mask]
+            values[add] = op.combine(values[add], value)
+            if sub is not None:
+                values[sub] = op.invert(values[sub], value)
+
+    def _update_slices(self, idx: Coord, mask: int):
+        """Same slice geometry as :meth:`Overlay._update_slices`."""
+        boxes_shape = tuple(
+            -(-n // k) for n, k in zip(self.shape, self.box_sizes)
+        )
+        add = []
+        exclusion_applies = True
+        for axis in range(self.ndim):
+            u = idx[axis]
+            k = self.box_sizes[axis]
+            if mask & (1 << axis):
+                add.append(slice(-(-u // k), boxes_shape[axis]))
+                if u % k != 0:
+                    exclusion_applies = False
+            else:
+                if u % k == 0:
+                    return None, None
+                add.append(slice(u, min((u // k) * k + k, self.shape[axis])))
+        sub = None
+        if exclusion_applies:
+            sub = tuple(
+                slice(idx[axis] // self.box_sizes[axis],
+                      idx[axis] // self.box_sizes[axis] + 1)
+                if mask & (1 << axis) else add[axis]
+                for axis in range(self.ndim)
+            )
+        return tuple(add), sub
+
+    def cell_value(self, index: Sequence[int]):
+        """Recover one cell's value by corner differencing."""
+        idx = indexing.normalize_index(index, self.shape)
+        return self.range_query(idx, idx)

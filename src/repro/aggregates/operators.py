@@ -1,0 +1,176 @@
+"""Invertible aggregate operators (paper Section 2).
+
+The prefix-sum family works for "any binary operator ``+`` for which there
+exists an inverse binary operator ``-`` such that ``a + b - b = a``". This
+module captures that contract as :class:`InvertibleOperator` and provides
+the operators the paper names: SUM, COUNT, AVERAGE, ROLLING SUM and
+ROLLING AVERAGE. COUNT and AVERAGE are *derived*: COUNT runs the machinery
+over a 0/1 presence cube, AVERAGE divides a SUM cube by a COUNT cube, and
+the rolling variants slide a fixed-width window along one dimension using
+only range queries — so all of them inherit O(1) query cost from the
+underlying method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.core.base import RangeSumMethod
+from repro.errors import RangeError
+
+
+@dataclass(frozen=True)
+class InvertibleOperator:
+    """A binary operator with an exact inverse, per the paper's requirement.
+
+    Attributes:
+        name: human-readable operator name.
+        combine: the ``+`` operation.
+        invert: the ``-`` operation satisfying ``invert(combine(a, b), b) == a``.
+        identity: neutral element of ``combine``.
+    """
+
+    name: str
+    combine: Callable
+    invert: Callable
+    identity: float
+
+    def satisfies_inverse_law(self, a, b) -> bool:
+        """Check ``a + b - b == a`` for concrete values (used by tests)."""
+        return self.invert(self.combine(a, b), b) == a
+
+
+#: Ordinary addition — the paper's running example.
+SUM = InvertibleOperator("sum", lambda a, b: a + b, lambda a, b: a - b, 0)
+
+#: Multiplication over nonzero reals — a valid invertible operator the
+#: framework supports even though the paper does not use it.
+PRODUCT = InvertibleOperator(
+    "product", lambda a, b: a * b, lambda a, b: a / b, 1
+)
+
+
+class AggregateCube:
+    """COUNT / AVERAGE / rolling aggregates on top of any range-sum method.
+
+    Maintains two synchronized structures of the same method class: one
+    over the measure values (SUM) and one over cell presence counts
+    (COUNT). Both update in the method's update cost; all aggregates are
+    answered with a constant number of range queries.
+
+    Args:
+        values: dense measure cube (e.g. total sales per cell).
+        counts: dense count cube (e.g. number of transactions per cell);
+            defaults to ``1`` wherever ``values`` is nonzero.
+        method: a :class:`RangeSumMethod` subclass to instantiate twice.
+        **method_kwargs: forwarded to the method constructor (e.g.
+            ``box_size`` for the RPS method).
+    """
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        counts: np.ndarray = None,
+        method: type = None,
+        **method_kwargs,
+    ) -> None:
+        from repro.core.rps import RelativePrefixSumCube
+
+        values = np.asarray(values)
+        if counts is None:
+            counts = (values != 0).astype(np.int64)
+        else:
+            counts = np.asarray(counts)
+            if counts.shape != values.shape:
+                raise RangeError(
+                    f"counts shape {counts.shape} != values shape {values.shape}"
+                )
+        method = method or RelativePrefixSumCube
+        self.sums: RangeSumMethod = method(values, **method_kwargs)
+        self.counts: RangeSumMethod = method(counts, **method_kwargs)
+        self.shape = self.sums.shape
+
+    # -- aggregates ----------------------------------------------------------
+
+    def range_sum(self, low: Sequence[int], high: Sequence[int]):
+        """SUM over the inclusive range."""
+        return self.sums.range_sum(low, high)
+
+    def range_count(self, low: Sequence[int], high: Sequence[int]):
+        """COUNT over the inclusive range."""
+        return self.counts.range_sum(low, high)
+
+    def range_average(self, low: Sequence[int], high: Sequence[int]) -> float:
+        """AVERAGE = SUM / COUNT; ``nan`` for an empty range."""
+        count = self.range_count(low, high)
+        if count == 0:
+            return float("nan")
+        return float(self.range_sum(low, high)) / float(count)
+
+    def rolling_sum(
+        self,
+        axis: int,
+        window: int,
+        low: Sequence[int],
+        high: Sequence[int],
+    ) -> List:
+        """ROLLING SUM: window sums slid along ``axis`` across ``[low, high]``.
+
+        For every window start ``s`` in ``[low_axis, high_axis]`` the window
+        covers ``[s, s + window - 1]`` on ``axis`` (clipped to the query
+        range) and the full ``[low, high]`` extent on other axes.
+        """
+        if window < 1:
+            raise RangeError(f"window must be >= 1, got {window}")
+        lo = list(low)
+        hi = list(high)
+        results = []
+        for start in range(low[axis], high[axis] + 1):
+            lo[axis] = start
+            hi[axis] = min(start + window - 1, high[axis])
+            results.append(self.sums.range_sum(lo, hi))
+        return results
+
+    def rolling_average(
+        self,
+        axis: int,
+        window: int,
+        low: Sequence[int],
+        high: Sequence[int],
+    ) -> List[float]:
+        """ROLLING AVERAGE: per-window SUM / COUNT along ``axis``."""
+        if window < 1:
+            raise RangeError(f"window must be >= 1, got {window}")
+        lo_s = list(low)
+        hi_s = list(high)
+        results = []
+        for start in range(low[axis], high[axis] + 1):
+            lo_s[axis] = start
+            hi_s[axis] = min(start + window - 1, high[axis])
+            count = self.counts.range_sum(lo_s, hi_s)
+            if count == 0:
+                results.append(float("nan"))
+            else:
+                results.append(
+                    float(self.sums.range_sum(lo_s, hi_s)) / float(count)
+                )
+        return results
+
+    # -- updates -------------------------------------------------------------
+
+    def record(self, index: Sequence[int], amount, occurrences: int = 1) -> None:
+        """Ingest ``occurrences`` new facts totalling ``amount`` at a cell.
+
+        Both the SUM and COUNT structures update; cost is twice the
+        underlying method's update cost.
+        """
+        self.sums.apply_delta(index, amount)
+        if occurrences:
+            self.counts.apply_delta(index, occurrences)
+
+    def retract(self, index: Sequence[int], amount, occurrences: int = 1) -> None:
+        """Remove previously recorded facts (the inverse of :meth:`record`)."""
+        self.record(index, -amount, -occurrences)

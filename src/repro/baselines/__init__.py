@@ -1,0 +1,14 @@
+"""Baseline range-sum methods the paper compares against, plus extensions."""
+
+from repro.baselines.naive import NaiveCube
+from repro.baselines.prefix import PrefixSumCube, build_prefix_array
+from repro.baselines.fenwick import FenwickCube
+from repro.baselines.sparse import SparseNaiveCube
+
+__all__ = [
+    "FenwickCube",
+    "NaiveCube",
+    "PrefixSumCube",
+    "SparseNaiveCube",
+    "build_prefix_array",
+]

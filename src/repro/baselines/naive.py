@@ -1,0 +1,67 @@
+"""The naive method (paper Section 2).
+
+Array ``A`` is stored as-is. A range query scans every cell in the range —
+``O(n^d)`` worst case — while an update writes exactly one cell, ``O(1)``.
+The query×update cost product is ``O(n^d)``, the figure both the prefix sum
+method and the relative prefix sum method are measured against.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core import indexing
+from repro.core.base import RangeSumMethod
+
+
+class NaiveCube(RangeSumMethod):
+    """Dense array with scan-based range sums and constant-time updates."""
+
+    name = "naive"
+
+    def _build(self, array: np.ndarray) -> None:
+        self._a = array.copy()
+
+    def prefix_sum(self, target: Sequence[int]):
+        """Sum ``A[0..target]`` by scanning the prefix region."""
+        t = indexing.normalize_index(target, self.shape)
+        region = self._a[indexing.prefix_slices(t)]
+        self.counter.read(region.size, structure="A")
+        return self._dtype.type(region.sum())
+
+    def range_sum(self, low: Sequence[int], high: Sequence[int]):
+        """Sum the query region directly — no inclusion–exclusion needed."""
+        lo, hi = indexing.normalize_range(low, high, self.shape)
+        region = self._a[indexing.range_to_slices(lo, hi)]
+        self.counter.read(region.size, structure="A")
+        return self._dtype.type(region.sum())
+
+    def cell_value(self, index: Sequence[int]):
+        """Read a single cell."""
+        idx = indexing.normalize_index(index, self.shape)
+        self.counter.read(1, structure="A")
+        return self._a[idx]
+
+    def apply_delta(self, index: Sequence[int], delta) -> None:
+        """Add ``delta`` to one cell — the O(1) update of the naive method."""
+        idx = indexing.normalize_index(index, self.shape)
+        self._a[idx] += delta
+        self.counter.write(1, structure="A")
+
+    def apply_batch(self, updates) -> int:
+        """Batching changes nothing for the naive method: one write each."""
+        count = 0
+        for index, delta in updates:
+            self.apply_delta(index, delta)
+            count += 1
+        return count
+
+    def storage_cells(self) -> int:
+        """The naive method stores exactly the source array."""
+        return self._a.size
+
+    def to_array(self) -> np.ndarray:
+        """Direct copy — cheaper than the base-class reconstruction."""
+        return self._a.copy()

@@ -1,0 +1,19 @@
+"""Benchmark harness: per-figure experiment drivers and reporting."""
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.harness import ExperimentRun, report, run_all, run_experiment, save_csvs
+from repro.bench.reporting import ResultTable, render_matrix, render_table, to_csv, write_csv
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentRun",
+    "ResultTable",
+    "render_matrix",
+    "render_table",
+    "report",
+    "run_all",
+    "run_experiment",
+    "save_csvs",
+    "to_csv",
+    "write_csv",
+]

@@ -1,0 +1,68 @@
+"""Experiment harness: run, render, and persist the E1-E10 reproductions."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.reporting import ResultTable, render_table, write_csv
+from repro.errors import WorkloadError
+
+
+@dataclass
+class ExperimentRun:
+    """One executed experiment: its table plus run metadata."""
+
+    table: ResultTable
+    seconds: float
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentRun:
+    """Run one experiment by id (e.g. ``"E6"``)."""
+    key = experiment_id.upper()
+    if key not in ALL_EXPERIMENTS:
+        raise WorkloadError(
+            f"unknown experiment {experiment_id!r}; "
+            f"choose from {sorted(ALL_EXPERIMENTS)}"
+        )
+    start = time.perf_counter()
+    table = ALL_EXPERIMENTS[key](**kwargs)
+    return ExperimentRun(table=table, seconds=time.perf_counter() - start)
+
+
+def run_all(
+    experiment_ids: Optional[Iterable[str]] = None,
+) -> List[ExperimentRun]:
+    """Run several experiments (all of them by default), in id order."""
+    ids = list(experiment_ids) if experiment_ids else sorted(
+        ALL_EXPERIMENTS, key=lambda e: (e[0], int(e[1:]))
+    )
+    return [run_experiment(eid) for eid in ids]
+
+
+def report(runs: Iterable[ExperimentRun]) -> str:
+    """Render executed experiments as one plain-text report."""
+    sections = []
+    for run in runs:
+        sections.append(render_table(run.table))
+        sections.append(f"  ({run.seconds:.2f}s)")
+        sections.append("")
+    return "\n".join(sections)
+
+
+def save_csvs(runs: Iterable[ExperimentRun], directory) -> Dict[str, str]:
+    """Write each experiment's table to ``<dir>/<id>.csv``.
+
+    Returns a mapping of experiment id to written path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = {}
+    for run in runs:
+        path = directory / f"{run.table.experiment_id}.csv"
+        write_csv(run.table, path)
+        written[run.table.experiment_id] = str(path)
+    return written

@@ -1,0 +1,134 @@
+"""Plain-text and CSV rendering for experiment results."""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass
+class ResultTable:
+    """One reproduced table/figure: metadata plus rows.
+
+    Attributes:
+        experiment_id: e.g. ``"E6"`` (see DESIGN.md's experiment index).
+        title: human description including the paper artifact.
+        headers: column names.
+        rows: row values (any printable types).
+        notes: free-form caveats/observations appended after the table.
+    """
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        """Append one row (arity-checked against the headers)."""
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"{self.experiment_id}: row has {len(values)} values "
+                f"for {len(self.headers)} headers"
+            )
+        self.rows.append(values)
+
+    def column(self, name: str) -> List:
+        """All values of one column (for assertions in tests)."""
+        idx = list(self.headers).index(name)
+        return [row[idx] for row in self.rows]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # nan
+            return "nan"
+        if abs(value) >= 1000 or (0 < abs(value) < 0.01):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(table: ResultTable) -> str:
+    """Render one result table as aligned plain text."""
+    headers = [str(h) for h in table.headers]
+    body = [[_fmt(v) for v in row] for row in table.rows]
+    widths = [len(h) for h in headers]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = [f"== {table.experiment_id}: {table.title} =="]
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    for row in body:
+        out.append(line(row))
+    for note in table.notes:
+        out.append(f"  note: {note}")
+    return "\n".join(out)
+
+
+def to_csv(table: ResultTable) -> str:
+    """Render one result table as CSV text."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(table.headers)
+    for row in table.rows:
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def write_csv(table: ResultTable, path) -> None:
+    """Write one result table to a CSV file."""
+    with open(path, "w", newline="") as handle:
+        handle.write(to_csv(table))
+
+
+def render_series(
+    title: str,
+    series: "dict",
+    width: int = 50,
+    logarithmic: bool = True,
+) -> str:
+    """Render named numeric series as aligned ASCII bars.
+
+    The terminal-report stand-in for the paper's figures: each
+    ``(label, value)`` gets a bar scaled to the max (log-scaled by
+    default, since the cost curves span orders of magnitude).
+    """
+    import math
+
+    items = [(str(k), float(v)) for k, v in dict(series).items()]
+    if not items:
+        return f"-- {title} -- (empty)"
+    label_width = max(len(label) for label, _ in items)
+    positives = [v for _, v in items if v > 0]
+    top = max(positives) if positives else 1.0
+    floor = min(positives) if positives else 1.0
+    lines = [f"-- {title} --"]
+    for label, value in items:
+        if value <= 0:
+            bar = ""
+        elif logarithmic and top > floor:
+            span = math.log(top) - math.log(floor) or 1.0
+            fraction = (math.log(value) - math.log(floor)) / span
+            bar = "#" * max(1, round(width * fraction))
+        else:
+            bar = "#" * max(1, round(width * value / top))
+        lines.append(f"{label:>{label_width}}  {_fmt(value):>10}  {bar}")
+    return "\n".join(lines)
+
+
+def render_matrix(title: str, matrix, row_label: str = "") -> str:
+    """Render a 2-d numpy array the way the paper prints its figures."""
+    lines = [f"-- {title} --"]
+    for i, row in enumerate(matrix):
+        cells = " ".join(f"{_fmt(v):>5}" for v in row)
+        prefix = f"{row_label}{i}: " if row_label else f"{i}: "
+        lines.append(prefix + cells)
+    return "\n".join(lines)

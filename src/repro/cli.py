@@ -1,0 +1,289 @@
+"""Command-line entry point: ``repro-bench`` / ``python -m repro.cli``.
+
+Subcommands:
+
+* ``list`` — the experiment index (E1-E10 reproductions, A1-A3 ablations).
+* ``run E6 E7`` — run selected experiments and print their tables.
+* ``all`` — run every experiment.
+* ``demo`` — the paper's worked example end-to-end on the 9x9 cube.
+* ``workload [scenario]`` — run a named workload scenario across methods.
+* ``profile`` — measure methods' empirical cost spec sheets.
+
+``run``/``all`` accept ``--csv DIR`` to also write each table as
+``DIR/<id>.csv``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import paper
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.harness import report, run_all, save_csvs
+from repro.bench.reporting import render_matrix
+from repro.core.rps import RelativePrefixSumCube
+
+
+def _cmd_list(_args) -> int:
+    print("Available experiments (see DESIGN.md for the full index):")
+    for eid in sorted(ALL_EXPERIMENTS, key=lambda e: (e[0], int(e[1:]))):
+        doc = (ALL_EXPERIMENTS[eid].__doc__ or "").strip().splitlines()[0]
+        print(f"  {eid:>4}  {doc}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    runs = run_all(args.experiments or None)
+    print(report(runs))
+    if args.csv:
+        written = save_csvs(runs, args.csv)
+        for eid, path in sorted(written.items()):
+            print(f"wrote {eid} -> {path}")
+    return 0
+
+
+def _cmd_demo(_args) -> int:
+    print("Relative prefix sums on the paper's 9x9 example cube (k=3)\n")
+    rps = RelativePrefixSumCube(paper.ARRAY_A, box_size=paper.BOX_SIZE)
+    print(render_matrix("array A (Figure 1)", paper.ARRAY_A))
+    print()
+    print(render_matrix("RP array (Figure 10)", rps.rp.array()))
+    print()
+    print(render_matrix("overlay anchors (Figure 13)", rps.overlay.anchors_array()))
+    print()
+    target = paper.EXAMPLE_QUERY_TARGET
+    explained = rps.explain_prefix(target)
+    print(f"worked query: SUM(A[0,0]:A[{target[0]},{target[1]}])")
+    parts = [f"anchor{explained['anchor']} {explained['anchor_value']}"]
+    parts += [
+        f"border{cell} {value}"
+        for cell, value in sorted(explained["border_values"].items())
+    ]
+    parts.append(f"RP{explained['target']} {explained['rp_value']}")
+    print("  = " + " + ".join(parts))
+    print(f"  = {explained['total']} (paper: {paper.EXAMPLE_QUERY_RESULT})")
+    print()
+    before = rps.counter.snapshot()
+    rps.apply_delta(paper.UPDATE_EXAMPLE_CELL, 1)
+    cost = before.delta(rps.counter)
+    print(
+        f"update A{paper.UPDATE_EXAMPLE_CELL} += 1 touched "
+        f"{cost.cells_written} cells "
+        f"(paper: {paper.UPDATE_EXAMPLE_RPS_TOTAL_CELLS}; "
+        f"prefix sum method: {paper.UPDATE_EXAMPLE_PS_CELLS})"
+    )
+    return 0
+
+
+def _cmd_workload(args) -> int:
+    from repro.bench.experiments import METHODS
+    from repro.errors import WorkloadError
+    from repro.workloads.scenarios import SCENARIOS, run_scenario
+
+    if args.scenario is None:
+        print("Available scenarios:")
+        for name, scenario in sorted(SCENARIOS.items()):
+            print(f"  {name:>12}  {scenario.description}")
+        return 0
+    header = (
+        f"{'method':>12} {'queries':>8} {'updates':>8} "
+        f"{'cells/query':>12} {'cells/update':>13} {'product':>12} "
+        f"{'mismatches':>11}"
+    )
+    print(
+        f"scenario {args.scenario!r}: {args.n}x{args.n} cube, "
+        f"{args.ops} ops, seed {args.seed}\n"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in args.methods:
+        if name not in METHODS:
+            raise WorkloadError(
+                f"unknown method {name!r}; choose from {sorted(METHODS)}"
+            )
+        result = run_scenario(
+            args.scenario, METHODS[name],
+            shape=(args.n, args.n), operations=args.ops, seed=args.seed,
+        )
+        print(
+            f"{name:>12} {result.queries:>8} {result.updates:>8} "
+            f"{result.cells_per_query:>12.1f} "
+            f"{result.cells_per_update:>13.1f} "
+            f"{result.cost_product:>12.0f} {result.mismatches:>11}"
+        )
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.bench.experiments import METHODS
+    from repro.errors import WorkloadError
+    from repro.metrics.profile import characterize, render_profile
+
+    for name in args.methods:
+        if name not in METHODS:
+            raise WorkloadError(
+                f"unknown method {name!r}; choose from {sorted(METHODS)}"
+            )
+        kwargs = {}
+        if name == "rps" and args.box_size:
+            kwargs["box_size"] = args.box_size
+        profile = characterize(
+            METHODS[name], shape=(args.n, args.n),
+            operations=args.ops, seed=args.seed, **kwargs,
+        )
+        print(render_profile(profile))
+        print()
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.bench.experiments import METHODS
+    from repro.errors import WorkloadError
+    from repro.workloads.scenarios import get_scenario
+    from repro.workloads.trace import Trace
+
+    if args.action == "capture":
+        scenario = get_scenario(args.scenario)
+        shape = (args.n, args.n)
+        trace = Trace.capture(
+            queries=scenario.make_queries(shape, args.ops, args.seed),
+            updates=scenario.make_updates(shape, args.ops, args.seed),
+            interleave=scenario.interleave,
+        )
+        trace.save(args.file)
+        print(f"captured {trace!r} from scenario {args.scenario!r} "
+              f"-> {args.file}")
+        return 0
+    # replay
+    trace = Trace.load(args.file)
+    from repro.workloads import datagen
+
+    cube = datagen.uniform_cube((args.n, args.n), seed=args.seed)
+    print(f"replaying {trace!r} from {args.file} on a "
+          f"{args.n}x{args.n} cube\n")
+    header = (
+        f"{'method':>12} {'cells/query':>12} {'cells/update':>13} "
+        f"{'q p95 us':>9} {'u p95 us':>9} {'mismatches':>11}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in args.methods:
+        if name not in METHODS:
+            raise WorkloadError(
+                f"unknown method {name!r}; choose from {sorted(METHODS)}"
+            )
+        result = trace.replay(METHODS[name](cube), oracle=cube.copy())
+        q95 = 1e6 * result.latency_percentiles("query")["p95"]
+        u95 = 1e6 * result.latency_percentiles("update")["p95"]
+        print(
+            f"{name:>12} {result.cells_per_query:>12.1f} "
+            f"{result.cells_per_update:>13.1f} {q95:>9.1f} "
+            f"{u95:>9.1f} {result.mismatches:>11}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro-bench argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Reproduce the tables and figures of the RPS paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(
+        func=_cmd_list
+    )
+
+    run_parser = sub.add_parser("run", help="run selected experiments")
+    run_parser.add_argument(
+        "experiments", nargs="*", metavar="ID",
+        help="experiment ids (e.g. E6 E7); all when omitted",
+    )
+    run_parser.add_argument(
+        "--csv", metavar="DIR", help="also write per-experiment CSV files"
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    all_parser = sub.add_parser("all", help="run every experiment")
+    all_parser.add_argument(
+        "--csv", metavar="DIR", help="also write per-experiment CSV files"
+    )
+    all_parser.set_defaults(func=_cmd_run, experiments=[])
+
+    sub.add_parser(
+        "demo", help="walk the paper's worked example"
+    ).set_defaults(func=_cmd_demo)
+
+    workload_parser = sub.add_parser(
+        "workload", help="run a named workload scenario across methods"
+    )
+    workload_parser.add_argument(
+        "scenario", nargs="?", default=None,
+        help="scenario name (omit to list scenarios)",
+    )
+    workload_parser.add_argument(
+        "--methods", nargs="*", default=["naive", "prefix_sum", "rps",
+                                         "fenwick"],
+        help="method names to run (default: all four)",
+    )
+    workload_parser.add_argument(
+        "--n", type=int, default=128, help="cube side length (default 128)"
+    )
+    workload_parser.add_argument(
+        "--ops", type=int, default=100,
+        help="operations per stream (default 100)",
+    )
+    workload_parser.add_argument(
+        "--seed", type=int, default=0, help="workload seed (default 0)"
+    )
+    workload_parser.set_defaults(func=_cmd_workload)
+
+    profile_parser = sub.add_parser(
+        "profile", help="measure one or more methods' cost spec sheet"
+    )
+    profile_parser.add_argument(
+        "--methods", nargs="*",
+        default=["naive", "prefix_sum", "rps", "fenwick"],
+        help="method names (default: all four)",
+    )
+    profile_parser.add_argument("--n", type=int, default=256)
+    profile_parser.add_argument("--ops", type=int, default=200)
+    profile_parser.add_argument("--seed", type=int, default=0)
+    profile_parser.add_argument(
+        "--box-size", type=int, default=None,
+        help="override the RPS box size",
+    )
+    profile_parser.set_defaults(func=_cmd_profile)
+
+    trace_parser = sub.add_parser(
+        "trace", help="capture a scenario to a trace file, or replay one"
+    )
+    trace_parser.add_argument("action", choices=["capture", "replay"])
+    trace_parser.add_argument("file", help="trace file (JSON lines)")
+    trace_parser.add_argument(
+        "--scenario", default="dashboard",
+        help="scenario to capture (capture only)",
+    )
+    trace_parser.add_argument(
+        "--methods", nargs="*",
+        default=["prefix_sum", "rps"],
+        help="methods to replay against (replay only)",
+    )
+    trace_parser.add_argument("--n", type=int, default=128)
+    trace_parser.add_argument("--ops", type=int, default=100)
+    trace_parser.add_argument("--seed", type=int, default=0)
+    trace_parser.set_defaults(func=_cmd_trace)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

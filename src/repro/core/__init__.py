@@ -1,0 +1,22 @@
+"""Core data structures: the relative prefix sum method and its parts."""
+
+from repro.core.base import RangeSumMethod
+from repro.core.blocked import blocked_cumsum, blocked_prefix_all_axes
+from repro.core.overlay import Overlay
+from repro.core.rp import RelativePrefixArray
+from repro.core.rps import (
+    RelativePrefixSumCube,
+    default_box_size,
+    default_box_sizes,
+)
+
+__all__ = [
+    "RangeSumMethod",
+    "Overlay",
+    "RelativePrefixArray",
+    "RelativePrefixSumCube",
+    "default_box_size",
+    "default_box_sizes",
+    "blocked_cumsum",
+    "blocked_prefix_all_axes",
+]

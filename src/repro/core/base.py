@@ -1,0 +1,183 @@
+"""Common interface for all range-sum methods.
+
+The paper compares three methods over the same model (Section 2): the naive
+array scan, the prefix sum method of Ho et al., and the relative prefix sum
+method. All of them — plus this library's extensions (Fenwick cube, paged
+RPS) — implement :class:`RangeSumMethod`, so workloads, benchmarks, and the
+OLAP engine can treat them interchangeably.
+
+The contract, mirroring the paper's model:
+
+* the cube is a dense d-dimensional array of an invertible measure,
+* ``range_sum(low, high)`` returns the inclusive range sum,
+* ``update(index, value)`` **sets** a cell to a new value (the paper's
+  "given any new value for a cell"); ``apply_delta`` adds to it,
+* every logical cell access is charged to ``self.counter``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import indexing
+from repro.errors import DimensionError, RangeError
+from repro.metrics.counters import AccessCounter
+
+DEFAULT_DTYPE = np.int64
+
+
+class RangeSumMethod(abc.ABC):
+    """Abstract base class for dense range-sum structures over a data cube.
+
+    Subclasses receive the source array ``A`` at construction, build their
+    internal structures, and must keep them consistent under point updates.
+
+    Attributes:
+        shape: cube shape ``(n_1, ..., n_d)``.
+        ndim: number of dimensions ``d``.
+        counter: the :class:`AccessCounter` charged by all operations.
+    """
+
+    #: short machine-readable identifier used by benchmarks and the CLI
+    name: str = "abstract"
+
+    def __init__(self, array: np.ndarray) -> None:
+        source = np.asarray(array)
+        if source.ndim < 1:
+            raise DimensionError("cube must have at least one dimension")
+        if source.size == 0:
+            raise DimensionError("cube must not be empty")
+        if not np.issubdtype(source.dtype, np.number):
+            raise TypeError(f"cube dtype must be numeric, got {source.dtype}")
+        self._dtype = np.dtype(
+            source.dtype
+            if np.issubdtype(source.dtype, np.floating)
+            else DEFAULT_DTYPE
+        )
+        self.shape: Tuple[int, ...] = source.shape
+        self.ndim: int = source.ndim
+        self.counter = AccessCounter()
+        self._build(source.astype(self._dtype))
+
+    # -- construction -------------------------------------------------------
+
+    @abc.abstractmethod
+    def _build(self, array: np.ndarray) -> None:
+        """Build internal structures from the dense source array."""
+
+    # -- queries ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def prefix_sum(self, target: Sequence[int]):
+        """Return ``SUM(A[0..target])`` inclusive.
+
+        Implementations must charge their reads to ``self.counter``.
+        """
+
+    def range_sum(self, low: Sequence[int], high: Sequence[int]):
+        """Inclusive range sum via the 2^d-corner identity (Figure 3).
+
+        Subclasses with a cheaper native path (e.g. the naive method's
+        direct scan) override this.
+        """
+        lo, hi = indexing.normalize_range(low, high, self.shape)
+        total = self._zero()
+        for sign, corner in indexing.iter_corners(lo, hi):
+            if indexing.has_empty_axis(corner):
+                continue
+            total += sign * self.prefix_sum(corner)
+        return total
+
+    def cell_value(self, index: Sequence[int]):
+        """Current value of a single cell (a degenerate range sum)."""
+        idx = indexing.normalize_index(index, self.shape)
+        return self.range_sum(idx, idx)
+
+    def total(self):
+        """Sum of the entire cube."""
+        top = tuple(n - 1 for n in self.shape)
+        return self.prefix_sum(top)
+
+    # -- updates ------------------------------------------------------------
+
+    def update(self, index: Sequence[int], value) -> None:
+        """Set cell ``index`` to ``value`` (the paper's update model)."""
+        idx = indexing.normalize_index(index, self.shape)
+        delta = value - self.cell_value(idx)
+        if delta:
+            self.apply_delta(idx, delta)
+
+    @abc.abstractmethod
+    def apply_delta(self, index: Sequence[int], delta) -> None:
+        """Add ``delta`` to cell ``index``, keeping structures consistent.
+
+        Implementations must charge their writes to ``self.counter``.
+        """
+
+    def apply_batch(self, updates: Iterable[Tuple[Sequence[int], object]]) -> int:
+        """Apply many ``(index, delta)`` updates; returns how many.
+
+        The default simply loops :meth:`apply_delta`. Methods with a
+        cheaper bulk path override this — e.g. the prefix-sum cube folds
+        the whole batch into one O(n^d) pass, and the RPS cube switches
+        between per-update cascades and a full rebuild at the measured
+        crossover (the paper's daily-batch scenario).
+        """
+        count = 0
+        for index, delta in updates:
+            self.apply_delta(index, delta)
+            count += 1
+        return count
+
+    # -- introspection ------------------------------------------------------
+
+    @abc.abstractmethod
+    def storage_cells(self) -> int:
+        """Number of cells materialized by this method's structures."""
+
+    def to_array(self) -> np.ndarray:
+        """Reconstruct the current dense source array (for testing/debug).
+
+        O(n^d) — intended for verification, not production queries.
+        """
+        out = np.empty(self.shape, dtype=self._dtype)
+        for idx in np.ndindex(*self.shape):
+            out[idx] = self.cell_value(idx)
+        return out
+
+    def verify(self, probes: int = 64, seed: int = 0) -> None:
+        """Self-check: random range sums against the reconstructed array.
+
+        Intended as an integrity check after bulk operations or a load
+        from persistence. Raises :class:`~repro.errors.RangeError` on the
+        first mismatch; O(n^d) for the reconstruction plus ``probes``
+        range queries.
+        """
+        reference = np.asarray(self.to_array(), dtype=np.float64)
+        rng = np.random.default_rng(seed)
+        for _ in range(probes):
+            low, high = [], []
+            for n in self.shape:
+                a, b = sorted(int(x) for x in rng.integers(0, n, size=2))
+                low.append(a)
+                high.append(b)
+            expected = reference[
+                tuple(slice(l, h + 1) for l, h in zip(low, high))
+            ].sum()
+            got = float(self.range_sum(tuple(low), tuple(high)))
+            if not np.isclose(got, expected):
+                raise RangeError(
+                    f"{type(self).__name__} failed verification at "
+                    f"range {tuple(low)}..{tuple(high)}: "
+                    f"got {got}, expected {expected}"
+                )
+
+    def _zero(self):
+        """Additive identity in the cube's dtype."""
+        return self._dtype.type(0)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(shape={self.shape})"

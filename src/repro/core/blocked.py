@@ -1,0 +1,63 @@
+"""Blocked (box-relative) cumulative sums.
+
+The RP array and the overlay border arrays are both built from cumulative
+sums that restart at every overlay-box boundary. This module provides the
+single vectorized primitive they share.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def blocked_cumsum(array: np.ndarray, axis: int, block: int) -> np.ndarray:
+    """Cumulative sum along ``axis`` restarting at every ``block`` boundary.
+
+    ``out[..., j, ...] = sum(array[..., j0..j, ...])`` where ``j0`` is the
+    largest multiple of ``block`` not exceeding ``j``. The final block may
+    be partial; it is handled identically.
+
+    Args:
+        array: input of any shape.
+        axis: axis along which to accumulate.
+        block: restart period, >= 1.
+
+    Returns:
+        A new array of the same shape and dtype.
+    """
+    if block < 1:
+        raise ValueError(f"block must be >= 1, got {block}")
+    out = np.cumsum(array, axis=axis)
+    n = array.shape[axis]
+    if block >= n:
+        return out
+    # Subtract, from every element, the running total accumulated before the
+    # start of its block. Block b (b >= 1) starts at index b*block; the
+    # carried-in total is out[..., b*block - 1, ...].
+    starts = np.arange(block, n, block)
+    carried = np.take(out, starts - 1, axis=axis)
+    block_ids = np.arange(n) // block  # 0, 0, ..., 1, 1, ...
+    # Expand carried so carried_full[..., j, ...] is the carry for j's block.
+    carry_index = np.maximum(block_ids - 1, 0)
+    carried_full = np.take(carried, carry_index, axis=axis)
+    mask_shape = [1] * array.ndim
+    mask_shape[axis] = n
+    in_first_block = (block_ids == 0).reshape(mask_shape)
+    return np.where(in_first_block, out, out - carried_full)
+
+
+def blocked_prefix_all_axes(array: np.ndarray, block) -> np.ndarray:
+    """Box-relative prefix sums along every axis — the RP array of Section 3.2.
+
+    Equivalent to partitioning the array into ``block``-sided boxes and
+    computing an independent inclusive prefix-sum array inside each box.
+    ``block`` is a single side length or one per axis.
+    """
+    out = np.asarray(array)
+    if isinstance(block, int):
+        blocks = (block,) * out.ndim
+    else:
+        blocks = tuple(int(b) for b in block)
+    for axis in range(out.ndim):
+        out = blocked_cumsum(out, axis, blocks[axis])
+    return out

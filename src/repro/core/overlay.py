@@ -1,0 +1,397 @@
+"""The overlay structure (paper Section 3.1).
+
+An overlay partitions array ``A`` into equal-sized boxes of side ``k`` and
+stores, per box, one value for every cell having at least one coordinate
+on the box's anchor faces — ``k^d - (k-1)^d`` values per box, exactly the
+paper's storage count. The anchor cell holds the *anchor value*
+``V(a) = SUM(A[0..a]) - A[a]`` (Figure 7); the remaining face cells hold
+cumulative *border values* (Figures 6 and 8).
+
+The paper publishes only the 2-D definitions; TR TRCS99-01 with the
+d-dimensional algorithms is unavailable. The generalization implemented
+here is derived in DESIGN.md Section 1 from the subset decomposition of a
+prefix region. For a face cell ``c`` whose set of anchor-aligned
+coordinates is ``Z`` (nonempty), the stored value is::
+
+    stored(c) = SUM over  prod_{j not in Z} (a_j, c_j]
+                        x ( prod_{j in Z} [0, a_j]  -  prod_{j in Z} {a_j} )
+
+With ``Z = D`` (the anchor itself) this is exactly ``V(a)``; in 2-D with
+``|Z| = 1`` it is exactly the paper's cumulative X/Y border values. The
+query identity, valid for every target ``t`` (boundary targets included)::
+
+    Pre(t) = RP[t] + sum over S' subset of {j : t_j > a_j}, S' != D of
+             stored( cell with t_j on S', a_j elsewhere )
+
+reads at most ``2^d`` overlay values per prefix sum (``d + 2`` when d = 2,
+matching the paper's count), and an update touches
+``((n/k) + k)^d`` cells in the worst case — ``O(n^{d/2})`` at the paper's
+optimal ``k = sqrt(n)``.
+
+The paper fixes the same ``k`` on every dimension "for clarity, and
+without loss of generality"; this implementation accepts one side length
+per dimension, which matters when dimension sizes differ widely or when
+one box must match a disk page exactly (Section 4.4).
+
+Physically the overlay keeps one dense array per nonempty ``Z``
+(``2^d - 1`` arrays); the array for ``Z`` is indexed by box number on the
+dimensions in ``Z`` and by raw cell coordinate elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import indexing
+from repro.core.blocked import blocked_cumsum
+from repro.errors import RangeError
+from repro.metrics.counters import AccessCounter
+
+Coord = Tuple[int, ...]
+
+
+def _block_lengths(n: int, k: int) -> np.ndarray:
+    """Lengths of the k-blocks tiling an axis of size ``n`` (last may be short)."""
+    full, rem = divmod(n, k)
+    lengths = [k] * full
+    if rem:
+        lengths.append(rem)
+    return np.array(lengths, dtype=np.intp)
+
+
+def _exclusive_blocked_cumsum(array: np.ndarray, axis: int, k: int) -> np.ndarray:
+    """Per-block cumulative sum excluding the block's first element.
+
+    ``out[..., c, ...] = sum(array[..., a+1 .. c, ...])`` where ``a`` is
+    the block start — zero at block starts themselves.
+    """
+    inclusive = blocked_cumsum(array, axis, k)
+    starts = np.arange(0, array.shape[axis], k)
+    start_vals = np.take(array, starts, axis=axis)
+    reps = _block_lengths(array.shape[axis], k)
+    return inclusive - np.repeat(start_vals, reps, axis=axis)
+
+
+def subset_update_slices(shape, box_sizes, boxes_shape, idx, mask):
+    """Affected-region slices of one subset's value array for an update.
+
+    For the overlay value array of subset ``mask`` (bit j set = axis j in
+    Z), an update at ``idx`` touches the ``add`` slice minus — when the
+    update is anchor-aligned on all of Z — the ``sub`` slice (the
+    ``Π{a_j}`` exclusion). Returns ``(None, None)`` when no value of this
+    subset is affected (the update is anchor-aligned on a non-Z axis).
+
+    Shared by :class:`Overlay` (which applies the slices densely) and the
+    hierarchical extension (which converts them into range-adds).
+    """
+    ndim = len(shape)
+    add = []
+    exclusion_applies = True
+    for axis in range(ndim):
+        u = idx[axis]
+        k = box_sizes[axis]
+        if mask & (1 << axis):
+            # Boxes with anchor at or after the update on this axis.
+            add.append(slice(-(-u // k), boxes_shape[axis]))
+            if u % k != 0:
+                exclusion_applies = False
+        else:
+            # Same box, strictly after its anchor, at or after u.
+            if u % k == 0:
+                return None, None
+            add.append(slice(u, min((u // k) * k + k, shape[axis])))
+    sub = None
+    if exclusion_applies:
+        sub = tuple(
+            slice(idx[axis] // box_sizes[axis],
+                  idx[axis] // box_sizes[axis] + 1)
+            if mask & (1 << axis)
+            else add[axis]
+            for axis in range(ndim)
+        )
+    return tuple(add), sub
+
+
+class Overlay:
+    """Anchor and border values for every overlay box of a cube.
+
+    Args:
+        array: the dense source cube ``A``.
+        box_size: overlay box side length ``k`` — a single int (the
+            paper's model) or one per dimension.
+        counter: access counter charged by lookups and updates; a private
+            one is created when omitted (the RPS cube passes its own so
+            overlay and RP costs share a ledger).
+    """
+
+    def __init__(
+        self,
+        array: np.ndarray,
+        box_size,
+        counter: AccessCounter = None,
+    ) -> None:
+        source = np.asarray(array)
+        self.shape = source.shape
+        self.ndim = source.ndim
+        self.box_sizes = indexing.normalize_box_sizes(box_size, source.shape)
+        self.boxes_shape = tuple(
+            -(-n // k) for n, k in zip(source.shape, self.box_sizes)
+        )
+        self.counter = counter if counter is not None else AccessCounter()
+        self._full_mask = (1 << self.ndim) - 1
+        self._build(source)
+
+    @property
+    def box_size(self):
+        """The box side length: an int when uniform, else the per-axis tuple."""
+        if len(set(self.box_sizes)) == 1:
+            return self.box_sizes[0]
+        return self.box_sizes
+
+    # -- construction -------------------------------------------------------
+
+    def _build(self, array: np.ndarray) -> None:
+        """Vectorized construction of the 2^d - 1 per-subset value arrays."""
+        self._values: Dict[int, np.ndarray] = {}
+        for mask in range(1, self._full_mask + 1):
+            work = array
+            for axis in range(self.ndim):
+                if not mask & (1 << axis):
+                    work = _exclusive_blocked_cumsum(
+                        work, axis, self.box_sizes[axis]
+                    )
+            inclusive = work
+            for axis in range(self.ndim):
+                if mask & (1 << axis):
+                    inclusive = np.cumsum(inclusive, axis=axis)
+            s1, s2 = inclusive, work
+            for axis in range(self.ndim):
+                if mask & (1 << axis):
+                    starts = np.arange(
+                        0, self.shape[axis], self.box_sizes[axis]
+                    )
+                    s1 = np.take(s1, starts, axis=axis)
+                    s2 = np.take(s2, starts, axis=axis)
+            self._values[mask] = s1 - s2
+
+    # -- lookups -------------------------------------------------------------
+
+    def _mask_of(self, cell: Coord) -> int:
+        """Bitmask of anchor-aligned coordinates of ``cell`` (its Z set)."""
+        mask = 0
+        for axis, c in enumerate(cell):
+            if c % self.box_sizes[axis] == 0:
+                mask |= 1 << axis
+        return mask
+
+    def _value_index(self, cell: Coord, mask: int) -> Coord:
+        """Index of ``cell`` into the value array for subset ``mask``."""
+        return tuple(
+            c // self.box_sizes[axis] if mask & (1 << axis) else c
+            for axis, c in enumerate(cell)
+        )
+
+    def anchor_value(self, anchor: Sequence[int]):
+        """Stored ``V`` for the box anchored at ``anchor`` (one cell read)."""
+        a = indexing.normalize_index(anchor, self.shape)
+        if self._mask_of(a) != self._full_mask:
+            raise RangeError(
+                f"{a} is not a box anchor for box sizes {self.box_sizes}"
+            )
+        self.counter.read(1, structure="overlay.anchor")
+        return self._values[self._full_mask][self._value_index(a, self._full_mask)]
+
+    def border_value(self, cell: Sequence[int]):
+        """Stored border value for a face cell (one cell read).
+
+        The cell's serving subset ``Z`` is determined by which of its
+        coordinates sit on the covering box's anchor faces; at least one
+        must (and not all — that would be the anchor, see
+        :meth:`anchor_value`).
+        """
+        c = indexing.normalize_index(cell, self.shape)
+        mask = self._mask_of(c)
+        if mask == 0:
+            raise RangeError(
+                f"cell {c} is interior to its box (no anchor-aligned "
+                f"coordinate for box sizes {self.box_sizes})"
+            )
+        if mask == self._full_mask:
+            raise RangeError(
+                f"cell {c} is a box anchor; use anchor_value()"
+            )
+        self.counter.read(1, structure="overlay.border")
+        return self._values[mask][self._value_index(c, mask)]
+
+    def prefix_contribution(self, target: Sequence[int]):
+        """The overlay's share of ``Pre(target)`` (everything except RP).
+
+        Sums the anchor value plus one border value per nonempty proper
+        subset of the target's off-anchor dimensions — at most ``2^d - 1``
+        reads, exactly the paper's anchor + d borders when d = 2.
+        """
+        t = indexing.normalize_index(target, self.shape)
+        anchor = indexing.anchor_of(t, self.box_sizes)
+        off_mask = 0
+        for axis in range(self.ndim):
+            if t[axis] != anchor[axis]:
+                off_mask |= 1 << axis
+        total = self._values[self._full_mask][
+            self._value_index(anchor, self._full_mask)
+        ]
+        self.counter.read(1, structure="overlay.anchor")
+        reads = 0
+        sub = off_mask
+        while sub > 0:
+            if sub != self._full_mask:
+                z_mask = self._full_mask ^ sub
+                cell = tuple(
+                    t[axis] if sub & (1 << axis) else anchor[axis]
+                    for axis in range(self.ndim)
+                )
+                total = total + self._values[z_mask][
+                    self._value_index(cell, z_mask)
+                ]
+                reads += 1
+            sub = (sub - 1) & off_mask
+        if reads:
+            self.counter.read(reads, structure="overlay.border")
+        return total
+
+    # -- updates -------------------------------------------------------------
+
+    def apply_delta(self, index: Sequence[int], delta) -> int:
+        """Propagate a cell delta into every affected stored value.
+
+        This is the constrained cascade of Figure 14: for each subset
+        ``Z``, the affected values form one slice — boxes at-or-after the
+        update on the ``Z`` dimensions, same-box trailing cells elsewhere
+        — minus (when the update is anchor-aligned on all of ``Z``) the
+        slice where the update sits exactly on every ``Z`` anchor.
+
+        Returns the number of overlay cells whose stored value changed.
+        """
+        idx = indexing.normalize_index(index, self.shape)
+        touched_total = 0
+        for mask in range(1, self._full_mask + 1):
+            add, sub = self._update_slices(idx, mask)
+            if add is None:
+                continue
+            values = self._values[mask]
+            region = values[add]
+            if region.size == 0:
+                continue
+            region += delta
+            touched = region.size
+            if sub is not None:
+                sub_region = values[sub]
+                if sub_region.size:
+                    sub_region -= delta
+                    touched -= sub_region.size
+            structure = (
+                "overlay.anchor" if mask == self._full_mask
+                else "overlay.border"
+            )
+            if touched:
+                self.counter.write(touched, structure=structure)
+            touched_total += touched
+        return touched_total
+
+    def _update_slices(self, idx: Coord, mask: int):
+        """(add, subtract) slice tuples for one subset's value array.
+
+        ``add`` is ``None`` when no value of this subset is affected.
+        ``subtract`` is ``None`` when the anchor-exclusion slice is empty.
+        """
+        return subset_update_slices(
+            self.shape, self.box_sizes, self.boxes_shape, idx, mask
+        )
+
+    def update_cost(self, index: Sequence[int]) -> int:
+        """Overlay cells an update at ``index`` would touch, without mutating."""
+        idx = indexing.normalize_index(index, self.shape)
+
+        def span(sl: slice, n: int) -> int:
+            start, stop, _ = sl.indices(n)
+            return max(0, stop - start)
+
+        total = 0
+        for mask in range(1, self._full_mask + 1):
+            add, sub = self._update_slices(idx, mask)
+            if add is None:
+                continue
+            sizes = [
+                span(sl, self.boxes_shape[axis] if mask & (1 << axis)
+                     else self.shape[axis])
+                for axis, sl in enumerate(add)
+            ]
+            count = int(np.prod(sizes))
+            if sub is not None:
+                sub_sizes = [
+                    span(sl, self.boxes_shape[axis] if mask & (1 << axis)
+                         else self.shape[axis])
+                    for axis, sl in enumerate(sub)
+                ]
+                count -= int(np.prod(sub_sizes))
+            total += count
+        return total
+
+    # -- storage accounting ---------------------------------------------------
+
+    def storage_cells(self) -> int:
+        """Stored values actually used: ``prod(k_i) - prod(k_i - 1)`` per box.
+
+        With a uniform ``k`` this is exactly the paper's ``k^d - (k-1)^d``
+        count (each face cell of each box stores one value for its own
+        anchor-coordinate subset). The allocated arrays are slightly
+        larger — see :meth:`allocated_cells` — because non-subset axes
+        are kept at full cube extent for O(1) indexing.
+        """
+        used = 0
+        for mask in range(1, self._full_mask + 1):
+            per_box = 1
+            for axis in range(self.ndim):
+                if not mask & (1 << axis):
+                    per_box *= self.box_sizes[axis] - 1
+            used += per_box * int(np.prod(self.boxes_shape))
+        return used
+
+    def allocated_cells(self) -> int:
+        """Total cells of the backing arrays (including the padding slots
+        kept for O(1) indexing); compare with :meth:`storage_cells`."""
+        return sum(v.size for v in self._values.values())
+
+    def paper_storage_cells(self) -> int:
+        """The paper's closed-form count ``(prod k_i - prod (k_i - 1)) * boxes``."""
+        full = 1
+        inner = 1
+        for k in self.box_sizes:
+            full *= k
+            inner *= k - 1
+        return (full - inner) * int(np.prod(self.boxes_shape))
+
+    # -- debugging / table reproduction ---------------------------------------
+
+    def anchors_array(self) -> np.ndarray:
+        """Copy of the anchor-value grid (one entry per box)."""
+        return self._values[self._full_mask].copy()
+
+    def masks(self) -> Iterator[int]:
+        """All stored subsets, as bitmasks (bit j set = axis j in Z)."""
+        return iter(range(1, self._full_mask + 1))
+
+    def values_array(self, mask: int) -> np.ndarray:
+        """Copy of one subset's value array (box-indexed on Z axes)."""
+        if mask not in self._values:
+            raise RangeError(
+                f"mask {mask} out of range 1..{self._full_mask}"
+            )
+        return self._values[mask].copy()
+
+    def __repr__(self) -> str:
+        return (
+            f"Overlay(shape={self.shape}, box_size={self.box_size}, "
+            f"boxes={self.boxes_shape})"
+        )

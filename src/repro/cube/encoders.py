@@ -1,0 +1,252 @@
+"""Dimension encoders: mapping attribute values to dense array indices.
+
+The paper's model assumes each dimension is an integer coordinate in
+``[0, n_i)`` with ``n_i`` known a priori ("the number of days in a year
+... can be assumed to be static", Section 2). Real OLAP dimensions are
+customer ages, dates, product categories. Encoders bridge the two: each
+knows its domain size and provides an order-preserving (for range queries
+to make sense) bijection between attribute values and indices.
+"""
+
+from __future__ import annotations
+
+import abc
+import datetime
+from bisect import bisect_right
+from typing import List, Sequence, Tuple
+
+from repro.errors import EncodingError
+
+
+class DimensionEncoder(abc.ABC):
+    """Order-preserving mapping between attribute values and cell indices."""
+
+    @abc.abstractmethod
+    def spec(self) -> dict:
+        """JSON-serializable description sufficient to rebuild the encoder."""
+
+    @property
+    @abc.abstractmethod
+    def size(self) -> int:
+        """Number of distinct indices (the dimension size ``n_i``)."""
+
+    @abc.abstractmethod
+    def encode(self, value) -> int:
+        """Index of ``value``; raises :class:`EncodingError` if out of domain."""
+
+    @abc.abstractmethod
+    def decode(self, index: int):
+        """Representative attribute value for ``index``."""
+
+    def encode_range(self, low, high) -> Tuple[int, int]:
+        """Inclusive index range covering attribute values ``[low, high]``.
+
+        Default implementation encodes both endpoints; encoders whose
+        domain is continuous (bins) override to clip instead of raise.
+        """
+        lo, hi = self.encode(low), self.encode(high)
+        if lo > hi:
+            raise EncodingError(f"inverted range: {low!r} > {high!r}")
+        return lo, hi
+
+    def _check_index(self, index: int) -> int:
+        if not 0 <= index < self.size:
+            raise EncodingError(
+                f"index {index} out of range for dimension of size {self.size}"
+            )
+        return index
+
+
+class IntegerEncoder(DimensionEncoder):
+    """Consecutive integers ``[minimum, maximum]`` mapped by offset.
+
+    The natural encoder for the paper's CUSTOMER_AGE example.
+    """
+
+    def __init__(self, minimum: int, maximum: int) -> None:
+        if maximum < minimum:
+            raise EncodingError(f"empty integer domain [{minimum}, {maximum}]")
+        self.minimum = int(minimum)
+        self.maximum = int(maximum)
+
+    @property
+    def size(self) -> int:
+        return self.maximum - self.minimum + 1
+
+    def encode(self, value) -> int:
+        v = int(value)
+        if not self.minimum <= v <= self.maximum:
+            raise EncodingError(
+                f"{value!r} outside integer domain [{self.minimum}, {self.maximum}]"
+            )
+        return v - self.minimum
+
+    def decode(self, index: int) -> int:
+        return self.minimum + self._check_index(int(index))
+
+    def spec(self) -> dict:
+        return {"type": "integer", "minimum": self.minimum,
+                "maximum": self.maximum}
+
+
+class CategoricalEncoder(DimensionEncoder):
+    """Explicit ordered category list (e.g. regions, product lines).
+
+    Range queries over categories select a contiguous run in the given
+    order, so the order should be meaningful (alphabetical, hierarchy...).
+    """
+
+    def __init__(self, categories: Sequence) -> None:
+        cats: List = list(categories)
+        if not cats:
+            raise EncodingError("category list must not be empty")
+        if len(set(cats)) != len(cats):
+            raise EncodingError("categories must be unique")
+        self._categories = cats
+        self._index = {c: i for i, c in enumerate(cats)}
+
+    @property
+    def size(self) -> int:
+        return len(self._categories)
+
+    def encode(self, value) -> int:
+        try:
+            return self._index[value]
+        except KeyError:
+            raise EncodingError(f"unknown category {value!r}") from None
+
+    def decode(self, index: int):
+        return self._categories[self._check_index(int(index))]
+
+    def spec(self) -> dict:
+        return {"type": "categorical", "categories": list(self._categories)}
+
+
+class BinningEncoder(DimensionEncoder):
+    """Continuous numeric values bucketed into half-open bins.
+
+    ``edges = [e0, e1, ..., em]`` defines bins ``[e0, e1), [e1, e2), ...``
+    with the final bin closed on the right. A value maps to the index of
+    its bin; :meth:`decode` returns the bin's lower edge.
+    """
+
+    def __init__(self, edges: Sequence[float]) -> None:
+        es = [float(e) for e in edges]
+        if len(es) < 2:
+            raise EncodingError("need at least two bin edges")
+        if any(b <= a for a, b in zip(es, es[1:])):
+            raise EncodingError("bin edges must be strictly increasing")
+        self._edges = es
+
+    @property
+    def size(self) -> int:
+        return len(self._edges) - 1
+
+    def encode(self, value) -> int:
+        v = float(value)
+        if v < self._edges[0] or v > self._edges[-1]:
+            raise EncodingError(
+                f"{value!r} outside bin range "
+                f"[{self._edges[0]}, {self._edges[-1]}]"
+            )
+        if v == self._edges[-1]:  # the last bin is closed on the right
+            return self.size - 1
+        return bisect_right(self._edges, v) - 1
+
+    def decode(self, index: int) -> float:
+        return self._edges[self._check_index(int(index))]
+
+    def encode_range(self, low, high) -> Tuple[int, int]:
+        """Clip a numeric range to the binned domain instead of raising."""
+        lo = max(float(low), self._edges[0])
+        hi = min(float(high), self._edges[-1])
+        if lo > hi:
+            raise EncodingError(f"range [{low}, {high}] misses all bins")
+        return self.encode(lo), self.encode(hi)
+
+    def spec(self) -> dict:
+        return {"type": "binning", "edges": list(self._edges)}
+
+
+class DateEncoder(DimensionEncoder):
+    """Calendar days mapped to day offsets from a start date.
+
+    The natural encoder for the paper's DATE_OF_SALE example. Accepts
+    ``datetime.date`` objects or ISO ``YYYY-MM-DD`` strings.
+    """
+
+    def __init__(self, start: "datetime.date | str", days: int) -> None:
+        self.start = self._parse(start)
+        if days < 1:
+            raise EncodingError(f"need at least one day, got {days}")
+        self.days = int(days)
+
+    @staticmethod
+    def _parse(value) -> datetime.date:
+        if isinstance(value, datetime.datetime):
+            return value.date()
+        if isinstance(value, datetime.date):
+            return value
+        try:
+            return datetime.date.fromisoformat(str(value))
+        except ValueError as exc:
+            raise EncodingError(f"cannot parse date {value!r}") from exc
+
+    @property
+    def size(self) -> int:
+        return self.days
+
+    def encode(self, value) -> int:
+        day = self._parse(value)
+        offset = (day - self.start).days
+        if not 0 <= offset < self.days:
+            raise EncodingError(
+                f"{day.isoformat()} outside "
+                f"[{self.start.isoformat()}, +{self.days} days)"
+            )
+        return offset
+
+    def decode(self, index: int) -> datetime.date:
+        return self.start + datetime.timedelta(days=self._check_index(int(index)))
+
+    def spec(self) -> dict:
+        return {"type": "date", "start": self.start.isoformat(),
+                "days": self.days}
+
+
+class IdentityEncoder(DimensionEncoder):
+    """Raw indices ``[0, size)`` passed through unchanged — the paper's model."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise EncodingError(f"dimension size must be >= 1, got {size}")
+        self._size = int(size)
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def encode(self, value) -> int:
+        return self._check_index(int(value))
+
+    def decode(self, index: int) -> int:
+        return self._check_index(int(index))
+
+    def spec(self) -> dict:
+        return {"type": "identity", "size": self._size}
+
+
+def encoder_from_spec(spec: dict) -> DimensionEncoder:
+    """Rebuild an encoder from its :meth:`DimensionEncoder.spec` dict."""
+    kind = spec.get("type")
+    if kind == "integer":
+        return IntegerEncoder(spec["minimum"], spec["maximum"])
+    if kind == "categorical":
+        return CategoricalEncoder(spec["categories"])
+    if kind == "binning":
+        return BinningEncoder(spec["edges"])
+    if kind == "date":
+        return DateEncoder(spec["start"], spec["days"])
+    if kind == "identity":
+        return IdentityEncoder(spec["size"])
+    raise EncodingError(f"unknown encoder spec type {kind!r}")

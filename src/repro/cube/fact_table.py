@@ -1,0 +1,93 @@
+"""Fact tables: the relational source a data cube is aggregated from.
+
+The paper's motivating example is an insurance company's sales database;
+a :class:`FactTable` plays that role — an append-only collection of
+records (dicts) that :mod:`repro.cube.builder` aggregates into the dense
+array ``A``, and that :class:`~repro.cube.engine.DataCubeEngine` keeps
+ingesting from as "new information arrives on a daily basis".
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional
+
+from repro.errors import SchemaError
+
+
+class FactTable:
+    """An in-memory append-only table of fact records.
+
+    Records are plain mappings from attribute name to value. The table
+    imposes no schema by itself; validation happens when records are
+    encoded against a :class:`~repro.cube.schema.CubeSchema`.
+    """
+
+    def __init__(self, records: Iterable[Mapping] = ()) -> None:
+        self._records: List[Dict] = [dict(r) for r in records]
+
+    def append(self, record: Mapping) -> None:
+        """Add one fact record."""
+        self._records.append(dict(record))
+
+    def extend(self, records: Iterable[Mapping]) -> None:
+        """Add many fact records."""
+        for record in records:
+            self.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Dict]:
+        return iter(self._records)
+
+    def __getitem__(self, i: int) -> Dict:
+        return dict(self._records[i])
+
+    def columns(self) -> List[str]:
+        """Union of attribute names across all records, sorted."""
+        names = set()
+        for record in self._records:
+            names.update(record)
+        return sorted(names)
+
+    # -- I/O ------------------------------------------------------------------
+
+    @classmethod
+    def from_csv(
+        cls,
+        path,
+        converters: Optional[Mapping[str, Callable]] = None,
+    ) -> "FactTable":
+        """Load records from a CSV file with a header row.
+
+        Args:
+            path: file path.
+            converters: optional per-column conversion functions (CSV
+                yields strings; e.g. ``{"sales": float, "age": int}``).
+        """
+        converters = dict(converters or {})
+        table = cls()
+        with open(path, newline="") as handle:
+            reader = csv.DictReader(handle)
+            if reader.fieldnames is None:
+                raise SchemaError(f"{path}: empty CSV, no header row")
+            for row in reader:
+                record = {}
+                for key, raw in row.items():
+                    convert = converters.get(key)
+                    record[key] = convert(raw) if convert else raw
+                table.append(record)
+        return table
+
+    def to_csv(self, path) -> None:
+        """Write all records to a CSV file (columns sorted by name)."""
+        cols = self.columns()
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=cols)
+            writer.writeheader()
+            for record in self._records:
+                writer.writerow(record)
+
+    def __repr__(self) -> str:
+        return f"FactTable({len(self)} records)"

@@ -1,0 +1,198 @@
+"""Dimension hierarchies: OLAP rollups as contiguous index ranges.
+
+Data-cube dimensions usually carry hierarchies — days roll up to months,
+quarters and years; ages roll up to bands. Because every hierarchy level
+member corresponds to a *contiguous run of indices* under an
+order-preserving encoder, a rollup is just a family of range queries, so
+each group total still costs O(1) with the RPS backend.
+
+* :class:`CalendarHierarchy` — month/quarter/year levels over a
+  :class:`~repro.cube.encoders.DateEncoder` dimension.
+* :class:`BandHierarchy` — explicit named bands over any ordered
+  dimension (e.g. age groups 18-25 / 26-40 / 41-65 / 66+).
+* :func:`group_by` — evaluate an aggregate per member of a level,
+  optionally under an extra selection on other dimensions.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.cube.encoders import DateEncoder
+from repro.cube.engine import DataCubeEngine
+from repro.errors import RangeError, SchemaError
+
+
+class CalendarHierarchy:
+    """Month / quarter / year rollups of a date dimension.
+
+    Args:
+        engine: the cube engine holding the dimension.
+        dimension: name of a dimension whose encoder is a
+            :class:`~repro.cube.encoders.DateEncoder`.
+    """
+
+    LEVELS = ("week", "month", "quarter", "year")
+
+    def __init__(self, engine: DataCubeEngine, dimension: str) -> None:
+        encoder = engine.schema.dimension(dimension).encoder
+        if not isinstance(encoder, DateEncoder):
+            raise SchemaError(
+                f"dimension {dimension!r} is not date-encoded; "
+                f"CalendarHierarchy needs a DateEncoder"
+            )
+        self.engine = engine
+        self.dimension = dimension
+        self._encoder = encoder
+
+    def members(self, level: str) -> List[Tuple[str, Tuple]]:
+        """``(label, (first_day, last_day))`` pairs covering the dimension.
+
+        Partial periods at the window edges are clipped to the window.
+        """
+        if level not in self.LEVELS:
+            raise RangeError(
+                f"unknown calendar level {level!r}; choose from {self.LEVELS}"
+            )
+        start = self._encoder.start
+        end = start + datetime.timedelta(days=self._encoder.days - 1)
+        members: List[Tuple[str, Tuple]] = []
+        day = start
+        while day <= end:
+            label, period_end = self._period_of(day, level)
+            clipped_end = min(period_end, end)
+            members.append((label, (day, clipped_end)))
+            day = clipped_end + datetime.timedelta(days=1)
+        return members
+
+    @staticmethod
+    def _period_of(day: datetime.date, level: str):
+        """Label and last calendar day of ``day``'s period at ``level``."""
+        if level == "week":
+            iso_year, iso_week, iso_weekday = day.isocalendar()
+            label = f"{iso_year:04d}-W{iso_week:02d}"
+            return label, day + datetime.timedelta(days=7 - iso_weekday)
+        if level == "month":
+            label = f"{day.year:04d}-{day.month:02d}"
+            if day.month == 12:
+                nxt = datetime.date(day.year + 1, 1, 1)
+            else:
+                nxt = datetime.date(day.year, day.month + 1, 1)
+            return label, nxt - datetime.timedelta(days=1)
+        if level == "quarter":
+            quarter = (day.month - 1) // 3 + 1
+            label = f"{day.year:04d}-Q{quarter}"
+            first_next = quarter * 3 + 1
+            if first_next > 12:
+                nxt = datetime.date(day.year + 1, 1, 1)
+            else:
+                nxt = datetime.date(day.year, first_next, 1)
+            return label, nxt - datetime.timedelta(days=1)
+        label = f"{day.year:04d}"
+        return label, datetime.date(day.year, 12, 31)
+
+    def rollup(
+        self,
+        level: str,
+        aggregate: str = "sum",
+        selection: Mapping[str, Tuple] = None,
+    ) -> "Dict[str, object]":
+        """Aggregate per calendar period — each period one range query.
+
+        Args:
+            level: ``"month"``, ``"quarter"`` or ``"year"``.
+            aggregate: ``"sum"``, ``"count"`` or ``"average"``.
+            selection: optional extra constraints on *other* dimensions.
+        """
+        return group_by(
+            self.engine, self.dimension, self.members(level),
+            aggregate=aggregate, selection=selection,
+        )
+
+
+class BandHierarchy:
+    """Named contiguous bands over any ordered dimension.
+
+    Args:
+        engine: the cube engine.
+        dimension: dimension name.
+        bands: mapping of band label to inclusive ``(low, high)`` attribute
+            values, e.g. ``{"18-25": (18, 25), "26-40": (26, 40)}``.
+            Bands may not overlap (each fact belongs to one band).
+    """
+
+    def __init__(
+        self,
+        engine: DataCubeEngine,
+        dimension: str,
+        bands: Mapping[str, Tuple],
+    ) -> None:
+        if not bands:
+            raise RangeError("need at least one band")
+        self.engine = engine
+        self.dimension = dimension
+        self.bands = dict(bands)
+        encoder = engine.schema.dimension(dimension).encoder
+        encoded = sorted(
+            (encoder.encode_range(lo, hi), label)
+            for label, (lo, hi) in self.bands.items()
+        )
+        for ((_, hi1), label1), (((lo2, _), label2)) in zip(
+            encoded, encoded[1:]
+        ):
+            if lo2 <= hi1:
+                raise RangeError(
+                    f"bands {label1!r} and {label2!r} overlap"
+                )
+
+    def rollup(
+        self,
+        aggregate: str = "sum",
+        selection: Mapping[str, Tuple] = None,
+    ) -> "Dict[str, object]":
+        """Aggregate per band — each band one range query."""
+        members = list(self.bands.items())
+        return group_by(
+            self.engine, self.dimension, members,
+            aggregate=aggregate, selection=selection,
+        )
+
+
+def group_by(
+    engine: DataCubeEngine,
+    dimension: str,
+    members: Sequence[Tuple[str, Tuple]],
+    aggregate: str = "sum",
+    selection: Mapping[str, Tuple] = None,
+) -> Dict[str, object]:
+    """Aggregate per member range of one dimension.
+
+    Args:
+        engine: the cube engine.
+        dimension: the grouped dimension's name.
+        members: ``(label, (low, high))`` attribute-value ranges.
+        aggregate: ``"sum"``, ``"count"`` or ``"average"``.
+        selection: optional constraints on other dimensions; constraining
+            the grouped dimension itself is rejected (ambiguous).
+
+    Returns:
+        ``{label: aggregate value}`` in member order.
+    """
+    if aggregate not in ("sum", "count", "average"):
+        raise RangeError(
+            f"unknown aggregate {aggregate!r}; "
+            f"choose sum, count, or average"
+        )
+    selection = dict(selection or {})
+    if dimension in selection:
+        raise RangeError(
+            f"selection constrains the grouped dimension {dimension!r}"
+        )
+    evaluate = getattr(engine, aggregate)
+    results: Dict[str, object] = {}
+    for label, bounds in members:
+        member_selection = dict(selection)
+        member_selection[dimension] = bounds
+        results[label] = evaluate(member_selection)
+    return results

@@ -1,0 +1,138 @@
+"""Multi-measure cubes: several measures over one set of dimensions.
+
+Real fact tables carry more than one measure (sales *and* cost *and*
+discount...). :class:`MultiMeasureEngine` keeps one
+:class:`~repro.cube.engine.DataCubeEngine` per measure over a shared
+dimension schema, ingests each fact once into all of them, and adds the
+derived arithmetic analysts actually ask for (ratios and differences of
+measure totals over the same selection), all at the backing method's
+query cost per measure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Type
+
+from repro.core.base import RangeSumMethod
+from repro.cube.engine import DataCubeEngine
+from repro.cube.schema import CubeSchema, Dimension
+from repro.errors import SchemaError
+
+
+class MultiMeasureEngine:
+    """Several measures aggregated over one dimension space.
+
+    Args:
+        dimensions: shared dimensions (order fixes the axes).
+        measures: measure attribute names, e.g. ``["sales", "cost"]``.
+        records: optional initial fact records; each must carry every
+            dimension and every measure.
+        method: backend :class:`RangeSumMethod` subclass for all measures.
+        **method_kwargs: forwarded to every backend constructor.
+    """
+
+    def __init__(
+        self,
+        dimensions: Sequence[Dimension],
+        measures: Sequence[str],
+        records: Iterable[Mapping] = (),
+        method: Optional[Type[RangeSumMethod]] = None,
+        **method_kwargs,
+    ) -> None:
+        names = list(measures)
+        if not names:
+            raise SchemaError("need at least one measure")
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate measure names in {names}")
+        dimensions = list(dimensions)
+        self.measures: List[str] = names
+        self._engines: Dict[str, DataCubeEngine] = {}
+        records = list(records)
+        for name in names:
+            schema = CubeSchema(dimensions, measure=name)
+            self._engines[name] = DataCubeEngine(
+                schema, records, method=method, **method_kwargs
+            )
+
+    @property
+    def schema(self) -> CubeSchema:
+        """The schema of the first measure (dimensions are shared)."""
+        return self._engines[self.measures[0]].schema
+
+    def engine(self, measure: str) -> DataCubeEngine:
+        """The per-measure engine (for measure-specific operations)."""
+        try:
+            return self._engines[measure]
+        except KeyError:
+            raise SchemaError(
+                f"unknown measure {measure!r}; have {self.measures}"
+            ) from None
+
+    # -- ingest ---------------------------------------------------------------
+
+    def ingest(self, record: Mapping) -> None:
+        """Absorb one fact into every measure's cube."""
+        for name in self.measures:
+            self._engines[name].ingest(record)
+
+    def ingest_many(self, records: Iterable[Mapping]) -> int:
+        """Absorb a batch of facts; returns how many."""
+        count = 0
+        for record in records:
+            self.ingest(record)
+            count += 1
+        return count
+
+    # -- queries ----------------------------------------------------------------
+
+    def sum(self, measure: str, selection: Mapping[str, Tuple] = None):
+        """Total of one measure over a selection."""
+        return self.engine(measure).sum(selection)
+
+    def count(self, selection: Mapping[str, Tuple] = None):
+        """Fact count over a selection (identical across measures)."""
+        return self._engines[self.measures[0]].count(selection)
+
+    def average(self, measure: str, selection: Mapping[str, Tuple] = None):
+        """Per-fact mean of one measure over a selection."""
+        return self.engine(measure).average(selection)
+
+    def totals(self, selection: Mapping[str, Tuple] = None) -> Dict[str, float]:
+        """All measures' totals over one selection, in one call."""
+        return {
+            name: self._engines[name].sum(selection)
+            for name in self.measures
+        }
+
+    def ratio(
+        self,
+        numerator: str,
+        denominator: str,
+        selection: Mapping[str, Tuple] = None,
+    ) -> float:
+        """``SUM(numerator) / SUM(denominator)`` over one selection.
+
+        The classic derived measure (margin = profit/sales, average
+        ticket = sales/count...); ``nan`` when the denominator totals 0.
+        """
+        denominator_total = float(self.sum(denominator, selection))
+        if denominator_total == 0.0:
+            return float("nan")
+        return float(self.sum(numerator, selection)) / denominator_total
+
+    def difference(
+        self,
+        left: str,
+        right: str,
+        selection: Mapping[str, Tuple] = None,
+    ) -> float:
+        """``SUM(left) − SUM(right)`` over one selection (e.g. profit)."""
+        return float(self.sum(left, selection)) - float(
+            self.sum(right, selection)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiMeasureEngine(measures={self.measures}, "
+            f"shape={self.schema.shape})"
+        )

@@ -1,0 +1,256 @@
+"""Structured range queries and a small textual query language.
+
+The paper's queries are conjunctions of per-dimension ranges ("age from
+37 to 52, over the past three months"). This module gives them a
+first-class representation:
+
+* :class:`Selection` — a validated conjunction of per-dimension value
+  ranges, composable with :meth:`Selection.intersect`,
+* :class:`RangeUnion` — a union of disjoint selections (OR queries),
+  answered as a sum of range sums (still O(1) per member),
+* :func:`parse_query` — a tiny SQL-ish surface::
+
+      SUM(sales) WHERE age BETWEEN 37 AND 52 AND day BETWEEN '2026-01-01' AND '2026-03-31'
+      AVG(sales) WHERE age = 40
+      COUNT(sales)
+
+  supporting ``SUM`` / ``COUNT`` / ``AVG``, ``BETWEEN x AND y``, ``= x``,
+  and conjunction with ``AND``. The grammar is deliberately small: each
+  predicate must name a distinct dimension, mirroring the data-cube
+  model where a query is a box.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+from repro.cube.schema import CubeSchema
+from repro.errors import RangeError, SchemaError
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>'[^']*')
+      | (?P<number>-?\d+(?:\.\d+)?)
+      | (?P<word>[A-Za-z_][A-Za-z0-9_.-]*)
+      | (?P<symbol>[(),=])
+    )
+    """,
+    re.VERBOSE,
+)
+
+_AGGREGATES = ("SUM", "COUNT", "AVG", "AVERAGE")
+
+
+@dataclass(frozen=True)
+class Selection:
+    """A conjunction of inclusive per-dimension value ranges.
+
+    ``bounds`` maps dimension names to ``(low, high)`` attribute-value
+    pairs; dimensions not present span their full extent.
+    """
+
+    bounds: Mapping[str, Tuple] = field(default_factory=dict)
+
+    def intersect(self, other: "Selection") -> "Selection":
+        """Conjunction of two selections (per-dimension range overlap).
+
+        Raises :class:`RangeError` when the ranges on some dimension do
+        not overlap (the conjunction selects nothing — surfaced rather
+        than silently returning an empty box, since encoders cannot
+        represent empty ranges).
+        """
+        merged: Dict[str, Tuple] = dict(self.bounds)
+        for name, (low, high) in other.bounds.items():
+            if name in merged:
+                lo0, hi0 = merged[name]
+                low = max(lo0, low)
+                high = min(hi0, high)
+                if low > high:
+                    raise RangeError(
+                        f"empty intersection on dimension {name!r}: "
+                        f"[{lo0}, {hi0}] and {other.bounds[name]}"
+                    )
+            merged[name] = (low, high)
+        return Selection(merged)
+
+    def to_index_range(self, schema: CubeSchema):
+        """Encode against a schema into inclusive index bounds."""
+        return schema.encode_selection(dict(self.bounds))
+
+    def __bool__(self) -> bool:
+        return bool(self.bounds)
+
+
+@dataclass(frozen=True)
+class RangeUnion:
+    """A union of pairwise-disjoint selections (an OR query).
+
+    The aggregate over the union is the sum of per-member aggregates; the
+    constructor does not check disjointness (value-space overlap cannot be
+    decided without a schema) — :meth:`validate_disjoint` does, given one.
+    """
+
+    members: Tuple[Selection, ...]
+
+    def __init__(self, members) -> None:
+        object.__setattr__(self, "members", tuple(members))
+        if not self.members:
+            raise RangeError("a range union needs at least one member")
+
+    def validate_disjoint(self, schema: CubeSchema) -> None:
+        """Raise :class:`RangeError` if any two members' boxes overlap."""
+        boxes = [m.to_index_range(schema) for m in self.members]
+        for i in range(len(boxes)):
+            for j in range(i + 1, len(boxes)):
+                (lo1, hi1), (lo2, hi2) = boxes[i], boxes[j]
+                if all(
+                    l1 <= h2 and l2 <= h1
+                    for l1, h1, l2, h2 in zip(lo1, hi1, lo2, hi2)
+                ):
+                    raise RangeError(
+                        f"union members {i} and {j} overlap: "
+                        f"{self.members[i].bounds} / {self.members[j].bounds}"
+                    )
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """Outcome of :func:`parse_query`: an aggregate over a selection."""
+
+    aggregate: str            # "sum", "count", or "average"
+    measure: str
+    selection: Selection
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match or match.end() == pos:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise RangeError(f"cannot tokenize query near {remainder[:20]!r}")
+        pos = match.end()
+        for kind in ("string", "number", "word", "symbol"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser for the mini query language."""
+
+    def __init__(self, tokens: List[Tuple[str, str]]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self):
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self, expected_kind=None, expected_value=None):
+        token = self._peek()
+        if token is None:
+            raise RangeError("unexpected end of query")
+        kind, value = token
+        if expected_kind and kind != expected_kind:
+            raise RangeError(
+                f"expected {expected_kind}, got {value!r}"
+            )
+        if expected_value and value.upper() != expected_value:
+            raise RangeError(
+                f"expected {expected_value!r}, got {value!r}"
+            )
+        self._pos += 1
+        return kind, value
+
+    def _literal(self):
+        kind, value = self._next()
+        if kind == "string":
+            return value[1:-1]
+        if kind == "number":
+            return float(value) if "." in value else int(value)
+        if kind == "word":
+            return value  # bare word: a category name or ISO date
+        raise RangeError(f"expected a literal, got {value!r}")
+
+    def parse(self) -> ParsedQuery:
+        _, aggregate = self._next("word")
+        aggregate = aggregate.upper()
+        if aggregate not in _AGGREGATES:
+            raise RangeError(
+                f"unknown aggregate {aggregate!r}; "
+                f"expected one of {_AGGREGATES}"
+            )
+        self._next("symbol", "(")
+        _, measure = self._next("word")
+        self._next("symbol", ")")
+        bounds: Dict[str, Tuple] = {}
+        token = self._peek()
+        if token is not None:
+            self._next("word", "WHERE")
+            while True:
+                self._predicate(bounds)
+                token = self._peek()
+                if token is None:
+                    break
+                self._next("word", "AND")
+        canonical = {
+            "SUM": "sum", "COUNT": "count",
+            "AVG": "average", "AVERAGE": "average",
+        }[aggregate]
+        return ParsedQuery(canonical, measure, Selection(bounds))
+
+    def _predicate(self, bounds: Dict[str, Tuple]) -> None:
+        _, dimension = self._next("word")
+        if dimension in bounds:
+            raise RangeError(
+                f"dimension {dimension!r} constrained twice; combine the "
+                f"ranges into one BETWEEN"
+            )
+        kind, op = self._next()
+        if kind == "word" and op.upper() == "BETWEEN":
+            low = self._literal()
+            self._next("word", "AND")
+            high = self._literal()
+            bounds[dimension] = (low, high)
+        elif kind == "symbol" and op == "=":
+            value = self._literal()
+            bounds[dimension] = (value, value)
+        else:
+            raise RangeError(
+                f"expected BETWEEN or = after {dimension!r}, got {op!r}"
+            )
+
+
+def parse_query(text: str) -> ParsedQuery:
+    """Parse one mini-language query string.
+
+    Raises :class:`RangeError` on any syntax problem.
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise RangeError("empty query")
+    return _Parser(tokens).parse()
+
+
+def execute_query(engine, text: str):
+    """Parse and run a query against a :class:`~repro.cube.engine.DataCubeEngine`.
+
+    The measure named in the query must match the engine's schema (the
+    engine holds one measure; naming it keeps queries self-describing).
+    """
+    parsed = parse_query(text)
+    if parsed.measure != engine.schema.measure:
+        raise SchemaError(
+            f"query measures {parsed.measure!r} but the engine holds "
+            f"{engine.schema.measure!r}"
+        )
+    method = getattr(engine, parsed.aggregate)
+    return method(dict(parsed.selection.bounds))

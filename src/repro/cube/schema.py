@@ -1,0 +1,133 @@
+"""Cube schemas: named dimensions plus a measure attribute.
+
+Mirrors the paper's model (Section 2): "certain attributes are chosen to
+be measure attributes ... other attributes are selected as dimensions".
+A :class:`CubeSchema` binds each dimension name to an encoder and knows
+how to translate attribute-space records and ranges into dense-array
+coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.cube.encoders import DimensionEncoder
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """A named functional attribute with its index encoder."""
+
+    name: str
+    encoder: DimensionEncoder
+
+    @property
+    def size(self) -> int:
+        """Number of distinct values — the dimension size ``n_i``."""
+        return self.encoder.size
+
+
+class CubeSchema:
+    """Dimensions + measure, with record/range encoding helpers.
+
+    Args:
+        dimensions: ordered dimensions; their order fixes the array axes.
+        measure: name of the measure attribute (e.g. ``"sales"``).
+    """
+
+    def __init__(self, dimensions: Sequence[Dimension], measure: str) -> None:
+        dims = list(dimensions)
+        if not dims:
+            raise SchemaError("a cube needs at least one dimension")
+        names = [d.name for d in dims]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate dimension names in {names}")
+        if measure in names:
+            raise SchemaError(
+                f"measure {measure!r} collides with a dimension name"
+            )
+        if not measure:
+            raise SchemaError("measure name must be non-empty")
+        self.dimensions: List[Dimension] = dims
+        self.measure = measure
+        self._by_name: Dict[str, int] = {d.name: i for i, d in enumerate(dims)}
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Dense-array shape ``(n_1, ..., n_d)``."""
+        return tuple(d.size for d in self.dimensions)
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions ``d``."""
+        return len(self.dimensions)
+
+    def axis_of(self, name: str) -> int:
+        """Array axis of a dimension by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown dimension {name!r}; have "
+                f"{sorted(self._by_name)}"
+            ) from None
+
+    def dimension(self, name: str) -> Dimension:
+        """Dimension object by name."""
+        return self.dimensions[self.axis_of(name)]
+
+    # -- record / range encoding ---------------------------------------------
+
+    def encode_record(self, record: Mapping) -> Tuple[Tuple[int, ...], float]:
+        """Translate a fact record into ``(cell coordinates, measure value)``.
+
+        The record must contain every dimension and the measure; extra keys
+        are ignored (fact tables often carry attributes the cube drops).
+        """
+        coords = []
+        for dim in self.dimensions:
+            if dim.name not in record:
+                raise SchemaError(
+                    f"record missing dimension {dim.name!r}: {dict(record)!r}"
+                )
+            coords.append(dim.encoder.encode(record[dim.name]))
+        if self.measure not in record:
+            raise SchemaError(
+                f"record missing measure {self.measure!r}: {dict(record)!r}"
+            )
+        return tuple(coords), record[self.measure]
+
+    def encode_selection(
+        self, selection: Mapping[str, Tuple]
+    ) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """Translate per-dimension value ranges into an index range.
+
+        ``selection`` maps dimension names to inclusive ``(low, high)``
+        value pairs; omitted dimensions span their full extent — exactly
+        the paper's example "age from 37 to 52, over the past three
+        months" with other dimensions unconstrained.
+        """
+        unknown = set(selection) - set(self._by_name)
+        if unknown:
+            raise SchemaError(f"unknown dimensions in selection: {sorted(unknown)}")
+        low, high = [], []
+        for dim in self.dimensions:
+            if dim.name in selection:
+                bounds = selection[dim.name]
+                if len(bounds) != 2:
+                    raise SchemaError(
+                        f"selection for {dim.name!r} must be (low, high), "
+                        f"got {bounds!r}"
+                    )
+                lo, hi = dim.encoder.encode_range(bounds[0], bounds[1])
+            else:
+                lo, hi = 0, dim.size - 1
+            low.append(lo)
+            high.append(hi)
+        return tuple(low), tuple(high)
+
+    def __repr__(self) -> str:
+        dims = ", ".join(f"{d.name}[{d.size}]" for d in self.dimensions)
+        return f"CubeSchema({dims}; measure={self.measure!r})"

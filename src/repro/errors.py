@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while still letting programming errors (``TypeError``,
+``AttributeError`` and friends) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DimensionError(ReproError):
+    """A coordinate, range, or shape does not match the cube's dimensions."""
+
+
+class RangeError(ReproError):
+    """A query range is malformed (out of bounds, inverted, wrong arity)."""
+
+
+class BoxSizeError(ReproError):
+    """An overlay box size is invalid for the given cube shape."""
+
+
+class SchemaError(ReproError):
+    """A cube schema is inconsistent or a record does not fit the schema."""
+
+
+class EncodingError(ReproError):
+    """A dimension value cannot be encoded to (or decoded from) an index."""
+
+
+class StorageError(ReproError):
+    """A simulated storage operation failed (bad page id, pool exhausted...)."""
+
+
+class WorkloadError(ReproError):
+    """A workload specification is invalid."""

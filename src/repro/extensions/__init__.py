@@ -1,0 +1,13 @@
+"""Beyond-the-paper extensions (clearly separated from the reproduction)."""
+
+from repro.extensions.hierarchical import (
+    HierarchicalRPSCube,
+    RangeAddPointQuery,
+    difference_array,
+)
+
+__all__ = [
+    "HierarchicalRPSCube",
+    "RangeAddPointQuery",
+    "difference_array",
+]

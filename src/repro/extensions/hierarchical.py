@@ -1,0 +1,297 @@
+"""Multi-level relative prefix sums (beyond the paper).
+
+The paper closes by noting the relative prefix sum method "reduces the
+overall complexity of the range sum problem" from O(n^d) to O(n^{d/2}).
+This module takes the construction one level further, in the direction
+the authors later pursued with tree structures (The Dynamic Data Cube):
+
+The expensive part of an RPS update is no longer the RP cascade (bounded
+by the box) but the overlay's *slice adds* — suffix regions over box-grid
+axes. A slice add is a **range-add**; a border lookup is a **point
+query**; and range-add/point-query is the mirror image of
+point-add/range-sum through the *difference array*: adding δ over the box
+``[l, h]`` of X equals adding ±δ at the ``2^d`` corners of X's difference
+array, and reading ``X[t]`` equals a prefix sum of the difference array.
+So each overlay value array can itself be backed by an inner RPS over its
+difference array — turning every O(slice) overlay update into O(2^d)
+inner point-updates of O(sqrt)-sized cascades.
+
+Iterating L times yields the classic partial-sums trade-off point
+"O(c^L) query, O(n^{d·s(L)}) update with s(L) < 1/2 for L >= 2":
+queries stay constant-time (each stored value costs one inner *query*
+instead of one read), while the measured update growth-rate drops below
+the paper's n^{d/2}. The constants grow ~4^d per level, so on feasible
+dense cubes the single-level structure usually wins in absolute cells —
+ablation A6 measures exactly this honest trade-off (lower slope, higher
+intercept).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import indexing
+from repro.core.base import RangeSumMethod
+from repro.core.overlay import Overlay, subset_update_slices
+from repro.core.rp import RelativePrefixArray
+from repro.core.rps import RelativePrefixSumCube
+from repro.errors import RangeError
+
+Coord = Tuple[int, ...]
+
+
+def difference_array(array: np.ndarray) -> np.ndarray:
+    """The d-dimensional difference D of X, with ``X[t] = Σ_{x<=t} D[x]``."""
+    out = np.asarray(array).copy()
+    for axis in range(out.ndim):
+        out = np.diff(out, axis=axis, prepend=0)
+    return out
+
+
+class RangeAddPointQuery:
+    """Range-add / point-query over a dense array, via an inner RPS.
+
+    Maintains the wrapped array's *difference array* inside any
+    :class:`RangeSumMethod`: a range-add becomes ``2^d`` point deltas at
+    the region's corners, a point query becomes one inner prefix sum.
+
+    Args:
+        initial: the array's starting contents.
+        inner_factory: builds the inner structure from a dense array
+            (defaults to :class:`RelativePrefixSumCube` with its own
+            default box sizes).
+    """
+
+    def __init__(
+        self,
+        initial: np.ndarray,
+        inner_factory: Optional[Callable] = None,
+    ) -> None:
+        initial = np.asarray(initial)
+        self.shape = initial.shape
+        self.ndim = initial.ndim
+        factory = inner_factory or RelativePrefixSumCube
+        self.inner: RangeSumMethod = factory(difference_array(initial))
+
+    def point_query(self, index: Sequence[int]):
+        """``X[index]`` — one inner prefix sum."""
+        return self.inner.prefix_sum(index)
+
+    def range_add(
+        self, low: Sequence[int], high: Sequence[int], delta
+    ) -> None:
+        """Add ``delta`` to every ``X[x]`` with ``low <= x <= high``.
+
+        Applies signed deltas at the region's corners in the difference
+        array; corners falling outside the array are dropped (their
+        contribution would cancel past the boundary anyway).
+        """
+        low = tuple(int(l) for l in low)
+        high = tuple(int(h) for h in high)
+        for l, h in zip(low, high):
+            if l > h:
+                raise RangeError(f"inverted range-add [{low}, {high}]")
+        for subset in itertools.product((False, True), repeat=self.ndim):
+            corner = tuple(
+                (h + 1) if past else l
+                for l, h, past in zip(low, high, subset)
+            )
+            if any(c >= n for c, n in zip(corner, self.shape)):
+                continue
+            sign = -1 if sum(subset) % 2 else 1
+            self.inner.apply_delta(corner, sign * delta)
+
+    def to_array(self) -> np.ndarray:
+        """Materialize X (verification/debug)."""
+        diff = self.inner.to_array()
+        for axis in range(self.ndim):
+            diff = np.cumsum(diff, axis=axis)
+        return diff
+
+    def storage_cells(self) -> int:
+        """Cells held by the inner structure."""
+        return self.inner.storage_cells()
+
+
+class HierarchicalRPSCube(RangeSumMethod):
+    """L-level relative prefix sums: O(1) queries, sub-n^{d/2} update growth.
+
+    ``levels=1`` is the plain paper structure; ``levels=2`` backs every
+    overlay value array with an inner RPS over its difference array;
+    ``levels=3`` backs those inner structures' overlays the same way, and
+    so on.
+
+    Args:
+        array: dense source cube.
+        box_size: outer box side(s); the asymptotic optimum for L=2 is
+            ``k ~ n^{d/(2d+1)}`` (smaller than the paper's sqrt(n), since
+            overlay updates got cheaper); defaults to the paper's rule.
+        levels: recursion depth, >= 1.
+    """
+
+    name = "hierarchical_rps"
+
+    def __init__(
+        self, array: np.ndarray, box_size=None, levels: int = 2
+    ) -> None:
+        if levels < 1:
+            raise RangeError(f"levels must be >= 1, got {levels}")
+        self._requested_box_size = box_size
+        self.levels = int(levels)
+        super().__init__(array)
+
+    def _build(self, array: np.ndarray) -> None:
+        from repro.core.rps import default_box_size
+
+        k = (
+            self._requested_box_size
+            if self._requested_box_size is not None
+            else default_box_size(array.shape)
+        )
+        self.box_sizes = indexing.normalize_box_sizes(k, array.shape)
+        self.boxes_shape = tuple(
+            -(-n // kk) for n, kk in zip(array.shape, self.box_sizes)
+        )
+        self._full_mask = (1 << self.ndim) - 1
+        self.rp = RelativePrefixArray(
+            array, self.box_sizes, counter=self.counter
+        )
+        if self.levels == 1:
+            # degenerate to the paper's structure: a dense overlay
+            self.overlay = Overlay(array, self.box_sizes,
+                                   counter=self.counter)
+            self._wrapped = None
+            return
+        self.overlay = None
+        seed_overlay = Overlay(array, self.box_sizes)  # build-time only
+        inner_factory = self._make_inner_factory(self.levels - 1)
+        self._wrapped = {
+            mask: RangeAddPointQuery(
+                seed_overlay.values_array(mask), inner_factory
+            )
+            for mask in seed_overlay.masks()
+        }
+
+    @staticmethod
+    def _make_inner_factory(remaining_levels: int):
+        if remaining_levels <= 1:
+            return RelativePrefixSumCube
+        return lambda arr: HierarchicalRPSCube(arr, levels=remaining_levels)
+
+    # -- stored-value access (charging this cube's counter) -------------------
+
+    def _stored_value(self, mask: int, cell: Coord):
+        wrapped = self._wrapped[mask]
+        loc = tuple(
+            c // self.box_sizes[axis] if mask & (1 << axis) else c
+            for axis, c in enumerate(cell)
+        )
+        before = wrapped.inner.counter.snapshot()
+        value = wrapped.point_query(loc)
+        cost = before.delta(wrapped.inner.counter)
+        self.counter.read(cost.cells_read, structure="overlay.inner")
+        return value
+
+    # -- queries -----------------------------------------------------------------
+
+    def prefix_sum(self, target: Sequence[int]):
+        """RP value plus one stored value per off-anchor subset.
+
+        Identical decomposition to the flat structure; each stored value
+        now costs one inner *query* (still O(1) for fixed d and L).
+        """
+        t = indexing.normalize_index(target, self.shape)
+        if self.levels == 1:
+            return self.overlay.prefix_contribution(t) + self.rp.value(t)
+        anchor = indexing.anchor_of(t, self.box_sizes)
+        off_mask = 0
+        for axis in range(self.ndim):
+            if t[axis] != anchor[axis]:
+                off_mask |= 1 << axis
+        total = self._stored_value(self._full_mask, anchor)
+        sub = off_mask
+        while sub > 0:
+            if sub != self._full_mask:
+                cell = tuple(
+                    t[axis] if sub & (1 << axis) else anchor[axis]
+                    for axis in range(self.ndim)
+                )
+                total = total + self._stored_value(
+                    self._full_mask ^ sub, cell
+                )
+            sub = (sub - 1) & off_mask
+        return total + self.rp.value(t)
+
+    def cell_value(self, index: Sequence[int]):
+        """Box-local RP differencing, as in the flat structure."""
+        return self.rp.cell_value(index)
+
+    # -- updates ------------------------------------------------------------------
+
+    def apply_delta(self, index: Sequence[int], delta) -> None:
+        """RP cascade plus, per subset, one or two inner range-adds."""
+        idx = indexing.normalize_index(index, self.shape)
+        self.rp.apply_delta(idx, delta)
+        if self.levels == 1:
+            self.overlay.apply_delta(idx, delta)
+            return
+        for mask in range(1, self._full_mask + 1):
+            add, sub = subset_update_slices(
+                self.shape, self.box_sizes, self.boxes_shape, idx, mask
+            )
+            if add is None:
+                continue
+            self._range_add_slices(mask, add, delta)
+            if sub is not None:
+                self._range_add_slices(mask, sub, -delta)
+
+    def _range_add_slices(self, mask: int, slices, delta) -> None:
+        wrapped = self._wrapped[mask]
+        low, high = [], []
+        for axis, sl in enumerate(slices):
+            size = wrapped.shape[axis]
+            start, stop, _ = sl.indices(size)
+            if stop <= start:
+                return  # empty region on some axis
+            low.append(start)
+            high.append(stop - 1)
+        before = wrapped.inner.counter.snapshot()
+        wrapped.range_add(tuple(low), tuple(high), delta)
+        cost = before.delta(wrapped.inner.counter)
+        self.counter.write(cost.cells_written, structure="overlay.inner")
+
+    # -- introspection ---------------------------------------------------------------
+
+    def storage_cells(self) -> int:
+        """RP plus every inner structure's cells."""
+        total = self.rp.storage_cells()
+        if self.levels == 1:
+            return total + self.overlay.storage_cells()
+        return total + sum(
+            w.storage_cells() for w in self._wrapped.values()
+        )
+
+    def to_array(self) -> np.ndarray:
+        """Reconstruct A by box-local differencing of RP (exact)."""
+        a = self.rp.array()
+        for axis in range(self.ndim):
+            shifted = np.zeros_like(a)
+            src = [slice(None)] * self.ndim
+            dst = [slice(None)] * self.ndim
+            src[axis] = slice(0, -1)
+            dst[axis] = slice(1, None)
+            shifted[tuple(dst)] = a[tuple(src)]
+            starts = [slice(None)] * self.ndim
+            starts[axis] = slice(0, None, self.box_sizes[axis])
+            shifted[tuple(starts)] = 0
+            a = a - shifted
+        return a
+
+    def __repr__(self) -> str:
+        return (
+            f"HierarchicalRPSCube(shape={self.shape}, "
+            f"box_sizes={self.box_sizes}, levels={self.levels})"
+        )

@@ -1,0 +1,12 @@
+"""Cost instrumentation and the paper's analytic complexity models."""
+
+from repro.metrics.counters import AccessCounter, CounterSnapshot, measured
+from repro.metrics.profile import characterize, render_profile
+
+__all__ = [
+    "AccessCounter",
+    "CounterSnapshot",
+    "characterize",
+    "measured",
+    "render_profile",
+]

@@ -1,0 +1,182 @@
+"""The paper's analytic cost model (Sections 2, 4.3, 4.4).
+
+Closed-form counts of cells read/written per operation for each method,
+the worst-case RPS update formula, the optimal overlay box size, and the
+overlay-vs-RP storage ratios of Figure 16. The benchmark harness plots
+these curves next to measured counts so the reproduction can show both.
+
+All formulas follow the paper's simplified model: every dimension has the
+same size ``n``, overlay boxes have side ``k``, and ``n`` is treated as
+divisible by ``k`` (the implementation handles partial boxes; the model
+does not need to).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List
+
+
+def naive_query_cost(n: int, d: int) -> int:
+    """Worst-case cells read by a naive range query: the whole cube."""
+    return n**d
+
+
+def naive_update_cost(n: int, d: int) -> int:
+    """Cells written by a naive update: always exactly one."""
+    return 1
+
+
+def prefix_query_cost(n: int, d: int) -> int:
+    """Cells read by a prefix-sum range query: one per corner, ``2^d``."""
+    return 2**d
+
+
+def prefix_update_cost(n: int, d: int) -> int:
+    """Worst-case cells written by a prefix-sum update (cell 0 changes
+    every cell of P): ``n^d``."""
+    return n**d
+
+
+def rps_query_cost(n: int, d: int) -> int:
+    """Worst-case cells read by an RPS range query.
+
+    Each of the ``2^d`` region sums reads one anchor, one RP cell and up
+    to ``2^d - 2`` border values (one per nonempty proper subset of the
+    off-anchor dimensions — exactly the paper's "d border values" when
+    d = 2; see DESIGN.md Section 1 for the d-dimensional count).
+    """
+    return 2**d * 2**d
+
+
+def rps_update_cost(n: int, d: int, k: int) -> float:
+    """The paper's worst-case RPS update formula (Section 4.3)::
+
+        (k-1)^d  RP cells  +  d (n/k) k^{d-1}  border cells  +  (n/k - 1)^d  anchors
+
+    approximated in the paper as ``k^d + d n k^{d-2} + (n/k)^d``. We return
+    the *exact* pre-approximation form, which the measured worst case
+    (updating cell (1,1,...,1)) matches closely.
+    """
+    boxes = n / k
+    return (k - 1) ** d + d * boxes * k ** (d - 1) + (boxes - 1) ** d
+
+
+def rps_update_cost_approx(n: int, d: int, k: int) -> float:
+    """The paper's simplified update formula ``k^d + d n k^{d-2} + (n/k)^d``."""
+    return k**d + d * n * float(k) ** (d - 2) + (n / k) ** d
+
+
+def optimal_box_size(n: int, d: int = 2, exact: bool = False) -> int:
+    """The update-cost-minimizing box size.
+
+    The paper derives ``k = sqrt(n)`` by approximation (Section 4.3). With
+    ``exact=True`` the integer minimizer of the exact formula is found by
+    search (useful for the E7 k-sweep, where the measured minimum can sit
+    a step or two away from ``round(sqrt(n))``).
+    """
+    if n < 1:
+        raise ValueError(f"dimension size must be >= 1, got {n}")
+    if not exact:
+        return max(1, round(math.sqrt(n)))
+    best_k, best_cost = 1, float("inf")
+    for k in range(1, n + 1):
+        cost = rps_update_cost(n, d, k)
+        if cost < best_cost:
+            best_k, best_cost = k, cost
+    return best_k
+
+
+def cost_product(query_cost: float, update_cost: float) -> float:
+    """The paper's overall-complexity measure: query cost x update cost."""
+    return query_cost * update_cost
+
+
+def method_cost_table(n: int, d: int, k: int = None) -> List[Dict]:
+    """Worst-case cost rows for all three paper methods (Section 5 recap).
+
+    Returns one dict per method with ``query``, ``update`` and ``product``
+    entries — the table the paper's conclusion presents in O-notation,
+    instantiated with concrete counts.
+    """
+    if k is None:
+        k = optimal_box_size(n, d)
+    rows = [
+        {
+            "method": "naive",
+            "query": naive_query_cost(n, d),
+            "update": naive_update_cost(n, d),
+        },
+        {
+            "method": "prefix_sum",
+            "query": prefix_query_cost(n, d),
+            "update": prefix_update_cost(n, d),
+        },
+        {
+            "method": "rps",
+            "query": rps_query_cost(n, d),
+            "update": rps_update_cost(n, d, k),
+        },
+    ]
+    for row in rows:
+        row["product"] = cost_product(row["query"], row["update"])
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Storage (Section 4.4, Figure 16)
+# ---------------------------------------------------------------------------
+
+
+def overlay_cells_per_box(k: int, d: int) -> int:
+    """The paper's stored-cell count per overlay box: ``k^d - (k-1)^d``."""
+    return k**d - (k - 1) ** d
+
+
+def overlay_storage_ratio(k: int, d: int) -> float:
+    """Overlay storage as a fraction of the RP region it covers (Figure 16).
+
+    ``(k^d - (k-1)^d) / k^d`` — e.g. k=100, d=2 gives 199/10000 < 2%, the
+    example the paper quotes.
+    """
+    return overlay_cells_per_box(k, d) / float(k**d)
+
+
+def rps_update_cost_bound(n: int, d: int, k: int) -> float:
+    """Closed-form upper bound on this implementation's update cost.
+
+    Summing the per-subset slice sizes gives ``((n/k) + k)^d`` (binomial
+    over subsets; DESIGN.md Section 1) — ``O(n^{d/2})`` at ``k = sqrt(n)``,
+    matching the paper's asymptotic claim.
+    """
+    return (n / k + k) ** d
+
+
+def allocated_cells_per_box(k: int, d: int) -> int:
+    """Backing-array cells per box in this library's physical layout.
+
+    The overlay keeps one dense array per nonempty dimension subset with
+    non-subset axes at full extent for O(1) indexing, allocating
+    ``(k+1)^d - k^d`` slots per box of which ``k^d - (k-1)^d`` (the
+    paper's count) hold live values.
+    """
+    return (k + 1) ** d - k**d
+
+
+def storage_ratio_table(
+    dims: Iterable[int], box_sizes: Iterable[int]
+) -> List[Dict]:
+    """Figure 16's data: overlay storage percentage as d and k vary."""
+    rows = []
+    for d in dims:
+        for k in box_sizes:
+            rows.append(
+                {
+                    "d": d,
+                    "k": k,
+                    "paper_ratio": overlay_storage_ratio(k, d),
+                    "allocated_ratio": allocated_cells_per_box(k, d)
+                    / float(k**d),
+                }
+            )
+    return rows

@@ -1,0 +1,127 @@
+"""Empirical method profiles: measured cost characteristics in one table.
+
+:func:`characterize` runs a standard probe battery against one method
+and reports the quantities the paper's analysis talks about — build cost,
+query cost distribution, update cost distribution, worst cases, storage —
+as a plain dict, which the CLI's ``profile`` subcommand renders. It is
+the "spec sheet" view of a method: everything E7/E8 measure, for one
+structure at a time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def characterize(
+    method_cls,
+    shape: Sequence[int] = (256, 256),
+    operations: int = 200,
+    seed: int = 0,
+    **method_kwargs,
+) -> Dict:
+    """Measure one method's cost profile on a uniform cube.
+
+    Returns a dict with build/query/update/storage sections; all cell
+    counts are exact (from the instrumented counters), times are
+    wall-clock seconds.
+    """
+    # Imported here: repro.metrics is a dependency of repro.core, so the
+    # profile helpers (which drive core methods) must load lazily to keep
+    # the package import graph acyclic.
+    from repro.workloads import datagen, querygen, updategen
+
+    shape = tuple(int(n) for n in shape)
+    cube = datagen.uniform_cube(shape, seed=seed)
+
+    start = time.perf_counter()
+    method = method_cls(cube, **method_kwargs)
+    build_seconds = time.perf_counter() - start
+
+    query_cells = []
+    query_start = time.perf_counter()
+    for low, high in querygen.random_ranges(shape, operations, seed=seed):
+        before = method.counter.snapshot()
+        method.range_sum(low, high)
+        query_cells.append(before.delta(method.counter).cells_read)
+    query_seconds = time.perf_counter() - query_start
+
+    update_cells = []
+    update_start = time.perf_counter()
+    for cell, delta in updategen.random_updates(
+        shape, operations, seed=seed
+    ):
+        before = method.counter.snapshot()
+        method.apply_delta(cell, delta)
+        update_cells.append(before.delta(method.counter).cells_written)
+    update_seconds = time.perf_counter() - update_start
+
+    worst_update_cell = updategen.worst_case_cell(shape, method.name)
+    before = method.counter.snapshot()
+    method.apply_delta(worst_update_cell, 1)
+    worst_update = before.delta(method.counter).cells_written
+    method.apply_delta(worst_update_cell, -1)
+
+    full_low = tuple(1 for _ in shape)
+    full_high = tuple(n - 2 for n in shape)
+    before = method.counter.snapshot()
+    method.range_sum(full_low, full_high)
+    worst_query = before.delta(method.counter).cells_read
+
+    return {
+        "method": method.name,
+        "shape": shape,
+        "cube_cells": int(np.prod(shape)),
+        "build_seconds": build_seconds,
+        "storage_cells": method.storage_cells(),
+        "query": {
+            "operations": operations,
+            "mean_cells": float(np.mean(query_cells)),
+            "median_cells": float(np.median(query_cells)),
+            "max_cells": int(np.max(query_cells)),
+            "worst_case_cells": int(worst_query),
+            "mean_seconds": query_seconds / operations,
+        },
+        "update": {
+            "operations": operations,
+            "mean_cells": float(np.mean(update_cells)),
+            "median_cells": float(np.median(update_cells)),
+            "max_cells": int(np.max(update_cells)),
+            "worst_case_cells": int(worst_update),
+            "mean_seconds": update_seconds / operations,
+        },
+        "cost_product_mean": float(
+            np.mean(query_cells) * np.mean(update_cells)
+        ),
+        "cost_product_worst": float(worst_query * worst_update),
+    }
+
+
+def render_profile(profile: Dict) -> str:
+    """Render a :func:`characterize` result as aligned plain text."""
+    lines = [
+        f"== profile: {profile['method']} on "
+        f"{'x'.join(str(n) for n in profile['shape'])} "
+        f"({profile['cube_cells']} cells) ==",
+        f"  build: {profile['build_seconds'] * 1e3:.1f} ms; "
+        f"storage: {profile['storage_cells']} cells "
+        f"({profile['storage_cells'] / profile['cube_cells']:.2f}x cube)",
+    ]
+    for op in ("query", "update"):
+        section = profile[op]
+        lines.append(
+            f"  {op:>6}: mean {section['mean_cells']:.1f} / "
+            f"median {section['median_cells']:.1f} / "
+            f"max {section['max_cells']} cells, "
+            f"worst-case {section['worst_case_cells']}; "
+            f"{section['mean_seconds'] * 1e6:.1f} us/op"
+        )
+    lines.append(
+        f"  query x update product: mean "
+        f"{profile['cost_product_mean']:.0f}, worst "
+        f"{profile['cost_product_worst']:.0f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Reference tables transcribed from the paper's figures.
+
+These constants let the test suite and the table-reproduction benchmarks
+assert *cell-for-cell* equality with the published worked examples:
+
+* :data:`ARRAY_A` — Figure 1, the 9x9 source data cube.
+* :data:`ARRAY_P` — Figure 2, its prefix-sum array.
+* :data:`ARRAY_P_AFTER_UPDATE` — Figure 4, P after ``A[1,1]`` goes 3 -> 4.
+* :data:`ARRAY_RP` — Figure 10/13, the relative prefix array for k=3.
+* :data:`OVERLAY_ANCHORS` / borders — Figure 13's overlay box values.
+* :data:`ARRAY_RP_AFTER_UPDATE` / updated overlay values — Figure 15.
+
+The paper's update example (Figures 4 and 15) changes ``A[1,1]`` from 3 to
+4 and reports 64 affected cells for the prefix sum method versus 16 for the
+relative prefix sum method (12 overlay + 4 RP).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Figure 1 — the example data cube A (9x9, d=2).
+ARRAY_A = np.array(
+    [
+        [3, 5, 1, 2, 2, 4, 6, 3, 3],
+        [7, 3, 2, 6, 8, 7, 1, 2, 4],
+        [2, 4, 2, 3, 3, 3, 4, 5, 7],
+        [3, 2, 1, 5, 3, 5, 2, 8, 2],
+        [4, 2, 1, 3, 3, 4, 7, 1, 3],
+        [2, 3, 3, 6, 1, 8, 5, 1, 1],
+        [4, 5, 2, 7, 1, 9, 3, 3, 4],
+        [2, 4, 2, 2, 3, 1, 9, 1, 3],
+        [5, 4, 3, 1, 3, 2, 1, 9, 6],
+    ],
+    dtype=np.int64,
+)
+
+#: Figure 2 — the prefix-sum array P of ARRAY_A.
+ARRAY_P = np.array(
+    [
+        [3, 8, 9, 11, 13, 17, 23, 26, 29],
+        [10, 18, 21, 29, 39, 50, 57, 62, 69],
+        [12, 24, 29, 40, 53, 67, 78, 88, 102],
+        [15, 29, 35, 51, 67, 86, 99, 117, 133],
+        [19, 35, 42, 61, 80, 103, 123, 142, 161],
+        [21, 40, 50, 75, 95, 126, 151, 171, 191],
+        [25, 49, 61, 93, 114, 154, 182, 205, 229],
+        [27, 55, 69, 103, 127, 168, 205, 229, 256],
+        [32, 64, 81, 116, 143, 186, 224, 257, 290],
+    ],
+    dtype=np.int64,
+)
+
+#: Figure 4 — P after updating A[1,1] from 3 to 4 (delta +1).
+ARRAY_P_AFTER_UPDATE = np.array(
+    [
+        [3, 8, 9, 11, 13, 17, 23, 26, 29],
+        [10, 19, 22, 30, 40, 51, 58, 63, 70],
+        [12, 25, 30, 41, 54, 68, 79, 89, 103],
+        [15, 30, 36, 52, 68, 87, 100, 118, 134],
+        [19, 36, 43, 62, 81, 104, 124, 143, 162],
+        [21, 41, 51, 76, 96, 127, 152, 172, 192],
+        [25, 50, 62, 94, 115, 155, 183, 206, 230],
+        [27, 56, 70, 104, 128, 169, 206, 230, 257],
+        [32, 65, 82, 117, 144, 187, 225, 258, 291],
+    ],
+    dtype=np.int64,
+)
+
+#: Figures 10 and 13 — the relative prefix array RP for box size k=3.
+ARRAY_RP = np.array(
+    [
+        [3, 8, 9, 2, 4, 8, 6, 9, 12],
+        [10, 18, 21, 8, 18, 29, 7, 12, 19],
+        [12, 24, 29, 11, 24, 38, 11, 21, 35],
+        [3, 5, 6, 5, 8, 13, 2, 10, 12],
+        [7, 11, 13, 8, 14, 23, 9, 18, 23],
+        [9, 16, 21, 14, 21, 38, 14, 24, 30],
+        [4, 9, 11, 7, 8, 17, 3, 6, 10],
+        [6, 15, 19, 9, 13, 23, 12, 16, 23],
+        [11, 24, 31, 10, 17, 29, 13, 26, 39],
+    ],
+    dtype=np.int64,
+)
+
+#: Paper's overlay box size for all worked examples.
+BOX_SIZE = 3
+
+#: Figure 13 — anchor values V, one per 3x3 box (box-grid layout).
+OVERLAY_ANCHORS = np.array(
+    [
+        [0, 9, 17],
+        [12, 46, 97],
+        [21, 86, 179],
+    ],
+    dtype=np.int64,
+)
+
+#: Figure 15 — anchor values after the A[1,1] += 1 update.
+OVERLAY_ANCHORS_AFTER_UPDATE = np.array(
+    [
+        [0, 9, 17],
+        [12, 47, 98],
+        [21, 87, 180],
+    ],
+    dtype=np.int64,
+)
+
+#: Figure 13 — border values on the vertical faces (cells (r, a_col) with
+#: r not a multiple of 3; the paper's Y-style values). Keyed by
+#: (row, col) in cube coordinates.
+BORDER_COLUMN_VALUES = {
+    (1, 0): 0, (2, 0): 0, (4, 0): 0, (5, 0): 0, (7, 0): 0, (8, 0): 0,
+    (1, 3): 12, (2, 3): 20, (4, 3): 7, (5, 3): 15, (7, 3): 8, (8, 3): 20,
+    (1, 6): 33, (2, 6): 50, (4, 6): 17, (5, 6): 40, (7, 6): 14, (8, 6): 32,
+}
+
+#: Figure 13 — border values on the horizontal faces (cells (a_row, c)
+#: with c not a multiple of 3; the paper's X-style values).
+BORDER_ROW_VALUES = {
+    (0, 1): 0, (0, 2): 0, (0, 4): 0, (0, 5): 0, (0, 7): 0, (0, 8): 0,
+    (3, 1): 12, (3, 2): 17, (3, 4): 13, (3, 5): 27, (3, 7): 10, (3, 8): 24,
+    (6, 1): 19, (6, 2): 29, (6, 4): 20, (6, 5): 51, (6, 7): 20, (6, 8): 40,
+}
+
+#: Figure 15 — the twelve overlay cells the update example modifies,
+#: with their new values ((row, col) -> value).
+OVERLAY_CELLS_AFTER_UPDATE = {
+    (1, 3): 13, (2, 3): 21, (1, 6): 34, (2, 6): 51,   # right of the change
+    (3, 1): 13, (3, 2): 18, (6, 1): 20, (6, 2): 30,   # below the change
+    (3, 3): 47, (3, 6): 98, (6, 3): 87, (6, 6): 180,  # interior anchors
+}
+
+#: The worked query of Section 3.3: SUM(A[0,0]..A[7,5]) via box (6,3).
+EXAMPLE_QUERY_TARGET = (7, 5)
+EXAMPLE_QUERY_ANCHOR_VALUE = 86
+EXAMPLE_QUERY_BORDER_Y = 8     # overlay cell (7, 3)
+EXAMPLE_QUERY_BORDER_X = 51    # overlay cell (6, 5)
+EXAMPLE_QUERY_RP = 23          # RP[7, 5]
+EXAMPLE_QUERY_RESULT = 168
+
+#: Update example costs (Section 4.2): cells touched by A[1,1] += 1.
+UPDATE_EXAMPLE_CELL = (1, 1)
+UPDATE_EXAMPLE_PS_CELLS = 64
+UPDATE_EXAMPLE_RPS_RP_CELLS = 4
+UPDATE_EXAMPLE_RPS_OVERLAY_CELLS = 12
+UPDATE_EXAMPLE_RPS_TOTAL_CELLS = 16
+
+
+def rp_after_update() -> np.ndarray:
+    """Figure 15's RP array (computed: ARRAY_RP with the 4-cell cascade)."""
+    rp = ARRAY_RP.copy()
+    for r in (1, 2):
+        for c in (1, 2):
+            rp[r, c] += 1
+    return rp
+
+
+# Materialize the Figure 15 table once so tests can import it directly.
+ARRAY_RP_AFTER_UPDATE = rp_after_update()

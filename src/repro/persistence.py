@@ -1,0 +1,145 @@
+"""Saving and loading cubes, schemas, and engines.
+
+A production OLAP structure outlives the process that built it. This
+module persists:
+
+* any :class:`~repro.core.base.RangeSumMethod` — as the dense source
+  array plus construction parameters (`.npz`); loading rebuilds the
+  structure with the same vectorized O(n^d) pass a fresh build would use,
+  which keeps the format trivially forward-compatible with internal
+  layout changes,
+* a :class:`~repro.cube.schema.CubeSchema` — as JSON via the encoders'
+  :meth:`~repro.cube.encoders.DimensionEncoder.spec` dictionaries,
+* a :class:`~repro.cube.engine.DataCubeEngine` — schema JSON plus the
+  measure and count cubes in one `.npz`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Type
+
+import numpy as np
+
+from repro.baselines.fenwick import FenwickCube
+from repro.baselines.naive import NaiveCube
+from repro.baselines.prefix import PrefixSumCube
+from repro.core.base import RangeSumMethod
+from repro.core.rps import RelativePrefixSumCube
+from repro.cube.encoders import encoder_from_spec
+from repro.cube.engine import DataCubeEngine
+from repro.cube.schema import CubeSchema, Dimension
+from repro.errors import StorageError
+
+#: Methods the loader can reconstruct, by their ``name`` attribute.
+METHOD_REGISTRY: Dict[str, Type[RangeSumMethod]] = {
+    NaiveCube.name: NaiveCube,
+    PrefixSumCube.name: PrefixSumCube,
+    FenwickCube.name: FenwickCube,
+    RelativePrefixSumCube.name: RelativePrefixSumCube,
+}
+
+
+def save_method(method: RangeSumMethod, path) -> None:
+    """Persist a range-sum structure to an ``.npz`` file."""
+    if method.name not in METHOD_REGISTRY:
+        raise StorageError(
+            f"cannot persist method {method.name!r}; registered: "
+            f"{sorted(METHOD_REGISTRY)}"
+        )
+    payload = {
+        "method": np.array(method.name),
+        "array": method.to_array(),
+    }
+    box_sizes = getattr(method, "box_sizes", None)
+    if box_sizes is not None:
+        payload["box_sizes"] = np.array(box_sizes, dtype=np.int64)
+    np.savez_compressed(path, **payload)
+
+
+def load_method(path) -> RangeSumMethod:
+    """Load a structure saved by :func:`save_method`."""
+    with np.load(path, allow_pickle=False) as data:
+        name = str(data["method"])
+        array = data["array"]
+        box_sizes = (
+            tuple(int(k) for k in data["box_sizes"])
+            if "box_sizes" in data
+            else None
+        )
+    try:
+        cls = METHOD_REGISTRY[name]
+    except KeyError:
+        raise StorageError(f"unknown persisted method {name!r}") from None
+    if box_sizes is not None:
+        return cls(array, box_size=box_sizes)
+    return cls(array)
+
+
+# ---------------------------------------------------------------------------
+# Schemas and engines
+# ---------------------------------------------------------------------------
+
+
+def schema_to_dict(schema: CubeSchema) -> dict:
+    """JSON-serializable description of a cube schema."""
+    return {
+        "measure": schema.measure,
+        "dimensions": [
+            {"name": dim.name, "encoder": dim.encoder.spec()}
+            for dim in schema.dimensions
+        ],
+    }
+
+
+def schema_from_dict(payload: dict) -> CubeSchema:
+    """Rebuild a schema from :func:`schema_to_dict` output."""
+    dimensions = [
+        Dimension(entry["name"], encoder_from_spec(entry["encoder"]))
+        for entry in payload["dimensions"]
+    ]
+    return CubeSchema(dimensions, measure=payload["measure"])
+
+
+def save_schema(schema: CubeSchema, path) -> None:
+    """Write a schema as JSON."""
+    Path(path).write_text(json.dumps(schema_to_dict(schema), indent=2))
+
+
+def load_schema(path) -> CubeSchema:
+    """Read a schema written by :func:`save_schema`."""
+    return schema_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_engine(engine: DataCubeEngine, path) -> None:
+    """Persist an engine: schema JSON plus measure/count cubes, one file."""
+    np.savez_compressed(
+        path,
+        schema=np.array(json.dumps(schema_to_dict(engine.schema))),
+        values=engine.backend.to_array(),
+        counts=engine.count_backend.to_array(),
+    )
+
+
+def load_engine(path, method=None, **method_kwargs) -> DataCubeEngine:
+    """Load an engine saved by :func:`save_engine`.
+
+    Args:
+        path: the ``.npz`` file.
+        method: optional backend override (defaults to the RPS cube, as
+            at construction time).
+        **method_kwargs: forwarded to the backend constructor.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        schema = schema_from_dict(json.loads(str(data["schema"])))
+        values = data["values"]
+        counts = data["counts"]
+    engine = DataCubeEngine.__new__(DataCubeEngine)
+    engine.schema = schema
+    from repro.aggregates.operators import AggregateCube
+
+    engine._aggregates = AggregateCube(
+        values, counts, method=method, **method_kwargs
+    )
+    return engine

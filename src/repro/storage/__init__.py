@@ -1,0 +1,32 @@
+"""Simulated block storage: disk, buffer pool, layouts, paged RPS (Sec 4.4)."""
+
+from repro.storage.buffer import BufferPool, BufferStats
+from repro.storage.disk import DiskStats, LatencyModel, SimulatedDisk
+from repro.storage.policies import (
+    ClockPolicy,
+    FifoPolicy,
+    LruPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from repro.storage.layout import BoxAlignedLayout, PageLayout, RowMajorLayout
+from repro.storage.paged_array import PagedNDArray
+from repro.storage.paged_rps import PagedRPSCube
+
+__all__ = [
+    "BoxAlignedLayout",
+    "BufferPool",
+    "BufferStats",
+    "ClockPolicy",
+    "DiskStats",
+    "FifoPolicy",
+    "LatencyModel",
+    "LruPolicy",
+    "ReplacementPolicy",
+    "make_policy",
+    "PageLayout",
+    "PagedNDArray",
+    "PagedRPSCube",
+    "RowMajorLayout",
+    "SimulatedDisk",
+]

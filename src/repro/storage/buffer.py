@@ -1,0 +1,126 @@
+"""A buffer pool over the simulated disk, with pluggable replacement.
+
+Completes the Section 4.4 substrate: cells of RP are only ever touched
+through pages cached here, so the benchmark harness can report both cold
+(page I/Os) and warm (buffer hits) behaviour of the disk-resident RPS
+configuration. The replacement policy is pluggable (LRU by default; see
+:mod:`repro.storage.policies`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.disk import SimulatedDisk
+from repro.storage.policies import ReplacementPolicy, make_policy
+
+
+@dataclass
+class BufferStats:
+    """Hit/miss/eviction counters for one pool."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of page requests served from memory."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        """Zero the counters."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class BufferPool:
+    """Page cache with write-back semantics and pluggable replacement.
+
+    Args:
+        disk: backing :class:`SimulatedDisk`.
+        capacity: maximum cached pages; must be >= 1.
+        policy: replacement policy — a name (``"lru"``, ``"fifo"``,
+            ``"clock"``), a :class:`ReplacementPolicy` instance, or
+            ``None`` for LRU.
+    """
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        capacity: int,
+        policy: Union[str, ReplacementPolicy, None] = None,
+    ) -> None:
+        if capacity < 1:
+            raise StorageError(f"buffer capacity must be >= 1, got {capacity}")
+        self.disk = disk
+        self.capacity = int(capacity)
+        self.stats = BufferStats()
+        self.policy: ReplacementPolicy = (
+            policy if isinstance(policy, ReplacementPolicy)
+            else make_policy(policy)
+        )
+        self._frames: Dict[int, np.ndarray] = {}
+        self._dirty: set = set()
+
+    def get_page(self, page_id: int, for_write: bool = False) -> np.ndarray:
+        """Return the cached frame for a page, faulting it in if needed.
+
+        The returned array is the live frame: mutations become durable at
+        eviction or :meth:`flush` time. Pass ``for_write=True`` when the
+        caller will mutate it so the frame is marked dirty.
+        """
+        if page_id in self._frames:
+            self.policy.touched(page_id)
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+            self._evict_if_full()
+            self._frames[page_id] = self.disk.read_page(page_id)
+            self.policy.admitted(page_id)
+        if for_write:
+            self._dirty.add(page_id)
+        return self._frames[page_id]
+
+    def _evict_if_full(self) -> None:
+        while len(self._frames) >= self.capacity:
+            victim = self.policy.evict()
+            frame = self._frames.pop(victim)
+            if victim in self._dirty:
+                self.disk.write_page(victim, frame)
+                self._dirty.discard(victim)
+            self.stats.evictions += 1
+
+    def flush(self) -> int:
+        """Write every dirty frame back to disk; returns pages written."""
+        written = 0
+        for page_id in sorted(self._dirty):
+            self.disk.write_page(page_id, self._frames[page_id])
+            written += 1
+        self._dirty.clear()
+        return written
+
+    def drop(self) -> None:
+        """Flush then empty the cache (simulates a cold restart)."""
+        self.flush()
+        for page_id in list(self._frames):
+            self.policy.removed(page_id)
+        self._frames.clear()
+
+    @property
+    def cached_pages(self) -> int:
+        """Number of pages currently resident."""
+        return len(self._frames)
+
+    def __repr__(self) -> str:
+        return (
+            f"BufferPool(capacity={self.capacity}, "
+            f"policy={self.policy.name}, "
+            f"cached={self.cached_pages}, dirty={len(self._dirty)})"
+        )

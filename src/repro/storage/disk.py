@@ -1,0 +1,164 @@
+"""A simulated block-based disk.
+
+Section 4.4 of the paper reasons about configurations where RP lives on
+disk while overlays stay in main memory: "since disks are block-based
+devices, the cost of accessing a cell in RP is related to the cost of
+accessing a disk block". This simulator provides exactly the abstraction
+that argument needs — fixed-size pages of cells, with read/write page
+counters. The paper's claims are about page *counts*; an optional
+:class:`LatencyModel` additionally charges abstract seek/transfer time so
+benchmarks can express the random-vs-sequential asymmetry when they want
+to, while the default keeps time out of the picture entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import StorageError
+
+
+@dataclass
+class DiskStats:
+    """Cumulative page-level I/O counters and modeled service time."""
+
+    pages_read: int = 0
+    pages_written: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def total_ios(self) -> int:
+        """Reads plus writes — the unit Section 4.4's argument counts."""
+        return self.pages_read + self.pages_written
+
+    def reset(self) -> None:
+        """Zero the counters."""
+        self.pages_read = 0
+        self.pages_written = 0
+        self.elapsed = 0.0
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Abstract per-I/O service-time model.
+
+    ``seek`` is charged when an access is not sequential with the
+    previous one (a different or non-adjacent page); ``transfer`` is
+    charged per page moved. Units are abstract (the paper's argument is
+    about counts; the model lets benchmarks express the seek/transfer
+    asymmetry that makes page-aligned layouts matter on spinning media).
+    """
+
+    seek: float = 0.0
+    transfer: float = 0.0
+
+
+class SimulatedDisk:
+    """Fixed-size pages of numeric cells with I/O accounting.
+
+    Args:
+        page_size: cells per page (the disk block size, in cell units).
+        dtype: cell dtype for all pages.
+        latency: optional :class:`LatencyModel`; by default all service
+            times are zero and only counts accumulate.
+    """
+
+    def __init__(
+        self,
+        page_size: int,
+        dtype=np.float64,
+        latency: LatencyModel = None,
+        verify_checksums: bool = False,
+    ) -> None:
+        if page_size < 1:
+            raise StorageError(f"page size must be >= 1, got {page_size}")
+        self.page_size = int(page_size)
+        self.dtype = np.dtype(dtype)
+        self.latency = latency if latency is not None else LatencyModel()
+        self.verify_checksums = bool(verify_checksums)
+        self._pages: list = []
+        self._checksums: list = []
+        self._last_page: int = -2  # nothing is adjacent to the first access
+        self.stats = DiskStats()
+
+    @staticmethod
+    def _checksum(data: np.ndarray) -> int:
+        return hash(data.tobytes())
+
+    def _charge(self, page_id: int) -> None:
+        if page_id != self._last_page + 1 and page_id != self._last_page:
+            self.stats.elapsed += self.latency.seek
+        self.stats.elapsed += self.latency.transfer
+        self._last_page = page_id
+
+    @property
+    def page_count(self) -> int:
+        """Number of allocated pages."""
+        return len(self._pages)
+
+    def allocate(self, pages: int) -> int:
+        """Allocate ``pages`` zeroed pages; returns the first new page id."""
+        if pages < 0:
+            raise StorageError(f"cannot allocate {pages} pages")
+        first = len(self._pages)
+        for _ in range(pages):
+            page = np.zeros(self.page_size, dtype=self.dtype)
+            self._pages.append(page)
+            self._checksums.append(self._checksum(page))
+        return first
+
+    def read_page(self, page_id: int) -> np.ndarray:
+        """Return a copy of one page's cells; charges one page read.
+
+        With ``verify_checksums=True``, a page whose contents no longer
+        match the checksum recorded at write time raises
+        :class:`~repro.errors.StorageError` — the torn-page/bit-rot
+        detection real engines perform on every read.
+        """
+        self._check(page_id)
+        self.stats.pages_read += 1
+        self._charge(page_id)
+        page = self._pages[page_id]
+        if self.verify_checksums and (
+            self._checksum(page) != self._checksums[page_id]
+        ):
+            raise StorageError(
+                f"checksum mismatch reading page {page_id}: "
+                f"on-disk contents are corrupt"
+            )
+        return page.copy()
+
+    def write_page(self, page_id: int, data: np.ndarray) -> None:
+        """Overwrite one page; charges one page write."""
+        self._check(page_id)
+        buf = np.asarray(data, dtype=self.dtype)
+        if buf.shape != (self.page_size,):
+            raise StorageError(
+                f"page data must have shape ({self.page_size},), "
+                f"got {buf.shape}"
+            )
+        self._pages[page_id] = buf.copy()
+        self._checksums[page_id] = self._checksum(buf)
+        self.stats.pages_written += 1
+        self._charge(page_id)
+
+    def corrupt_page(self, page_id: int, cell: int = 0, delta=1) -> None:
+        """Test hook: silently flip one on-disk cell, bypassing checksum
+        maintenance (models media corruption between write and read)."""
+        self._check(page_id)
+        self._pages[page_id][cell] += delta
+
+    def _check(self, page_id: int) -> None:
+        if not 0 <= page_id < len(self._pages):
+            raise StorageError(
+                f"page {page_id} out of range "
+                f"(disk has {len(self._pages)} pages)"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatedDisk(pages={self.page_count}, "
+            f"page_size={self.page_size})"
+        )

@@ -1,0 +1,122 @@
+"""Mappings from d-dimensional cell coordinates to (page, slot) pairs.
+
+Section 4.4 recommends choosing the overlay box size "such that the
+corresponding region of RP fits exactly into a constant number of disk
+pages". Two layouts make that recommendation testable:
+
+* :class:`BoxAlignedLayout` — one page per overlay box (the paper's
+  recommended configuration): any box-local operation touches exactly
+  one page.
+* :class:`RowMajorLayout` — cells in global row-major order chopped into
+  pages (the naive layout): a box-local operation can straddle many
+  pages. The E9 benchmark quantifies the difference.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import StorageError
+
+Coord = Tuple[int, ...]
+
+
+class PageLayout(abc.ABC):
+    """Bijection between cube cells and (page_id, slot) addresses."""
+
+    shape: Tuple[int, ...]
+    page_size: int
+
+    @property
+    @abc.abstractmethod
+    def page_count(self) -> int:
+        """Pages needed to hold the whole cube."""
+
+    @abc.abstractmethod
+    def locate(self, coord: Sequence[int]) -> Tuple[int, int]:
+        """(page_id, slot) of one cell."""
+
+    def pages_for_cells(self, coords: Iterator[Coord]) -> set:
+        """Distinct pages covering a set of cells."""
+        return {self.locate(c)[0] for c in coords}
+
+
+class RowMajorLayout(PageLayout):
+    """Global row-major cell order chunked into fixed-size pages."""
+
+    def __init__(self, shape: Sequence[int], page_size: int) -> None:
+        if page_size < 1:
+            raise StorageError(f"page size must be >= 1, got {page_size}")
+        self.shape = tuple(int(n) for n in shape)
+        self.page_size = int(page_size)
+        self._strides = np.array(
+            [int(np.prod(self.shape[i + 1 :])) for i in range(len(self.shape))],
+            dtype=np.int64,
+        )
+        self._cells = int(np.prod(self.shape))
+
+    @property
+    def page_count(self) -> int:
+        return -(-self._cells // self.page_size)
+
+    def locate(self, coord: Sequence[int]) -> Tuple[int, int]:
+        flat = int(np.dot(np.asarray(coord, dtype=np.int64), self._strides))
+        if not 0 <= flat < self._cells:
+            raise StorageError(f"coordinate {tuple(coord)} outside {self.shape}")
+        return flat // self.page_size, flat % self.page_size
+
+
+class BoxAlignedLayout(PageLayout):
+    """One page per overlay box; slots are box-local row-major.
+
+    The page size is the full box volume ``k^d``; boxes truncated by the
+    cube boundary leave their tail slots unused (padding), keeping the
+    page <-> box correspondence exact, which is what makes every box-local
+    RP operation a single-page operation.
+    """
+
+    def __init__(self, shape: Sequence[int], box_size) -> None:
+        self.shape = tuple(int(n) for n in shape)
+        if isinstance(box_size, int):
+            sizes = (box_size,) * len(self.shape)
+        else:
+            sizes = tuple(int(k) for k in box_size)
+        if len(sizes) != len(self.shape) or any(k < 1 for k in sizes):
+            raise StorageError(f"invalid box sizes {sizes} for {self.shape}")
+        self.box_sizes = sizes
+        self.box_size = sizes[0] if len(set(sizes)) == 1 else sizes
+        self.page_size = int(np.prod(sizes))
+        self.boxes_shape = tuple(
+            -(-n // k) for n, k in zip(self.shape, sizes)
+        )
+        self._box_strides = np.array(
+            [
+                int(np.prod(self.boxes_shape[i + 1 :]))
+                for i in range(len(self.boxes_shape))
+            ],
+            dtype=np.int64,
+        )
+
+    @property
+    def page_count(self) -> int:
+        return int(np.prod(self.boxes_shape))
+
+    def locate(self, coord: Sequence[int]) -> Tuple[int, int]:
+        coord = tuple(int(c) for c in coord)
+        for c, n in zip(coord, self.shape):
+            if not 0 <= c < n:
+                raise StorageError(f"coordinate {coord} outside {self.shape}")
+        box = tuple(c // k for c, k in zip(coord, self.box_sizes))
+        offsets = tuple(c % k for c, k in zip(coord, self.box_sizes))
+        page = int(np.dot(np.asarray(box, dtype=np.int64), self._box_strides))
+        slot = 0
+        for off, k in zip(offsets, self.box_sizes):
+            slot = slot * k + off
+        return page, slot
+
+    def page_of_box(self, box: Sequence[int]) -> int:
+        """Page id of a box given by its box-grid coordinates."""
+        return int(np.dot(np.asarray(box, dtype=np.int64), self._box_strides))

@@ -1,0 +1,139 @@
+"""The disk-resident RPS configuration of Section 4.4.
+
+"Given suitable box sizes, it may be feasible to keep all of the overlay
+boxes in main memory, while RP resides on disk." This class realizes that
+configuration: the overlay (anchors + borders) is an ordinary in-memory
+:class:`~repro.core.overlay.Overlay`, while the RP array lives on the
+simulated disk behind a buffer pool. With the box-aligned layout every
+box-local RP operation — the RP half of a prefix-sum lookup, and the
+entire RP cascade of an update — touches exactly one page, which is the
+paper's "constant number of disk reads or writes" claim.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+import numpy as np
+
+from repro.core import indexing
+from repro.core.base import RangeSumMethod
+from repro.core.blocked import blocked_prefix_all_axes
+from repro.core.overlay import Overlay
+from repro.core.rps import default_box_size
+from repro.storage.layout import BoxAlignedLayout, PageLayout
+from repro.storage.paged_array import PagedNDArray
+
+
+class PagedRPSCube(RangeSumMethod):
+    """Relative prefix sums with RP on (simulated) disk, overlay in RAM.
+
+    Args:
+        array: dense source cube.
+        box_size: overlay box side; defaults to ``sqrt(n)``.
+        layout: RP page layout; defaults to the paper-recommended
+            box-aligned layout (one page per box). Pass a
+            :class:`~repro.storage.layout.RowMajorLayout` to measure the
+            unaligned alternative.
+        buffer_capacity: pages the RP buffer pool may cache.
+    """
+
+    name = "paged_rps"
+
+    def __init__(
+        self,
+        array: np.ndarray,
+        box_size=None,
+        layout: PageLayout = None,
+        buffer_capacity: int = 16,
+    ) -> None:
+        self._requested_box_size = box_size
+        self._requested_layout = layout
+        self._buffer_capacity = buffer_capacity
+        super().__init__(array)
+
+    def _build(self, array: np.ndarray) -> None:
+        k = (
+            self._requested_box_size
+            if self._requested_box_size is not None
+            else default_box_size(array.shape)
+        )
+        self.box_sizes = indexing.normalize_box_sizes(k, array.shape)
+        self.overlay = Overlay(array, self.box_sizes, counter=self.counter)
+        layout = self._requested_layout or BoxAlignedLayout(
+            array.shape, self.box_sizes
+        )
+        rp_values = blocked_prefix_all_axes(array, self.box_sizes)
+        self.rp_pages = PagedNDArray.from_array(
+            rp_values, layout, buffer_capacity=self._buffer_capacity
+        )
+
+    @property
+    def box_size(self):
+        """The box side length: an int when uniform, else the per-axis tuple."""
+        if len(set(self.box_sizes)) == 1:
+            return self.box_sizes[0]
+        return self.box_sizes
+
+    # -- queries ----------------------------------------------------------------
+
+    def prefix_sum(self, target: Sequence[int]):
+        """Overlay lookups from RAM plus exactly one paged RP cell read."""
+        t = indexing.normalize_index(target, self.shape)
+        total = self.overlay.prefix_contribution(t)
+        self.counter.read(1, structure="RP")
+        return total + self.rp_pages.get(t)
+
+    # -- updates ----------------------------------------------------------------
+
+    def apply_delta(self, index: Sequence[int], delta) -> None:
+        """In-RAM overlay cascade plus a single-box RP page rewrite."""
+        idx = indexing.normalize_index(index, self.shape)
+        written = 0
+        for cell in self._box_cells_dominating(idx):
+            self.rp_pages.add(cell, delta)
+            written += 1
+        self.counter.write(written, structure="RP")
+        self.overlay.apply_delta(idx, delta)
+
+    def _box_cells_dominating(self, idx):
+        """Cells of idx's box at or after idx on every axis."""
+        ranges = [
+            range(i, min((i // k) * k + k, n))
+            for i, k, n in zip(idx, self.box_sizes, self.shape)
+        ]
+        return itertools.product(*ranges)
+
+    # -- I/O accounting ------------------------------------------------------------
+
+    def io_stats(self) -> dict:
+        """Page-level I/O and buffer statistics for the RP array."""
+        disk = self.rp_pages.disk.stats
+        pool = self.rp_pages.pool.stats
+        return {
+            "pages_read": disk.pages_read,
+            "pages_written": disk.pages_written,
+            "buffer_hits": pool.hits,
+            "buffer_misses": pool.misses,
+            "buffer_hit_rate": pool.hit_rate,
+        }
+
+    def reset_io_stats(self) -> None:
+        """Zero page and buffer counters (keeps cell counters)."""
+        self.rp_pages.reset_stats()
+
+    def flush(self) -> int:
+        """Write dirty RP pages back to disk; returns pages written."""
+        return self.rp_pages.pool.flush()
+
+    def storage_cells(self) -> int:
+        """Overlay cells (RAM) plus RP page slots (disk, incl. padding)."""
+        return (
+            self.overlay.storage_cells()
+            + self.rp_pages.layout.page_count * self.rp_pages.layout.page_size
+        )
+
+    def overlay_memory_cells(self) -> int:
+        """The RAM-resident portion — what Section 4.4 wants kept small."""
+        return self.overlay.storage_cells()

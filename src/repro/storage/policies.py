@@ -1,0 +1,154 @@
+"""Page replacement policies for the buffer pool.
+
+Section 4.4's argument only needs *a* cache between RP and the disk; which
+replacement policy backs it changes the constant factors real deployments
+see. Three classics are provided — LRU (the default), FIFO, and CLOCK
+(second chance) — behind one small interface so the E9-style benchmarks
+can ablate them.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.errors import StorageError
+
+
+class ReplacementPolicy(abc.ABC):
+    """Decides which resident page to evict.
+
+    The pool calls :meth:`admitted` when a page is faulted in,
+    :meth:`touched` on every hit, :meth:`evict` when space is needed, and
+    :meth:`removed` when a page leaves residency for any other reason.
+    """
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def admitted(self, page_id: int) -> None:
+        """A page became resident."""
+
+    @abc.abstractmethod
+    def touched(self, page_id: int) -> None:
+        """A resident page was accessed."""
+
+    @abc.abstractmethod
+    def evict(self) -> int:
+        """Choose and forget a victim page; returns its id."""
+
+    @abc.abstractmethod
+    def removed(self, page_id: int) -> None:
+        """A page left residency without an eviction decision."""
+
+
+class LruPolicy(ReplacementPolicy):
+    """Least-recently-used: evict the page untouched the longest."""
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[int, None]" = OrderedDict()
+
+    def admitted(self, page_id: int) -> None:
+        self._order[page_id] = None
+
+    def touched(self, page_id: int) -> None:
+        self._order.move_to_end(page_id)
+
+    def evict(self) -> int:
+        if not self._order:
+            raise StorageError("nothing to evict")
+        victim, _ = self._order.popitem(last=False)
+        return victim
+
+    def removed(self, page_id: int) -> None:
+        self._order.pop(page_id, None)
+
+
+class FifoPolicy(ReplacementPolicy):
+    """First-in-first-out: evict the page resident the longest,
+    regardless of use."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[int, None]" = OrderedDict()
+
+    def admitted(self, page_id: int) -> None:
+        self._order[page_id] = None
+
+    def touched(self, page_id: int) -> None:
+        pass  # recency is ignored
+
+    def evict(self) -> int:
+        if not self._order:
+            raise StorageError("nothing to evict")
+        victim, _ = self._order.popitem(last=False)
+        return victim
+
+    def removed(self, page_id: int) -> None:
+        self._order.pop(page_id, None)
+
+
+class ClockPolicy(ReplacementPolicy):
+    """CLOCK / second-chance: a circulating hand clears reference bits
+    and evicts the first unreferenced page it meets."""
+
+    name = "clock"
+
+    def __init__(self) -> None:
+        self._referenced: Dict[int, bool] = {}
+        self._ring: list = []
+        self._hand: int = 0
+
+    def admitted(self, page_id: int) -> None:
+        self._referenced[page_id] = True
+        self._ring.append(page_id)
+
+    def touched(self, page_id: int) -> None:
+        self._referenced[page_id] = True
+
+    def evict(self) -> int:
+        if not self._ring:
+            raise StorageError("nothing to evict")
+        while True:
+            if self._hand >= len(self._ring):
+                self._hand = 0
+            page_id = self._ring[self._hand]
+            if self._referenced.get(page_id, False):
+                self._referenced[page_id] = False
+                self._hand += 1
+            else:
+                del self._ring[self._hand]
+                self._referenced.pop(page_id, None)
+                return page_id
+
+    def removed(self, page_id: int) -> None:
+        if page_id in self._referenced:
+            self._referenced.pop(page_id, None)
+            index = self._ring.index(page_id)
+            del self._ring[index]
+            if index < self._hand:
+                self._hand -= 1
+
+
+POLICIES = {
+    LruPolicy.name: LruPolicy,
+    FifoPolicy.name: FifoPolicy,
+    ClockPolicy.name: ClockPolicy,
+}
+
+
+def make_policy(name: Optional[str]) -> ReplacementPolicy:
+    """Instantiate a policy by name (``None`` means LRU)."""
+    if name is None:
+        return LruPolicy()
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise StorageError(
+            f"unknown replacement policy {name!r}; "
+            f"choose from {sorted(POLICIES)}"
+        ) from None

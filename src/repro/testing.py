@@ -1,0 +1,143 @@
+"""Conformance harness for custom :class:`RangeSumMethod` implementations.
+
+Downstream users adding their own structure (a new blocking scheme, a
+compressed variant...) can validate it against the interface contract in
+one call::
+
+    from repro.testing import assert_method_correct
+    assert_method_correct(MyCube)
+
+The harness drives construction, queries, point updates, set-updates,
+batches, reconstruction, and counter discipline against a brute-force
+oracle over randomized cubes (several shapes and dtypes), raising
+``AssertionError`` with a reproducible seed on the first violation. The
+library's own methods are checked with exactly this harness in
+``tests/test_conformance.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Type
+
+import numpy as np
+
+from repro.core.base import RangeSumMethod
+
+DEFAULT_SHAPES: Tuple[Tuple[int, ...], ...] = (
+    (13,),
+    (9, 9),
+    (10, 7),
+    (5, 6, 4),
+)
+
+
+def _oracle_range(array, low, high):
+    return array[tuple(slice(l, h + 1) for l, h in zip(low, high))].sum()
+
+
+def _random_range(rng, shape):
+    low, high = [], []
+    for n in shape:
+        a, b = sorted(int(x) for x in rng.integers(0, n, size=2))
+        low.append(a)
+        high.append(b)
+    return tuple(low), tuple(high)
+
+
+def assert_method_correct(
+    method_cls: Type[RangeSumMethod],
+    shapes: Sequence[Tuple[int, ...]] = DEFAULT_SHAPES,
+    operations: int = 40,
+    seed: int = 0,
+    check_counters: bool = True,
+    **method_kwargs,
+) -> None:
+    """Validate one method class against the interface contract.
+
+    Args:
+        method_cls: the class under test.
+        shapes: cube shapes to exercise.
+        operations: interleaved query/update steps per shape.
+        seed: randomization seed (reported in failures).
+        check_counters: also require that queries charge reads and
+            updates charge writes to ``method.counter``.
+        **method_kwargs: forwarded to every construction.
+
+    Raises:
+        AssertionError: on the first contract violation, with enough
+            context (shape, seed, operation) to reproduce it.
+    """
+    for shape in shapes:
+        rng = np.random.default_rng(seed)
+        array = rng.integers(-20, 20, size=shape)
+        context = f"[{method_cls.__name__} shape={shape} seed={seed}]"
+        method = method_cls(array, **method_kwargs)
+
+        assert method.shape == tuple(shape), (
+            f"{context} shape attribute mismatch: {method.shape}"
+        )
+        assert method.ndim == len(shape), f"{context} ndim mismatch"
+        assert method.total() == array.sum(), (
+            f"{context} total() wrong after build"
+        )
+
+        oracle = array.copy()
+        for step in range(operations):
+            step_context = f"{context} step={step}"
+            low, high = _random_range(rng, shape)
+            before = method.counter.snapshot()
+            got = method.range_sum(low, high)
+            expected = _oracle_range(oracle, low, high)
+            assert np.isclose(float(got), float(expected)), (
+                f"{step_context} range_sum({low}, {high}) = {got}, "
+                f"expected {expected}"
+            )
+            if check_counters:
+                assert before.delta(method.counter).cells_read > 0, (
+                    f"{step_context} query charged no reads"
+                )
+
+            cell = tuple(int(rng.integers(0, n)) for n in shape)
+            delta = int(rng.integers(-9, 10)) or 1
+            before = method.counter.snapshot()
+            method.apply_delta(cell, delta)
+            oracle[cell] += delta
+            if check_counters:
+                assert before.delta(method.counter).cells_written > 0, (
+                    f"{step_context} update charged no writes"
+                )
+            assert np.isclose(
+                float(method.cell_value(cell)), float(oracle[cell])
+            ), f"{step_context} cell_value({cell}) wrong after delta"
+
+        # set-semantics update
+        cell = tuple(0 for _ in shape)
+        method.update(cell, 123)
+        oracle[cell] = 123
+        assert method.cell_value(cell) == 123, (
+            f"{context} update() did not set the cell"
+        )
+
+        # batch application
+        batch = []
+        for _ in range(10):
+            cell = tuple(int(rng.integers(0, n)) for n in shape)
+            delta = int(rng.integers(-5, 6))
+            batch.append((cell, delta))
+            oracle[cell] += delta
+        method.apply_batch(batch)
+
+        # reconstruction
+        rebuilt = method.to_array()
+        assert np.allclose(
+            np.asarray(rebuilt, dtype=np.float64),
+            np.asarray(oracle, dtype=np.float64),
+        ), f"{context} to_array() diverged from the oracle"
+
+        # storage accounting sanity
+        assert method.storage_cells() > 0, (
+            f"{context} storage_cells() must be positive"
+        )
+
+        # built-in verification agrees
+        method.verify(probes=20, seed=seed)

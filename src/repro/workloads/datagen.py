@@ -1,0 +1,134 @@
+"""Synthetic data-cube generators.
+
+The paper evaluates analytically, so no published dataset exists to load;
+these generators produce cubes with the characteristics OLAP workloads
+exhibit (dense uniform counts, skewed sales figures, sparse fact tables,
+clustered hot regions) so the benchmark harness can exercise every method
+on realistic inputs. All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+def _rng(seed) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _check_shape(shape: Sequence[int]) -> Tuple[int, ...]:
+    shape = tuple(int(n) for n in shape)
+    if not shape or any(n < 1 for n in shape):
+        raise WorkloadError(f"invalid cube shape {shape}")
+    return shape
+
+
+def uniform_cube(
+    shape: Sequence[int],
+    low: int = 0,
+    high: int = 100,
+    seed=0,
+) -> np.ndarray:
+    """Integer cells drawn uniformly from ``[low, high)``."""
+    shape = _check_shape(shape)
+    if high <= low:
+        raise WorkloadError(f"empty value range [{low}, {high})")
+    return _rng(seed).integers(low, high, size=shape).astype(np.int64)
+
+
+def zipf_cube(
+    shape: Sequence[int],
+    exponent: float = 1.5,
+    cap: int = 10_000,
+    seed=0,
+) -> np.ndarray:
+    """Heavy-tailed cells (a few huge totals, many small) via a Zipf law.
+
+    Models measures like revenue where a handful of (age, day) cells
+    dominate. ``cap`` truncates the tail so sums stay well inside int64.
+    """
+    shape = _check_shape(shape)
+    if exponent <= 1.0:
+        raise WorkloadError(f"zipf exponent must be > 1, got {exponent}")
+    values = _rng(seed).zipf(exponent, size=shape)
+    return np.minimum(values, cap).astype(np.int64)
+
+
+def sparse_cube(
+    shape: Sequence[int],
+    density: float = 0.05,
+    low: int = 1,
+    high: int = 100,
+    seed=0,
+) -> np.ndarray:
+    """Mostly-zero cube: each cell is nonzero with probability ``density``.
+
+    Models high-dimensional cubes where most attribute combinations never
+    occur — the regime where the paper's exponential-size warning bites.
+    """
+    shape = _check_shape(shape)
+    if not 0.0 <= density <= 1.0:
+        raise WorkloadError(f"density must be in [0, 1], got {density}")
+    rng = _rng(seed)
+    mask = rng.random(size=shape) < density
+    values = rng.integers(low, high, size=shape)
+    return np.where(mask, values, 0).astype(np.int64)
+
+
+def clustered_cube(
+    shape: Sequence[int],
+    clusters: int = 4,
+    spread: float = 0.08,
+    amplitude: int = 1_000,
+    seed=0,
+) -> np.ndarray:
+    """Gaussian hot spots on a low background.
+
+    Models seasonal/regional concentration (e.g. holiday sales spikes):
+    ``clusters`` random centers each radiate an exponentially-decaying
+    bump of total height ``amplitude`` with radius ``spread * n``.
+    """
+    shape = _check_shape(shape)
+    if clusters < 1:
+        raise WorkloadError(f"need at least one cluster, got {clusters}")
+    rng = _rng(seed)
+    grids = np.meshgrid(
+        *[np.arange(n, dtype=np.float64) for n in shape], indexing="ij"
+    )
+    out = rng.integers(0, 3, size=shape).astype(np.float64)
+    for _ in range(clusters):
+        center = [rng.uniform(0, n - 1) for n in shape]
+        radius = max(1.0, spread * float(np.mean(shape)))
+        dist2 = sum((g - c) ** 2 for g, c in zip(grids, center))
+        out += amplitude * np.exp(-dist2 / (2.0 * radius**2))
+    return np.round(out).astype(np.int64)
+
+
+def paper_example_cube() -> np.ndarray:
+    """The paper's own 9x9 example array (Figure 1)."""
+    from repro.paper import ARRAY_A
+
+    return ARRAY_A.copy()
+
+
+GENERATORS = {
+    "uniform": uniform_cube,
+    "zipf": zipf_cube,
+    "sparse": sparse_cube,
+    "clustered": clustered_cube,
+}
+
+
+def make_cube(kind: str, shape: Sequence[int], seed=0, **kwargs) -> np.ndarray:
+    """Dispatch to a named generator (used by the CLI and benchmarks)."""
+    try:
+        generator = GENERATORS[kind]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown cube kind {kind!r}; choose from {sorted(GENERATORS)}"
+        ) from None
+    return generator(shape, seed=seed, **kwargs)

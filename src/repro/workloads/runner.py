@@ -1,0 +1,178 @@
+"""Mixed query/update workload execution with cost accounting.
+
+The paper's overall-complexity argument assumes "queries and updates are
+equally likely" and multiplies their costs. :class:`WorkloadRunner`
+executes interleaved query/update streams against any method, verifies
+results against an oracle when asked, and reports the per-operation cell
+costs the product argument is built from.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.base import RangeSumMethod
+from repro.errors import WorkloadError
+from repro.workloads.querygen import QueryRange
+from repro.workloads.updategen import Update
+
+
+@dataclass
+class WorkloadResult:
+    """Aggregated outcome of one workload run against one method.
+
+    Cell counts are the paper's cost unit; wall-clock seconds are the
+    modern sanity check of the same claims.
+    """
+
+    method: str
+    queries: int = 0
+    updates: int = 0
+    query_cells_read: int = 0
+    update_cells_written: int = 0
+    query_seconds: float = 0.0
+    update_seconds: float = 0.0
+    mismatches: int = 0
+    answers: List = field(default_factory=list)
+    query_latencies: List[float] = field(default_factory=list)
+    update_latencies: List[float] = field(default_factory=list)
+
+    @property
+    def cells_per_query(self) -> float:
+        """Mean cells read per query."""
+        return self.query_cells_read / self.queries if self.queries else 0.0
+
+    @property
+    def cells_per_update(self) -> float:
+        """Mean cells written per update."""
+        return (
+            self.update_cells_written / self.updates if self.updates else 0.0
+        )
+
+    @property
+    def cost_product(self) -> float:
+        """Mean query cost x mean update cost — the paper's figure of merit."""
+        return self.cells_per_query * self.cells_per_update
+
+    def latency_percentiles(self, kind: str = "query") -> Dict[str, float]:
+        """p50/p95/p99/max per-operation latency, in seconds.
+
+        ``kind`` is ``"query"`` or ``"update"``; empty streams yield an
+        all-zero summary.
+        """
+        samples = (
+            self.query_latencies if kind == "query"
+            else self.update_latencies
+        )
+        if not samples:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+        return {
+            "p50": float(np.percentile(samples, 50)),
+            "p95": float(np.percentile(samples, 95)),
+            "p99": float(np.percentile(samples, 99)),
+            "max": float(max(samples)),
+        }
+
+
+class WorkloadRunner:
+    """Drives query/update streams through a method and tallies costs.
+
+    Args:
+        method: the structure under test.
+        oracle: optional dense array kept in sync with the updates; when
+            provided, every query answer is checked against it and
+            mismatches are counted (they indicate a bug, and tests assert
+            zero).
+    """
+
+    def __init__(
+        self,
+        method: RangeSumMethod,
+        oracle: Optional[np.ndarray] = None,
+    ) -> None:
+        self.method = method
+        self.oracle = None if oracle is None else np.array(oracle)
+        if self.oracle is not None and self.oracle.shape != method.shape:
+            raise WorkloadError(
+                f"oracle shape {self.oracle.shape} != method shape "
+                f"{method.shape}"
+            )
+
+    def run(
+        self,
+        queries: Iterable[QueryRange] = (),
+        updates: Iterable[Update] = (),
+        interleave: bool = True,
+        keep_answers: bool = False,
+    ) -> WorkloadResult:
+        """Execute the streams and return aggregated costs.
+
+        With ``interleave=True`` (the default, matching the paper's
+        equally-likely assumption) operations alternate query, update,
+        query, update...; otherwise all queries run first.
+        """
+        result = WorkloadResult(method=self.method.name)
+        query_list = list(queries)
+        update_list = list(updates)
+        if interleave:
+            ops: List[Tuple[str, object]] = []
+            qi = ui = 0
+            for i in range(len(query_list) + len(update_list)):
+                take_query = (i % 2 == 0 and qi < len(query_list)) or (
+                    ui >= len(update_list)
+                )
+                if take_query:
+                    ops.append(("q", query_list[qi]))
+                    qi += 1
+                else:
+                    ops.append(("u", update_list[ui]))
+                    ui += 1
+        else:
+            ops = [("q", q) for q in query_list] + [
+                ("u", u) for u in update_list
+            ]
+        for kind, op in ops:
+            if kind == "q":
+                self._run_query(op, result, keep_answers)
+            else:
+                self._run_update(op, result)
+        return result
+
+    def _run_query(
+        self, query: QueryRange, result: WorkloadResult, keep: bool
+    ) -> None:
+        low, high = query
+        before = self.method.counter.snapshot()
+        start = time.perf_counter()
+        answer = self.method.range_sum(low, high)
+        elapsed = time.perf_counter() - start
+        result.query_seconds += elapsed
+        result.query_latencies.append(elapsed)
+        delta = before.delta(self.method.counter)
+        result.query_cells_read += delta.cells_read
+        result.queries += 1
+        if keep:
+            result.answers.append(answer)
+        if self.oracle is not None:
+            slices = tuple(slice(l, h + 1) for l, h in zip(low, high))
+            expected = self.oracle[slices].sum()
+            if not np.isclose(float(answer), float(expected)):
+                result.mismatches += 1
+
+    def _run_update(self, update: Update, result: WorkloadResult) -> None:
+        cell, delta = update
+        before = self.method.counter.snapshot()
+        start = time.perf_counter()
+        self.method.apply_delta(cell, delta)
+        elapsed = time.perf_counter() - start
+        result.update_seconds += elapsed
+        result.update_latencies.append(elapsed)
+        diff = before.delta(self.method.counter)
+        result.update_cells_written += diff.cells_written
+        result.updates += 1
+        if self.oracle is not None:
+            self.oracle[cell] += delta

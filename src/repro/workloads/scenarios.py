@@ -1,0 +1,178 @@
+"""Named end-to-end workload scenarios.
+
+Reusable, parameterized combinations of a synthetic cube, a query stream,
+and an update stream, modeling the situations the paper's introduction
+describes. Each scenario is a recipe the CLI (``repro-bench workload``)
+and the benchmarks can run against any method:
+
+* ``dashboard`` — read-heavy hotspot queries over a clustered cube with a
+  trickle of appends (the "managers demand near-current information"
+  situation).
+* ``nightly_etl`` — a large batch of appends followed by a full query
+  sweep (the daily-load situation the update-cost analysis targets).
+* ``audit`` — uniformly random deep-drill queries, no updates (the
+  static case where plain prefix sums already excel).
+* ``ticker`` — update-dominated traffic on a few hot cells with
+  occasional wide queries (stress on cascade costs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence
+
+from repro.errors import WorkloadError
+from repro.workloads import datagen, querygen, updategen
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named workload recipe.
+
+    Attributes:
+        name: scenario identifier.
+        description: one-line summary shown by the CLI.
+        make_cube: builds the synthetic cube for a given shape/seed.
+        make_queries: builds the query stream.
+        make_updates: builds the update stream.
+        interleave: whether queries and updates alternate (True) or all
+            updates run first (False — the nightly-ETL shape).
+    """
+
+    name: str
+    description: str
+    make_cube: Callable
+    make_queries: Callable
+    make_updates: Callable
+    interleave: bool = True
+
+
+def _dashboard_cube(shape, seed):
+    return datagen.clustered_cube(shape, clusters=5, seed=seed)
+
+
+def _dashboard_queries(shape, operations, seed):
+    return list(
+        querygen.hotspot_ranges(
+            shape, operations, hotspot_fraction=0.25,
+            hot_probability=0.85, seed=seed,
+        )
+    )
+
+
+def _dashboard_updates(shape, operations, seed):
+    return list(
+        updategen.append_updates(
+            shape, max(1, operations // 4), recent_fraction=0.05, seed=seed
+        )
+    )
+
+
+def _etl_cube(shape, seed):
+    return datagen.zipf_cube(shape, exponent=1.4, seed=seed)
+
+
+def _etl_queries(shape, operations, seed):
+    return list(
+        querygen.fixed_extent_ranges(shape, 0.5, operations, seed=seed)
+    )
+
+
+def _etl_updates(shape, operations, seed):
+    return list(
+        updategen.random_updates(shape, operations * 4, seed=seed)
+    )
+
+
+def _audit_cube(shape, seed):
+    return datagen.uniform_cube(shape, seed=seed)
+
+
+def _audit_queries(shape, operations, seed):
+    return list(querygen.random_ranges(shape, operations, seed=seed))
+
+
+def _audit_updates(shape, operations, seed):
+    return []
+
+
+def _ticker_cube(shape, seed):
+    return datagen.sparse_cube(shape, density=0.1, seed=seed)
+
+
+def _ticker_queries(shape, operations, seed):
+    return list(
+        querygen.fixed_extent_ranges(
+            shape, 0.9, max(1, operations // 8), seed=seed
+        )
+    )
+
+
+def _ticker_updates(shape, operations, seed):
+    return list(
+        updategen.skewed_updates(
+            shape, operations, hot_cells=16, hot_probability=0.95, seed=seed
+        )
+    )
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    "dashboard": Scenario(
+        "dashboard",
+        "hotspot reads over clustered data with an append trickle",
+        _dashboard_cube, _dashboard_queries, _dashboard_updates,
+    ),
+    "nightly_etl": Scenario(
+        "nightly_etl",
+        "bulk update load followed by a broad query sweep",
+        _etl_cube, _etl_queries, _etl_updates, interleave=False,
+    ),
+    "audit": Scenario(
+        "audit",
+        "uniformly random read-only drill-downs (static data)",
+        _audit_cube, _audit_queries, _audit_updates,
+    ),
+    "ticker": Scenario(
+        "ticker",
+        "update-dominated hot-cell traffic with rare wide reads",
+        _ticker_cube, _ticker_queries, _ticker_updates,
+    ),
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        ) from None
+
+
+def run_scenario(
+    name: str,
+    method_cls,
+    shape: Sequence[int] = (128, 128),
+    operations: int = 100,
+    seed: int = 0,
+    verify: bool = True,
+):
+    """Run one scenario against one method class.
+
+    Returns the :class:`~repro.workloads.runner.WorkloadResult`; with
+    ``verify=True`` every query is checked against an oracle (mismatches
+    land in ``result.mismatches`` and should always be zero).
+    """
+    from repro.workloads.runner import WorkloadRunner
+
+    scenario = get_scenario(name)
+    shape = tuple(int(n) for n in shape)
+    cube = scenario.make_cube(shape, seed)
+    method = method_cls(cube)
+    runner = WorkloadRunner(method, oracle=cube.copy() if verify else None)
+    return runner.run(
+        queries=scenario.make_queries(shape, operations, seed),
+        updates=scenario.make_updates(shape, operations, seed),
+        interleave=scenario.interleave,
+    )

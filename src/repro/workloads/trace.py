@@ -1,0 +1,185 @@
+"""Workload traces: record once, replay anywhere.
+
+Benchmarking two methods fairly requires feeding them the *identical*
+operation stream; comparing runs across machines or versions requires
+persisting that stream. A :class:`Trace` is an ordered list of query and
+update operations that can be captured from any generator pair, saved as
+JSON lines, loaded back, and replayed through the
+:class:`~repro.workloads.runner.WorkloadRunner` against any method.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from repro.errors import WorkloadError
+
+Coord = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One traced operation.
+
+    ``kind`` is ``"query"`` (payload: low, high) or ``"update"``
+    (payload: cell, delta).
+    """
+
+    kind: str
+    low: Coord = None
+    high: Coord = None
+    cell: Coord = None
+    delta: float = None
+
+    def to_json(self) -> str:
+        """One JSON line for this operation."""
+        if self.kind == "query":
+            return json.dumps(
+                {"op": "q", "low": list(self.low), "high": list(self.high)}
+            )
+        return json.dumps(
+            {"op": "u", "cell": list(self.cell), "delta": self.delta}
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "Operation":
+        """Parse one JSON line back into an operation."""
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise WorkloadError(f"bad trace line: {line[:60]!r}") from exc
+        if payload.get("op") == "q":
+            return cls(
+                "query",
+                low=tuple(payload["low"]),
+                high=tuple(payload["high"]),
+            )
+        if payload.get("op") == "u":
+            return cls(
+                "update",
+                cell=tuple(payload["cell"]),
+                delta=payload["delta"],
+            )
+        raise WorkloadError(f"unknown trace op in line: {line[:60]!r}")
+
+
+class Trace:
+    """An ordered, persistable stream of workload operations."""
+
+    def __init__(self, operations: Iterable[Operation] = ()) -> None:
+        self.operations: List[Operation] = list(operations)
+
+    # -- capture ---------------------------------------------------------------
+
+    @classmethod
+    def capture(
+        cls,
+        queries: Iterable = (),
+        updates: Iterable = (),
+        interleave: bool = True,
+    ) -> "Trace":
+        """Build a trace from query/update streams.
+
+        With ``interleave=True`` operations alternate (query, update,
+        ...), matching the runner's default mixing; otherwise queries
+        come first.
+        """
+        query_ops = [
+            Operation("query", low=tuple(low), high=tuple(high))
+            for low, high in queries
+        ]
+        update_ops = [
+            Operation("update", cell=tuple(cell), delta=delta)
+            for cell, delta in updates
+        ]
+        if not interleave:
+            return cls(query_ops + update_ops)
+        mixed: List[Operation] = []
+        qi = ui = 0
+        for i in range(len(query_ops) + len(update_ops)):
+            take_query = (i % 2 == 0 and qi < len(query_ops)) or (
+                ui >= len(update_ops)
+            )
+            if take_query:
+                mixed.append(query_ops[qi])
+                qi += 1
+            else:
+                mixed.append(update_ops[ui])
+                ui += 1
+        return cls(mixed)
+
+    # -- persistence -------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Write the trace as JSON lines."""
+        with open(path, "w") as handle:
+            for operation in self.operations:
+                handle.write(operation.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path) -> "Trace":
+        """Read a trace written by :meth:`save`."""
+        operations = []
+        for line in Path(path).read_text().splitlines():
+            if line.strip():
+                operations.append(Operation.from_json(line))
+        return cls(operations)
+
+    # -- replay --------------------------------------------------------------------
+
+    def queries(self) -> List[Tuple[Coord, Coord]]:
+        """The trace's queries, in order."""
+        return [
+            (op.low, op.high)
+            for op in self.operations
+            if op.kind == "query"
+        ]
+
+    def updates(self) -> List[Tuple[Coord, float]]:
+        """The trace's updates, in order."""
+        return [
+            (op.cell, op.delta)
+            for op in self.operations
+            if op.kind == "update"
+        ]
+
+    def replay(self, method, oracle=None):
+        """Run the trace, in its exact recorded order, against a method.
+
+        Returns a :class:`~repro.workloads.runner.WorkloadResult`. Unlike
+        the runner's own mixing, replay preserves the trace's operation
+        order exactly (that is the point of a trace).
+        """
+        from repro.workloads.runner import WorkloadResult, WorkloadRunner
+
+        runner = WorkloadRunner(method, oracle=oracle)
+        result = WorkloadResult(method=method.name)
+        for operation in self.operations:
+            if operation.kind == "query":
+                runner._run_query(
+                    (operation.low, operation.high), result, keep=False
+                )
+            else:
+                runner._run_update(
+                    (operation.cell, operation.delta), result
+                )
+        return result
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Trace)
+            and self.operations == other.operations
+        )
+
+    def __repr__(self) -> str:
+        n_queries = sum(1 for op in self.operations if op.kind == "query")
+        return (
+            f"Trace({n_queries} queries, "
+            f"{len(self.operations) - n_queries} updates)"
+        )

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro import paper
+from repro.baselines import FenwickCube, NaiveCube, PrefixSumCube
+from repro.core import RelativePrefixSumCube
+
+
+@pytest.fixture
+def paper_cube():
+    """A fresh copy of the paper's 9x9 example array (Figure 1)."""
+    return paper.ARRAY_A.copy()
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator for test data."""
+    return np.random.default_rng(12345)
+
+
+#: All in-memory method classes, for parametrized equivalence tests.
+METHOD_CLASSES = [NaiveCube, PrefixSumCube, FenwickCube, RelativePrefixSumCube]
+
+
+@pytest.fixture(params=METHOD_CLASSES, ids=lambda c: c.name)
+def method_class(request):
+    """Parametrize a test over every range-sum method."""
+    return request.param
+
+
+def brute_range_sum(array, low, high):
+    """Oracle: direct scan of the inclusive range."""
+    slices = tuple(slice(l, h + 1) for l, h in zip(low, high))
+    return array[slices].sum()
+
+
+def random_range(generator, shape):
+    """A uniformly random inclusive range within ``shape``."""
+    low, high = [], []
+    for n in shape:
+        a, b = sorted(int(x) for x in generator.integers(0, n, size=2))
+        low.append(a)
+        high.append(b)
+    return tuple(low), tuple(high)

@@ -1,0 +1,56 @@
+"""Public API surface tests (repro top-level package)."""
+
+import numpy as np
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_error_hierarchy_reachable(self):
+        from repro.errors import (
+            BoxSizeError,
+            DimensionError,
+            EncodingError,
+            RangeError,
+            SchemaError,
+            StorageError,
+            WorkloadError,
+        )
+
+        for exc in (
+            BoxSizeError, DimensionError, EncodingError, RangeError,
+            SchemaError, StorageError, WorkloadError,
+        ):
+            assert issubclass(exc, repro.ReproError)
+
+
+class TestQuickstartSnippet:
+    def test_readme_quickstart_works(self):
+        """The exact usage pattern documented in the package docstring."""
+        cube = repro.RelativePrefixSumCube(
+            np.random.default_rng(0).integers(0, 100, (365, 50))
+        )
+        total = cube.range_sum((0, 12), (89, 37))
+        assert total > 0
+        before = cube.cell_value((120, 40))
+        cube.apply_delta((120, 40), 250)
+        assert cube.cell_value((120, 40)) == before + 250
+
+    def test_engine_quickstart(self):
+        schema = repro.CubeSchema(
+            [
+                repro.Dimension("age", repro.IntegerEncoder(20, 69)),
+                repro.Dimension("day", repro.DateEncoder("2026-01-01", 90)),
+            ],
+            measure="sales",
+        )
+        engine = repro.DataCubeEngine(schema)
+        engine.ingest({"age": 37, "day": "2026-01-15", "sales": 250.0})
+        assert engine.sum({"age": (37, 52)}) == 250.0

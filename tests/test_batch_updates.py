@@ -1,0 +1,153 @@
+"""Tests for batch updates and the rebuild-vs-incremental ablation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.naive import NaiveCube
+from repro.baselines.prefix import PrefixSumCube
+from repro.core.rps import RelativePrefixSumCube
+from repro.errors import RangeError
+from repro.workloads import updategen
+from tests.conftest import METHOD_CLASSES, brute_range_sum, random_range
+
+
+def apply_to_oracle(oracle, updates):
+    for cell, delta in updates:
+        oracle[cell] += delta
+    return oracle
+
+
+class TestBatchCorrectness:
+    @pytest.mark.parametrize("method_class", METHOD_CLASSES,
+                             ids=lambda c: c.name)
+    def test_batch_equals_sequential(self, rng, method_class):
+        a = rng.integers(0, 20, size=(12, 12))
+        updates = list(updategen.random_updates(a.shape, 30, seed=5))
+        batched = method_class(a)
+        batched.apply_batch(list(updates))
+        oracle = apply_to_oracle(a.copy(), updates)
+        assert np.array_equal(batched.to_array(), oracle)
+
+    def test_empty_batch(self, rng):
+        cube = RelativePrefixSumCube(rng.integers(0, 5, (6, 6)), box_size=3)
+        assert cube.apply_batch([]) == 0
+
+    def test_batch_returns_count(self, rng):
+        cube = NaiveCube(rng.integers(0, 5, (6, 6)))
+        assert cube.apply_batch([((0, 0), 1), ((5, 5), 2)]) == 2
+
+    def test_duplicate_cells_accumulate(self, rng):
+        cube = PrefixSumCube(rng.integers(0, 5, (6, 6)))
+        base = cube.cell_value((2, 2))
+        cube.apply_batch([((2, 2), 3), ((2, 2), 4)])
+        assert cube.cell_value((2, 2)) == base + 7
+
+
+class TestRpsStrategies:
+    @pytest.fixture
+    def cube_and_updates(self, rng):
+        a = rng.integers(0, 20, size=(32, 32))
+        updates = list(updategen.random_updates(a.shape, 50, seed=6))
+        return a, updates
+
+    def test_incremental_and_rebuild_agree(self, cube_and_updates):
+        a, updates = cube_and_updates
+        incremental = RelativePrefixSumCube(a, box_size=8)
+        rebuilt = RelativePrefixSumCube(a, box_size=8)
+        incremental.apply_batch(list(updates), strategy="incremental")
+        rebuilt.apply_batch(list(updates), strategy="rebuild")
+        assert np.array_equal(incremental.to_array(), rebuilt.to_array())
+        for mask in incremental.overlay.masks():
+            assert np.array_equal(
+                incremental.overlay.values_array(mask),
+                rebuilt.overlay.values_array(mask),
+            )
+
+    def test_rebuild_cost_independent_of_batch_size(self, cube_and_updates):
+        a, updates = cube_and_updates
+        costs = []
+        for m in (5, 50):
+            cube = RelativePrefixSumCube(a, box_size=8)
+            before = cube.counter.snapshot()
+            cube.apply_batch(list(updates[:m]), strategy="rebuild")
+            costs.append(before.delta(cube.counter).cells_written)
+        assert costs[0] == costs[1]
+
+    def test_incremental_cost_linear_in_batch_size(self, cube_and_updates):
+        a, updates = cube_and_updates
+        costs = []
+        for m in (10, 40):
+            cube = RelativePrefixSumCube(a, box_size=8)
+            before = cube.counter.snapshot()
+            cube.apply_batch(list(updates[:m]), strategy="incremental")
+            costs.append(before.delta(cube.counter).cells_written)
+        assert costs[1] > 2 * costs[0]
+
+    def test_auto_picks_incremental_for_tiny_batches(self, cube_and_updates):
+        a, updates = cube_and_updates
+        cube = RelativePrefixSumCube(a, box_size=8)
+        rebuild_cost = cube.storage_cells()
+        before = cube.counter.snapshot()
+        cube.apply_batch(list(updates[:2]), strategy="auto")
+        assert before.delta(cube.counter).cells_written < rebuild_cost
+
+    def test_auto_picks_rebuild_for_huge_batches(self, rng):
+        a = rng.integers(0, 20, size=(16, 16))
+        cube = RelativePrefixSumCube(a, box_size=4)
+        # adversarial updates, each near the worst case
+        updates = [((1, 1), 1)] * 300
+        before = cube.counter.snapshot()
+        cube.apply_batch(updates, strategy="auto")
+        written = before.delta(cube.counter).cells_written
+        # rebuild cost, not 300 x worst-case cascades
+        assert written == cube.storage_cells()
+        assert cube.cell_value((1, 1)) == a[1, 1] + 300
+
+    def test_unknown_strategy_rejected(self, rng):
+        cube = RelativePrefixSumCube(rng.integers(0, 5, (6, 6)), box_size=3)
+        with pytest.raises(RangeError):
+            cube.apply_batch([((0, 0), 1)], strategy="magic")
+
+    def test_queries_correct_after_auto_batches(self, rng):
+        a = rng.integers(0, 20, size=(20, 20))
+        cube = RelativePrefixSumCube(a, box_size=5)
+        oracle = a.copy()
+        for seed in range(4):
+            updates = list(
+                updategen.random_updates(a.shape, 25, seed=seed)
+            )
+            cube.apply_batch(list(updates))
+            apply_to_oracle(oracle, updates)
+            low, high = random_range(rng, a.shape)
+            assert cube.range_sum(low, high) == brute_range_sum(
+                oracle, low, high
+            )
+
+
+class TestPrefixSumBatch:
+    def test_one_pass_cost(self, rng):
+        """However many updates, the PS batch costs one n^d pass."""
+        a = rng.integers(0, 20, size=(32, 32))
+        for m in (1, 100):
+            cube = PrefixSumCube(a)
+            updates = list(updategen.random_updates(a.shape, m, seed=m))
+            before = cube.counter.snapshot()
+            cube.apply_batch(updates)
+            assert before.delta(cube.counter).cells_written == a.size
+
+    def test_batch_beats_sequential_for_daily_loads(self, rng):
+        """The daily-batch scenario: folding the batch is far cheaper
+        than replaying it update by update."""
+        a = rng.integers(0, 20, size=(32, 32))
+        updates = list(updategen.random_updates(a.shape, 64, seed=9))
+        sequential = PrefixSumCube(a)
+        for cell, delta in updates:
+            sequential.apply_delta(cell, delta)
+        batched = PrefixSumCube(a)
+        batched.apply_batch(list(updates))
+        assert (
+            batched.counter.cells_written
+            < sequential.counter.cells_written / 5
+        )
+        assert np.array_equal(batched.prefix_array(),
+                              sequential.prefix_array())

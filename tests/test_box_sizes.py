@@ -1,0 +1,171 @@
+"""Tests for per-axis overlay box sizes (extension of the paper's model).
+
+The paper fixes a single k on every dimension "for clarity, and without
+loss of generality"; these tests cover the per-dimension generalization.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import indexing
+from repro.core.overlay import Overlay
+from repro.core.rp import RelativePrefixArray
+from repro.core.rps import (
+    RelativePrefixSumCube,
+    default_box_size,
+    default_box_sizes,
+)
+from repro.errors import BoxSizeError
+from repro.storage.layout import BoxAlignedLayout
+from repro.storage.paged_rps import PagedRPSCube
+from tests.conftest import brute_range_sum, random_range
+
+
+class TestNormalization:
+    def test_scalar_expands(self):
+        assert indexing.normalize_box_sizes(3, (9, 9)) == (3, 3)
+
+    def test_tuple_passthrough(self):
+        assert indexing.normalize_box_sizes((2, 5), (9, 9)) == (2, 5)
+
+    def test_arity_mismatch(self):
+        with pytest.raises(BoxSizeError):
+            indexing.normalize_box_sizes((2, 3, 4), (9, 9))
+
+    def test_zero_rejected(self):
+        with pytest.raises(BoxSizeError):
+            indexing.normalize_box_sizes((2, 0), (9, 9))
+
+    def test_anchor_of_per_axis(self):
+        assert indexing.anchor_of((7, 7), (3, 5)) == (6, 5)
+
+    def test_box_count_per_axis(self):
+        assert indexing.box_count((9, 10), (3, 4)) == 3 * 3
+
+
+class TestDefaultRules:
+    def test_scalar_rule(self):
+        assert default_box_size((256, 256)) == 16
+
+    def test_per_axis_rule(self):
+        assert default_box_sizes((365, 50)) == (19, 7)
+
+    def test_per_axis_minimum_one(self):
+        assert default_box_sizes((2, 2)) == (1, 1)
+
+
+class TestAnisotropicCorrectness:
+    @pytest.mark.parametrize("shape,sizes", [
+        ((12, 20), (3, 5)),
+        ((9, 9), (2, 4)),          # n not divisible by either k
+        ((10, 6, 8), (5, 2, 3)),
+        ((16, 4), (4, 4)),
+    ])
+    def test_queries_match_oracle(self, rng, shape, sizes):
+        a = rng.integers(0, 20, size=shape)
+        cube = RelativePrefixSumCube(a, box_size=sizes)
+        for _ in range(60):
+            low, high = random_range(rng, shape)
+            assert cube.range_sum(low, high) == brute_range_sum(a, low, high)
+
+    def test_updates_then_queries(self, rng):
+        shape, sizes = (12, 20), (3, 5)
+        a = rng.integers(0, 10, size=shape)
+        cube = RelativePrefixSumCube(a, box_size=sizes)
+        a = a.copy()
+        for _ in range(40):
+            cell = tuple(int(rng.integers(0, n)) for n in shape)
+            delta = int(rng.integers(-4, 5))
+            a[cell] += delta
+            cube.apply_delta(cell, delta)
+            low, high = random_range(rng, shape)
+            assert cube.range_sum(low, high) == brute_range_sum(a, low, high)
+        assert np.array_equal(cube.to_array(), a)
+
+    def test_update_cost_prediction_still_exact(self, rng):
+        a = rng.integers(0, 10, size=(12, 20))
+        cube = RelativePrefixSumCube(a, box_size=(3, 5))
+        for _ in range(30):
+            cell = (int(rng.integers(0, 12)), int(rng.integers(0, 20)))
+            predicted = cube.update_cost_breakdown(cell)["total"]
+            before = cube.counter.snapshot()
+            cube.apply_delta(cell, 1)
+            assert before.delta(cube.counter).cells_written == predicted
+
+    def test_overlay_update_equals_rebuild(self, rng):
+        a = rng.integers(0, 10, size=(8, 12))
+        overlay = Overlay(a, (2, 4))
+        for _ in range(15):
+            cell = (int(rng.integers(0, 8)), int(rng.integers(0, 12)))
+            a[cell] += 3
+            overlay.apply_delta(cell, 3)
+        fresh = Overlay(a, (2, 4))
+        for mask in overlay.masks():
+            assert np.array_equal(
+                overlay.values_array(mask), fresh.values_array(mask)
+            )
+
+    def test_rp_per_axis(self, rng):
+        a = rng.integers(0, 10, size=(9, 10))
+        rp = RelativePrefixArray(a, (3, 5))
+        for i in range(9):
+            for j in range(10):
+                ai, aj = (i // 3) * 3, (j // 5) * 5
+                assert rp.value((i, j)) == a[ai : i + 1, aj : j + 1].sum()
+
+
+class TestBoxSizeProperty:
+    def test_uniform_reports_int(self, rng):
+        cube = RelativePrefixSumCube(rng.integers(0, 5, (8, 8)), box_size=4)
+        assert cube.box_size == 4
+        assert cube.box_sizes == (4, 4)
+
+    def test_mixed_reports_tuple(self, rng):
+        cube = RelativePrefixSumCube(
+            rng.integers(0, 5, (8, 10)), box_size=(4, 5)
+        )
+        assert cube.box_size == (4, 5)
+
+
+class TestStorageCounts:
+    def test_paper_formula_per_axis(self, rng):
+        a = rng.integers(0, 5, size=(12, 20))
+        overlay = Overlay(a, (3, 5))
+        boxes = 4 * 4
+        # prod(k_i) - prod(k_i - 1) = 15 - 8 = 7 per box
+        assert overlay.storage_cells() == boxes * 7
+        assert overlay.paper_storage_cells() == boxes * 7
+
+
+class TestPagedPerAxis:
+    def test_paged_rps_anisotropic(self, rng):
+        a = rng.integers(0, 10, size=(12, 20))
+        paged = PagedRPSCube(a, box_size=(3, 5), buffer_capacity=4)
+        memory = RelativePrefixSumCube(a, box_size=(3, 5))
+        for _ in range(30):
+            low, high = random_range(rng, a.shape)
+            assert paged.range_sum(low, high) == memory.range_sum(low, high)
+
+    def test_box_aligned_layout_page_size(self):
+        layout = BoxAlignedLayout((12, 20), (3, 5))
+        assert layout.page_size == 15
+        assert layout.page_count == 16
+
+    def test_one_box_one_page(self):
+        layout = BoxAlignedLayout((12, 20), (3, 5))
+        pages = {
+            layout.locate((i, j))[0]
+            for i in range(3, 6)
+            for j in range(5, 10)
+        }
+        assert len(pages) == 1
+
+    def test_cold_update_still_one_page(self, rng):
+        a = rng.integers(0, 10, size=(12, 20))
+        paged = PagedRPSCube(a, box_size=(3, 5), buffer_capacity=4)
+        paged.rp_pages.pool.drop()
+        paged.reset_io_stats()
+        paged.apply_delta((7, 13), 1)
+        paged.flush()
+        stats = paged.io_stats()
+        assert stats["pages_read"] == 1 and stats["pages_written"] == 1

@@ -1,0 +1,106 @@
+"""Unit tests for the LRU buffer pool (repro.storage.buffer)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import SimulatedDisk
+
+
+def make_pool(capacity=2, pages=8, page_size=4):
+    disk = SimulatedDisk(page_size=page_size)
+    disk.allocate(pages)
+    return disk, BufferPool(disk, capacity)
+
+
+class TestCaching:
+    def test_miss_then_hit(self):
+        disk, pool = make_pool()
+        pool.get_page(0)
+        pool.get_page(0)
+        assert pool.stats.misses == 1
+        assert pool.stats.hits == 1
+        assert disk.stats.pages_read == 1
+
+    def test_capacity_evicts_lru(self):
+        disk, pool = make_pool(capacity=2)
+        pool.get_page(0)
+        pool.get_page(1)
+        pool.get_page(2)  # evicts page 0
+        assert pool.stats.evictions == 1
+        pool.get_page(1)  # still cached
+        assert pool.stats.hits == 1
+        pool.get_page(0)  # must re-read
+        assert pool.stats.misses == 4
+
+    def test_access_refreshes_recency(self):
+        disk, pool = make_pool(capacity=2)
+        pool.get_page(0)
+        pool.get_page(1)
+        pool.get_page(0)       # 1 is now least recent
+        pool.get_page(2)       # evicts 1
+        pool.get_page(0)
+        assert pool.stats.hits == 2  # the refresh and the final access
+
+    def test_invalid_capacity(self):
+        disk = SimulatedDisk(page_size=4)
+        with pytest.raises(StorageError):
+            BufferPool(disk, 0)
+
+
+class TestWriteBack:
+    def test_dirty_page_written_on_eviction(self):
+        disk, pool = make_pool(capacity=1)
+        frame = pool.get_page(0, for_write=True)
+        frame[0] = 42.0
+        pool.get_page(1)  # evicts dirty page 0
+        assert disk.stats.pages_written == 1
+        assert disk.read_page(0)[0] == 42.0
+
+    def test_clean_page_evicted_without_write(self):
+        disk, pool = make_pool(capacity=1)
+        pool.get_page(0)
+        pool.get_page(1)
+        assert disk.stats.pages_written == 0
+
+    def test_flush(self):
+        disk, pool = make_pool(capacity=4)
+        pool.get_page(0, for_write=True)[1] = 7.0
+        pool.get_page(2, for_write=True)[2] = 9.0
+        written = pool.flush()
+        assert written == 2
+        assert disk.read_page(0)[1] == 7.0
+        assert disk.read_page(2)[2] == 9.0
+        assert pool.flush() == 0  # nothing dirty anymore
+
+    def test_drop_flushes_and_clears(self):
+        disk, pool = make_pool(capacity=4)
+        pool.get_page(0, for_write=True)[0] = 5.0
+        pool.drop()
+        assert pool.cached_pages == 0
+        assert disk.read_page(0)[0] == 5.0
+        pool.get_page(0)
+        assert pool.stats.misses == 2  # cold again
+
+    def test_mutation_without_for_write_lost_on_eviction(self):
+        """Frames must be pinned dirty explicitly — undirty writes are
+        discarded at eviction, as in a real buffer pool misuse."""
+        disk, pool = make_pool(capacity=1)
+        pool.get_page(0)[0] = 123.0  # not marked dirty
+        pool.get_page(1)
+        assert disk.read_page(0)[0] == 0.0
+
+
+class TestStats:
+    def test_hit_rate(self):
+        disk, pool = make_pool()
+        assert pool.stats.hit_rate == 0.0
+        pool.get_page(0)
+        pool.get_page(0)
+        pool.get_page(0)
+        assert pool.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_repr(self):
+        _, pool = make_pool()
+        assert "BufferPool" in repr(pool)

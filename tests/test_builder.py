@@ -1,0 +1,78 @@
+"""Unit tests for cube building (repro.cube.builder)."""
+
+import numpy as np
+import pytest
+
+from repro.cube.builder import build_dense_arrays, build_value_array
+from repro.cube.encoders import IdentityEncoder, IntegerEncoder
+from repro.cube.schema import CubeSchema, Dimension
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def schema():
+    return CubeSchema(
+        [
+            Dimension("row", IdentityEncoder(3)),
+            Dimension("col", IdentityEncoder(3)),
+        ],
+        measure="value",
+    )
+
+
+class TestBuildDenseArrays:
+    def test_aggregation(self, schema):
+        records = [
+            {"row": 0, "col": 0, "value": 10},
+            {"row": 0, "col": 0, "value": 5},
+            {"row": 2, "col": 1, "value": 7},
+        ]
+        values, counts = build_dense_arrays(records, schema)
+        assert values.shape == (3, 3)
+        assert values[0, 0] == 15
+        assert counts[0, 0] == 2
+        assert values[2, 1] == 7
+        assert counts[2, 1] == 1
+        assert counts.sum() == 3
+
+    def test_empty_records(self, schema):
+        values, counts = build_dense_arrays([], schema)
+        assert values.sum() == 0
+        assert counts.sum() == 0
+
+    def test_float_measures(self, schema):
+        values, _ = build_dense_arrays(
+            [{"row": 1, "col": 1, "value": 2.5}], schema
+        )
+        assert values.dtype == np.float64
+        assert values[1, 1] == 2.5
+
+    def test_negative_measures(self, schema):
+        values, _ = build_dense_arrays(
+            [
+                {"row": 0, "col": 0, "value": 10},
+                {"row": 0, "col": 0, "value": -4},
+            ],
+            schema,
+        )
+        assert values[0, 0] == 6
+
+    def test_invalid_record_raises(self, schema):
+        with pytest.raises(SchemaError):
+            build_dense_arrays([{"row": 0, "value": 1}], schema)
+
+    def test_value_array_helper(self, schema):
+        values = build_value_array(
+            [{"row": 0, "col": 2, "value": 3}], schema
+        )
+        assert values[0, 2] == 3
+
+    def test_encoded_dimension(self):
+        schema = CubeSchema(
+            [Dimension("age", IntegerEncoder(30, 39))], measure="m"
+        )
+        values, counts = build_dense_arrays(
+            [{"age": 35, "m": 8}, {"age": 30, "m": 2}], schema
+        )
+        assert values[5] == 8
+        assert values[0] == 2

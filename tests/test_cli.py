@@ -1,0 +1,58 @@
+"""Unit tests for the repro-bench CLI (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for i in range(1, 11):
+            assert f"E{i}" in out
+
+
+class TestRun:
+    def test_run_single(self, capsys):
+        assert main(["run", "E3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "64" in out
+
+    def test_run_multiple(self, capsys):
+        assert main(["run", "E1", "E5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out and "Figure 15" in out
+
+    def test_run_with_csv(self, capsys, tmp_path):
+        target = tmp_path / "csvs"
+        assert main(["run", "E3", "--csv", str(target)]) == 0
+        assert (target / "E3.csv").exists()
+        assert "wrote E3" in capsys.readouterr().out
+
+    def test_unknown_experiment_raises(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            main(["run", "E42"])
+
+
+class TestDemo:
+    def test_demo_walks_the_paper_example(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "168" in out          # the worked query result
+        assert "16 cells" in out     # RPS update cost
+        assert "64" in out           # prefix sum comparison
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_alias(self, capsys):
+        parser = build_parser()
+        args = parser.parse_args(["all"])
+        assert args.experiments == []

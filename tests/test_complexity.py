@@ -1,0 +1,129 @@
+"""Unit tests for the analytic cost model (repro.metrics.complexity)."""
+
+import math
+
+import pytest
+
+from repro.metrics import complexity
+from repro.core.rps import RelativePrefixSumCube
+from repro.workloads import datagen, updategen
+
+
+class TestBasicCosts:
+    def test_naive(self):
+        assert complexity.naive_query_cost(10, 2) == 100
+        assert complexity.naive_update_cost(10, 2) == 1
+
+    def test_prefix(self):
+        assert complexity.prefix_query_cost(10, 3) == 8
+        assert complexity.prefix_update_cost(10, 3) == 1000
+
+    def test_rps_query(self):
+        # up to 2^d reads per region sum, 2^d region sums
+        assert complexity.rps_query_cost(10, 2) == 4 * 4
+        assert complexity.rps_query_cost(10, 3) == 8 * 8
+
+    def test_products_match_paper_asymptotics(self):
+        n, d = 4096, 2
+        table = {r["method"]: r for r in complexity.method_cost_table(n, d)}
+        assert table["naive"]["product"] == n**d
+        assert table["prefix_sum"]["product"] == 2**d * n**d
+        # RPS product is ~n^{d/2} scale, orders below n^d.
+        assert table["rps"]["product"] < table["naive"]["product"] / 50
+
+    def test_rps_product_scales_as_sqrt(self):
+        """Quadrupling n should roughly double the RPS product (n^{d/2}
+        with d=2) while the baselines' products grow 16x."""
+        def product(n):
+            rows = {r["method"]: r for r in complexity.method_cost_table(n, 2)}
+            return rows["rps"]["product"], rows["naive"]["product"]
+        rps_small, naive_small = product(256)
+        rps_big, naive_big = product(4096)
+        assert naive_big / naive_small == 256
+        assert rps_big / rps_small < 32
+
+
+class TestRpsUpdateFormula:
+    def test_exact_formula_terms(self):
+        # n=9, d=2, k=3: (k-1)^2 + 2*3*3 + (3-1)^2 = 4 + 18 + 4 = 26
+        assert complexity.rps_update_cost(9, 2, 3) == 26
+
+    def test_approx_close_to_exact_for_large_n(self):
+        exact = complexity.rps_update_cost(1024, 2, 32)
+        approx = complexity.rps_update_cost_approx(1024, 2, 32)
+        assert approx == pytest.approx(exact, rel=0.15)
+
+    def test_measured_worst_case_bounded_by_formula(self):
+        for n, d, k in [(64, 2, 8), (81, 2, 9), (16, 3, 4)]:
+            cube = datagen.uniform_cube((n,) * d, seed=1)
+            rps = RelativePrefixSumCube(cube, box_size=k)
+            worst = updategen.worst_case_cell((n,) * d, "rps")
+            measured = rps.update_cost_breakdown(worst)["total"]
+            assert measured <= complexity.rps_update_cost(n, d, k) + 1
+
+    def test_approx_formula_d1(self):
+        # k^1 + 1*n*k^{-1} + n/k = k + 2n/k
+        assert complexity.rps_update_cost_approx(100, 1, 10) == pytest.approx(
+            10 + 2 * 10
+        )
+
+
+class TestOptimalBoxSize:
+    def test_sqrt_rule(self):
+        assert complexity.optimal_box_size(256) == 16
+        assert complexity.optimal_box_size(100) == 10
+
+    def test_rounding(self):
+        assert complexity.optimal_box_size(10) == 3
+
+    def test_exact_search_near_sqrt(self):
+        for n in (64, 100, 256, 400):
+            exact = complexity.optimal_box_size(n, d=2, exact=True)
+            assert abs(exact - math.sqrt(n)) <= max(2, 0.3 * math.sqrt(n))
+
+    def test_exact_is_global_minimum(self):
+        n, d = 144, 2
+        k_star = complexity.optimal_box_size(n, d, exact=True)
+        best = complexity.rps_update_cost(n, d, k_star)
+        for k in range(1, n + 1):
+            assert complexity.rps_update_cost(n, d, k) >= best
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            complexity.optimal_box_size(0)
+
+
+class TestStorageRatios:
+    def test_paper_example_k100_d2(self):
+        # "(100^2 - 99^2) = 199 cells ... less than 2%"
+        assert complexity.overlay_cells_per_box(100, 2) == 199
+        assert complexity.overlay_storage_ratio(100, 2) == pytest.approx(
+            0.0199
+        )
+
+    def test_ratio_decreases_with_k(self):
+        ratios = [complexity.overlay_storage_ratio(k, 2) for k in (2, 10, 50)]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_ratio_increases_with_d(self):
+        ratios = [complexity.overlay_storage_ratio(10, d) for d in (1, 2, 3, 4)]
+        assert ratios == sorted(ratios)
+
+    def test_allocated_vs_paper_count_asymptotics(self):
+        # The backing arrays allocate slightly more than the paper's live
+        # count; the ratio of the two tends to 1 as k grows.
+        for d in (2, 3, 4):
+            paper_count = complexity.overlay_cells_per_box(1000, d)
+            allocated = complexity.allocated_cells_per_box(1000, d)
+            assert allocated / paper_count == pytest.approx(1.0, rel=0.01)
+
+    def test_update_cost_bound_at_optimal_k(self):
+        # ((n/k) + k)^d at k = sqrt(n) is (2 sqrt(n))^d = O(n^{d/2}).
+        assert complexity.rps_update_cost_bound(256, 2, 16) == 32**2
+
+    def test_table_covers_grid(self):
+        rows = complexity.storage_ratio_table((1, 2), (2, 4))
+        assert len(rows) == 4
+        assert {(r["d"], r["k"]) for r in rows} == {
+            (1, 2), (1, 4), (2, 2), (2, 4),
+        }

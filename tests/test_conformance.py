@@ -1,0 +1,100 @@
+"""The public conformance harness, applied to every shipped method."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fenwick import FenwickCube
+from repro.baselines.naive import NaiveCube
+from repro.baselines.prefix import PrefixSumCube
+from repro.baselines.sparse import SparseNaiveCube
+from repro.core.rps import RelativePrefixSumCube
+from repro.storage.paged_rps import PagedRPSCube
+from repro.testing import assert_method_correct
+
+
+@pytest.mark.parametrize("method_cls", [
+    NaiveCube, PrefixSumCube, FenwickCube, SparseNaiveCube,
+    RelativePrefixSumCube,
+], ids=lambda c: c.name)
+def test_shipped_methods_conform(method_cls):
+    assert_method_correct(method_cls, operations=25)
+
+
+def test_paged_rps_conforms():
+    # fewer ops: every cell access goes through the page simulator
+    assert_method_correct(
+        PagedRPSCube,
+        shapes=((9, 9),),
+        operations=15,
+        box_size=3,
+        buffer_capacity=4,
+    )
+
+
+def test_rps_conforms_at_awkward_box_sizes():
+    for box in (1, 2, 5, 50):
+        assert_method_correct(
+            RelativePrefixSumCube,
+            shapes=((10, 7),),
+            operations=15,
+            box_size=box,
+        )
+
+
+class _BrokenQueryCube(NaiveCube):
+    """Deliberately wrong: off-by-one on the range's high corner."""
+
+    name = "broken_query"
+
+    def range_sum(self, low, high):
+        clipped = tuple(max(h - 1, l) for l, h in zip(low, high))
+        return super().range_sum(low, clipped)
+
+
+class _BrokenUpdateCube(NaiveCube):
+    """Deliberately wrong: drops every second update."""
+
+    name = "broken_update"
+
+    def __init__(self, array):
+        super().__init__(array)
+        self._flip = False
+
+    def apply_delta(self, index, delta):
+        self._flip = not self._flip
+        if self._flip:
+            super().apply_delta(index, delta)
+        else:
+            self.counter.write(1, structure="A")  # lies about the write
+
+
+class _SilentCountersCube(NaiveCube):
+    """Correct answers but never charges the counters."""
+
+    name = "silent"
+
+    def range_sum(self, low, high):
+        result = super().range_sum(low, high)
+        self.counter.reset()
+        return result
+
+
+class TestHarnessCatchesBugs:
+    def test_broken_query_detected(self):
+        with pytest.raises(AssertionError, match="range_sum"):
+            assert_method_correct(_BrokenQueryCube, shapes=((9, 9),))
+
+    def test_broken_update_detected(self):
+        with pytest.raises(AssertionError):
+            assert_method_correct(_BrokenUpdateCube, shapes=((9, 9),))
+
+    def test_silent_counters_detected(self):
+        with pytest.raises(AssertionError, match="charged no"):
+            assert_method_correct(_SilentCountersCube, shapes=((9, 9),))
+
+    def test_counters_check_can_be_waived(self):
+        # the same class passes once counter discipline is not required
+        assert_method_correct(
+            _SilentCountersCube, shapes=((9, 9),), operations=10,
+            check_counters=False,
+        )

@@ -1,0 +1,87 @@
+"""Unit tests for access counters (repro.metrics.counters)."""
+
+from repro.metrics.counters import AccessCounter, measured
+
+
+class TestAccessCounter:
+    def test_starts_at_zero(self):
+        counter = AccessCounter()
+        assert counter.cells_read == 0
+        assert counter.cells_written == 0
+
+    def test_read_write_tallies(self):
+        counter = AccessCounter()
+        counter.read(3)
+        counter.write(2)
+        counter.read()
+        assert counter.cells_read == 4
+        assert counter.cells_written == 2
+
+    def test_structure_breakdown(self):
+        counter = AccessCounter()
+        counter.write(4, structure="RP")
+        counter.write(12, structure="overlay")
+        counter.read(2, structure="RP")
+        assert counter.structure_written("RP") == 4
+        assert counter.structure_written("overlay") == 12
+        assert counter.structure_read("RP") == 2
+        assert counter.structure_read("never") == 0
+
+    def test_reset(self):
+        counter = AccessCounter()
+        counter.read(5, structure="X")
+        counter.reset()
+        assert counter.cells_read == 0
+        assert counter.structure_read("X") == 0
+
+    def test_unnamed_access_not_in_breakdown(self):
+        counter = AccessCounter()
+        counter.read(5)
+        assert counter.by_structure == {}
+
+
+class TestSnapshots:
+    def test_delta(self):
+        counter = AccessCounter()
+        counter.read(10)
+        snap = counter.snapshot()
+        counter.read(3)
+        counter.write(7)
+        delta = snap.delta(counter)
+        assert delta.cells_read == 3
+        assert delta.cells_written == 7
+
+    def test_snapshot_is_immutable_record(self):
+        counter = AccessCounter()
+        snap = counter.snapshot()
+        counter.read(100)
+        assert snap.cells_read == 0
+
+
+class TestMeasuredContext:
+    def test_fills_in_on_exit(self):
+        counter = AccessCounter()
+        with measured(counter) as cost:
+            counter.read(4)
+            counter.write(6)
+        assert cost.cells_read == 4
+        assert cost.cells_written == 6
+        assert cost.cells_touched == 10
+
+    def test_isolated_from_prior_activity(self):
+        counter = AccessCounter()
+        counter.read(99)
+        with measured(counter) as cost:
+            counter.write(1)
+        assert cost.cells_read == 0
+        assert cost.cells_written == 1
+
+    def test_filled_even_on_exception(self):
+        counter = AccessCounter()
+        try:
+            with measured(counter) as cost:
+                counter.read(2)
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert cost.cells_read == 2

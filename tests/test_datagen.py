@@ -1,0 +1,98 @@
+"""Unit tests for synthetic cube generators (repro.workloads.datagen)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import datagen
+
+
+class TestUniform:
+    def test_shape_and_bounds(self):
+        cube = datagen.uniform_cube((10, 12), low=5, high=15, seed=1)
+        assert cube.shape == (10, 12)
+        assert cube.min() >= 5
+        assert cube.max() < 15
+        assert cube.dtype == np.int64
+
+    def test_deterministic(self):
+        a = datagen.uniform_cube((8, 8), seed=42)
+        b = datagen.uniform_cube((8, 8), seed=42)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = datagen.uniform_cube((8, 8), seed=1)
+        b = datagen.uniform_cube((8, 8), seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_empty_value_range(self):
+        with pytest.raises(WorkloadError):
+            datagen.uniform_cube((4, 4), low=5, high=5)
+
+    def test_invalid_shape(self):
+        with pytest.raises(WorkloadError):
+            datagen.uniform_cube((0, 4))
+        with pytest.raises(WorkloadError):
+            datagen.uniform_cube(())
+
+
+class TestZipf:
+    def test_heavy_tail(self):
+        cube = datagen.zipf_cube((100, 100), exponent=1.3, seed=3)
+        assert cube.min() >= 1
+        # heavy-tailed: the max dwarfs the median
+        assert cube.max() > 10 * np.median(cube)
+
+    def test_cap(self):
+        cube = datagen.zipf_cube((50, 50), exponent=1.1, cap=500, seed=3)
+        assert cube.max() <= 500
+
+    def test_invalid_exponent(self):
+        with pytest.raises(WorkloadError):
+            datagen.zipf_cube((4, 4), exponent=1.0)
+
+
+class TestSparse:
+    def test_density(self):
+        cube = datagen.sparse_cube((100, 100), density=0.05, seed=4)
+        nonzero = np.count_nonzero(cube) / cube.size
+        assert 0.02 < nonzero < 0.09
+
+    def test_density_zero(self):
+        cube = datagen.sparse_cube((10, 10), density=0.0)
+        assert cube.sum() == 0
+
+    def test_invalid_density(self):
+        with pytest.raises(WorkloadError):
+            datagen.sparse_cube((4, 4), density=1.5)
+
+
+class TestClustered:
+    def test_hotspots_dominate(self):
+        cube = datagen.clustered_cube((60, 60), clusters=2, seed=5)
+        # cluster peaks are far above the background noise (0-2)
+        assert cube.max() > 100
+
+    def test_invalid_clusters(self):
+        with pytest.raises(WorkloadError):
+            datagen.clustered_cube((10, 10), clusters=0)
+
+
+class TestDispatch:
+    def test_make_cube(self):
+        cube = datagen.make_cube("uniform", (6, 6), seed=0)
+        assert cube.shape == (6, 6)
+
+    def test_unknown_kind(self):
+        with pytest.raises(WorkloadError):
+            datagen.make_cube("fractal", (6, 6))
+
+    def test_paper_example(self):
+        from repro import paper
+
+        assert np.array_equal(datagen.paper_example_cube(), paper.ARRAY_A)
+
+    def test_all_generators_registered(self):
+        assert set(datagen.GENERATORS) == {
+            "uniform", "zipf", "sparse", "clustered",
+        }

@@ -1,0 +1,145 @@
+"""Unit tests for the simulated disk (repro.storage.disk)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.disk import SimulatedDisk
+
+
+class TestAllocation:
+    def test_allocate(self):
+        disk = SimulatedDisk(page_size=8)
+        first = disk.allocate(4)
+        assert first == 0
+        assert disk.page_count == 4
+        assert disk.allocate(2) == 4
+        assert disk.page_count == 6
+
+    def test_pages_start_zeroed(self):
+        disk = SimulatedDisk(page_size=4)
+        disk.allocate(1)
+        assert disk.read_page(0).tolist() == [0, 0, 0, 0]
+
+    def test_bad_page_size(self):
+        with pytest.raises(StorageError):
+            SimulatedDisk(page_size=0)
+
+    def test_negative_allocation(self):
+        disk = SimulatedDisk(page_size=4)
+        with pytest.raises(StorageError):
+            disk.allocate(-1)
+
+
+class TestReadWrite:
+    def test_roundtrip(self):
+        disk = SimulatedDisk(page_size=4)
+        disk.allocate(2)
+        disk.write_page(1, np.array([1.0, 2.0, 3.0, 4.0]))
+        assert disk.read_page(1).tolist() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_read_returns_copy(self):
+        disk = SimulatedDisk(page_size=2)
+        disk.allocate(1)
+        page = disk.read_page(0)
+        page[0] = 99
+        assert disk.read_page(0)[0] == 0
+
+    def test_write_copies_input(self):
+        disk = SimulatedDisk(page_size=2)
+        disk.allocate(1)
+        buf = np.array([5.0, 6.0])
+        disk.write_page(0, buf)
+        buf[0] = 99
+        assert disk.read_page(0)[0] == 5.0
+
+    def test_wrong_shape_rejected(self):
+        disk = SimulatedDisk(page_size=4)
+        disk.allocate(1)
+        with pytest.raises(StorageError):
+            disk.write_page(0, np.zeros(3))
+
+    def test_out_of_range_page(self):
+        disk = SimulatedDisk(page_size=4)
+        disk.allocate(1)
+        with pytest.raises(StorageError):
+            disk.read_page(1)
+        with pytest.raises(StorageError):
+            disk.write_page(-1, np.zeros(4))
+
+
+class TestStats:
+    def test_counters(self):
+        disk = SimulatedDisk(page_size=4)
+        disk.allocate(2)
+        disk.read_page(0)
+        disk.read_page(1)
+        disk.write_page(0, np.zeros(4))
+        assert disk.stats.pages_read == 2
+        assert disk.stats.pages_written == 1
+        assert disk.stats.total_ios == 3
+
+    def test_reset(self):
+        disk = SimulatedDisk(page_size=4)
+        disk.allocate(1)
+        disk.read_page(0)
+        disk.stats.reset()
+        assert disk.stats.total_ios == 0
+
+    def test_allocation_is_free(self):
+        disk = SimulatedDisk(page_size=4)
+        disk.allocate(100)
+        assert disk.stats.total_ios == 0
+
+    def test_int_dtype(self):
+        disk = SimulatedDisk(page_size=2, dtype=np.int64)
+        disk.allocate(1)
+        disk.write_page(0, np.array([1, 2]))
+        assert disk.read_page(0).dtype == np.int64
+
+
+class TestChecksums:
+    def test_clean_reads_pass(self):
+        disk = SimulatedDisk(page_size=4, verify_checksums=True)
+        disk.allocate(2)
+        disk.write_page(1, np.array([1.0, 2.0, 3.0, 4.0]))
+        assert disk.read_page(1).tolist() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_corruption_detected_on_read(self):
+        disk = SimulatedDisk(page_size=4, verify_checksums=True)
+        disk.allocate(1)
+        disk.write_page(0, np.array([1.0, 2.0, 3.0, 4.0]))
+        disk.corrupt_page(0, cell=2)
+        with pytest.raises(StorageError, match="checksum"):
+            disk.read_page(0)
+
+    def test_corruption_silent_without_verification(self):
+        disk = SimulatedDisk(page_size=4)  # checksums off by default
+        disk.allocate(1)
+        disk.write_page(0, np.array([1.0, 2.0, 3.0, 4.0]))
+        disk.corrupt_page(0, cell=2)
+        assert disk.read_page(0)[2] == 4.0  # silently wrong
+
+    def test_rewrite_heals_checksum(self):
+        disk = SimulatedDisk(page_size=2, verify_checksums=True)
+        disk.allocate(1)
+        disk.write_page(0, np.array([1.0, 2.0]))
+        disk.corrupt_page(0)
+        disk.write_page(0, np.array([5.0, 6.0]))  # fresh write re-seals
+        assert disk.read_page(0).tolist() == [5.0, 6.0]
+
+    def test_paged_rps_surfaces_corruption(self, rng):
+        """End to end: a corrupt RP page turns into a loud StorageError
+        at the next cold query instead of a silently wrong total."""
+        from repro.storage.paged_rps import PagedRPSCube
+
+        a = rng.integers(0, 9, size=(16, 16))
+        paged = PagedRPSCube(a, box_size=4, buffer_capacity=2)
+        paged.rp_pages.disk.verify_checksums = True
+        paged.rp_pages.pool.drop()
+        # page 5 holds the box anchored at (4, 4); a query whose corner
+        # lands in that box must read it and trip the checksum
+        assert paged.rp_pages.layout.page_of_box((1, 1)) == 5
+        paged.rp_pages.disk.corrupt_page(5)
+        with pytest.raises(StorageError, match="checksum"):
+            paged.range_sum((0, 0), (7, 7))

@@ -1,0 +1,154 @@
+"""Edge-case tests across the method family.
+
+Degenerate shapes, extreme box sizes, numeric corner cases — the inputs
+that exercise boundary arithmetic rather than the happy path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fenwick import FenwickCube
+from repro.baselines.naive import NaiveCube
+from repro.baselines.prefix import PrefixSumCube
+from repro.baselines.sparse import SparseNaiveCube
+from repro.core.rps import RelativePrefixSumCube
+from tests.conftest import METHOD_CLASSES
+
+
+ALL_METHODS = METHOD_CLASSES + [SparseNaiveCube]
+
+
+@pytest.mark.parametrize("method_class", ALL_METHODS, ids=lambda c: c.name)
+class TestDegenerateShapes:
+    def test_single_cell_cube(self, method_class):
+        cube = method_class(np.array([[7]]))
+        assert cube.total() == 7
+        assert cube.range_sum((0, 0), (0, 0)) == 7
+        cube.apply_delta((0, 0), 3)
+        assert cube.total() == 10
+
+    def test_one_dimensional(self, method_class, rng):
+        a = rng.integers(-5, 10, size=(17,))
+        cube = method_class(a)
+        assert cube.range_sum((3,), (11,)) == a[3:12].sum()
+        cube.apply_delta((0,), 5)
+        assert cube.total() == a.sum() + 5
+
+    def test_single_row(self, method_class, rng):
+        a = rng.integers(0, 9, size=(1, 13))
+        cube = method_class(a)
+        assert cube.range_sum((0, 2), (0, 9)) == a[0, 2:10].sum()
+
+    def test_single_column(self, method_class, rng):
+        a = rng.integers(0, 9, size=(13, 1))
+        cube = method_class(a)
+        assert cube.range_sum((2, 0), (9, 0)) == a[2:10, 0].sum()
+
+    def test_five_dimensions(self, method_class, rng):
+        a = rng.integers(0, 5, size=(3, 3, 3, 3, 3))
+        cube = method_class(a)
+        low, high = (0, 1, 0, 2, 1), (2, 2, 1, 2, 2)
+        slices = tuple(slice(l, h + 1) for l, h in zip(low, high))
+        assert cube.range_sum(low, high) == a[slices].sum()
+
+    def test_prime_dimension_sizes(self, method_class, rng):
+        a = rng.integers(0, 9, size=(7, 11))
+        cube = method_class(a)
+        assert cube.total() == a.sum()
+        cube.apply_delta((6, 10), 1)
+        assert cube.total() == a.sum() + 1
+
+
+class TestNumericEdges:
+    def test_all_zero_cube(self):
+        for cls in ALL_METHODS:
+            cube = cls(np.zeros((6, 6)))
+            assert cube.total() == 0
+            assert cube.range_sum((1, 1), (4, 4)) == 0
+
+    def test_negative_values(self, rng):
+        a = rng.integers(-100, -1, size=(8, 8))
+        for cls in ALL_METHODS:
+            cube = cls(a)
+            assert cube.range_sum((2, 2), (5, 5)) == a[2:6, 2:6].sum()
+
+    def test_large_values_no_overflow(self):
+        # int8 input promoted to int64: sums that would overflow int8
+        a = np.full((16, 16), 127, dtype=np.int8)
+        for cls in (NaiveCube, PrefixSumCube, FenwickCube,
+                    RelativePrefixSumCube):
+            cube = cls(a)
+            assert cube.total() == 127 * 256
+
+    def test_float_precision_stability(self, rng):
+        a = rng.random((20, 20)) * 1e6
+        cube = RelativePrefixSumCube(a, box_size=5)
+        for _ in range(10):
+            low = tuple(int(x) for x in rng.integers(0, 20, size=2))
+            high = tuple(int(rng.integers(l, 20)) for l in low)
+            slices = tuple(slice(l, h + 1) for l, h in zip(low, high))
+            assert cube.range_sum(low, high) == pytest.approx(
+                a[slices].sum(), rel=1e-9
+            )
+
+    def test_alternating_sign_cancellation(self):
+        a = np.indices((10, 10)).sum(axis=0) % 2 * 2 - 1  # +1/-1 checker
+        cube = RelativePrefixSumCube(a, box_size=3)
+        assert cube.total() == a.sum()
+        assert cube.range_sum((0, 0), (9, 8)) == a[:, :9].sum()
+
+
+class TestBoxSizeExtremes:
+    @pytest.mark.parametrize("k", [1, 2, 9, 10, 100])
+    def test_every_k_correct_on_9x9(self, paper_cube, k):
+        cube = RelativePrefixSumCube(paper_cube, box_size=k)
+        assert cube.range_sum((2, 3), (7, 8)) == (
+            paper_cube[2:8, 3:9].sum()
+        )
+        cube.apply_delta((4, 4), 5)
+        assert cube.cell_value((4, 4)) == paper_cube[4, 4] + 5
+
+    def test_k_equal_n(self, rng):
+        """One box covering everything: the overlay carries no weight
+        (V=0 for the single box) and RP degenerates to full prefix sums."""
+        a = rng.integers(0, 9, size=(8, 8))
+        cube = RelativePrefixSumCube(a, box_size=8)
+        assert cube.overlay.anchor_value((0, 0)) == 0
+        before = cube.counter.snapshot()
+        cube.apply_delta((0, 0), 1)
+        # the cascade fills the whole (single) box
+        assert before.delta(cube.counter).cells_written == 64
+
+    def test_k_one_rp_is_identity(self, rng):
+        """k=1: every cell is its own box; RP stores A itself."""
+        a = rng.integers(0, 9, size=(6, 6))
+        cube = RelativePrefixSumCube(a, box_size=1)
+        assert np.array_equal(cube.rp.array(), a)
+        before = cube.counter.snapshot()
+        cube.apply_delta((3, 3), 1)
+        assert cube.rp.counter.structure_written("RP") == 1
+
+
+class TestUpdatePositionsExhaustive:
+    def test_every_cell_of_small_cube(self, rng):
+        """Update every position of a 6x6 (k=2), checking structures
+        stay exact after each — catches slice off-by-ones anywhere."""
+        a = rng.integers(0, 9, size=(6, 6))
+        cube = RelativePrefixSumCube(a, box_size=2)
+        expected = a.copy()
+        for idx in np.ndindex(6, 6):
+            cube.apply_delta(idx, 1)
+            expected[idx] += 1
+            assert cube.prefix_sum((5, 5)) == expected.sum()
+        assert np.array_equal(cube.to_array(), expected)
+        cube.verify_structures()
+
+    def test_every_cell_3d(self, rng):
+        a = rng.integers(0, 5, size=(4, 4, 4))
+        cube = RelativePrefixSumCube(a, box_size=2)
+        expected = a.copy()
+        for idx in np.ndindex(4, 4, 4):
+            cube.apply_delta(idx, 2)
+            expected[idx] += 2
+        assert np.array_equal(cube.to_array(), expected)
+        cube.verify_structures()

@@ -1,0 +1,171 @@
+"""Unit tests for dimension encoders (repro.cube.encoders)."""
+
+import datetime
+
+import pytest
+
+from repro.cube.encoders import (
+    BinningEncoder,
+    CategoricalEncoder,
+    DateEncoder,
+    IdentityEncoder,
+    IntegerEncoder,
+)
+from repro.errors import EncodingError
+
+
+class TestIntegerEncoder:
+    def test_roundtrip(self):
+        enc = IntegerEncoder(20, 69)
+        assert enc.size == 50
+        assert enc.encode(20) == 0
+        assert enc.encode(69) == 49
+        assert enc.decode(17) == 37
+
+    def test_out_of_domain(self):
+        enc = IntegerEncoder(0, 9)
+        with pytest.raises(EncodingError):
+            enc.encode(10)
+        with pytest.raises(EncodingError):
+            enc.encode(-1)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(EncodingError):
+            IntegerEncoder(5, 4)
+
+    def test_encode_range(self):
+        enc = IntegerEncoder(20, 69)
+        assert enc.encode_range(37, 52) == (17, 32)
+
+    def test_inverted_range(self):
+        enc = IntegerEncoder(0, 9)
+        with pytest.raises(EncodingError):
+            enc.encode_range(5, 3)
+
+    def test_decode_out_of_range(self):
+        with pytest.raises(EncodingError):
+            IntegerEncoder(0, 4).decode(5)
+
+
+class TestCategoricalEncoder:
+    def test_roundtrip(self):
+        enc = CategoricalEncoder(["north", "south", "east", "west"])
+        assert enc.size == 4
+        assert enc.encode("south") == 1
+        assert enc.decode(3) == "west"
+
+    def test_unknown_category(self):
+        enc = CategoricalEncoder(["a", "b"])
+        with pytest.raises(EncodingError):
+            enc.encode("c")
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(EncodingError):
+            CategoricalEncoder(["a", "a"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(EncodingError):
+            CategoricalEncoder([])
+
+    def test_range_over_categories(self):
+        enc = CategoricalEncoder(["jan", "feb", "mar", "apr"])
+        assert enc.encode_range("feb", "apr") == (1, 3)
+
+
+class TestBinningEncoder:
+    def test_basic_binning(self):
+        enc = BinningEncoder([0, 10, 20, 30])
+        assert enc.size == 3
+        assert enc.encode(0) == 0
+        assert enc.encode(9.99) == 0
+        assert enc.encode(10) == 1
+        assert enc.encode(29.5) == 2
+
+    def test_final_edge_closed(self):
+        enc = BinningEncoder([0, 10, 20])
+        assert enc.encode(20) == 1
+
+    def test_out_of_range(self):
+        enc = BinningEncoder([0, 10])
+        with pytest.raises(EncodingError):
+            enc.encode(-0.5)
+        with pytest.raises(EncodingError):
+            enc.encode(10.5)
+
+    def test_decode_returns_lower_edge(self):
+        enc = BinningEncoder([0, 10, 20, 30])
+        assert enc.decode(1) == 10
+
+    def test_nonmonotonic_edges_rejected(self):
+        with pytest.raises(EncodingError):
+            BinningEncoder([0, 10, 10])
+        with pytest.raises(EncodingError):
+            BinningEncoder([5])
+
+    def test_encode_range_clips(self):
+        enc = BinningEncoder([0, 10, 20, 30])
+        assert enc.encode_range(-100, 100) == (0, 2)
+        assert enc.encode_range(5, 15) == (0, 1)
+
+    def test_range_missing_all_bins(self):
+        enc = BinningEncoder([0, 10])
+        with pytest.raises(EncodingError):
+            enc.encode_range(11, 20)
+
+
+class TestDateEncoder:
+    def test_roundtrip_date_objects(self):
+        enc = DateEncoder(datetime.date(2026, 1, 1), 365)
+        assert enc.size == 365
+        assert enc.encode(datetime.date(2026, 1, 1)) == 0
+        assert enc.encode(datetime.date(2026, 2, 1)) == 31
+        assert enc.decode(31) == datetime.date(2026, 2, 1)
+
+    def test_iso_strings(self):
+        enc = DateEncoder("2026-01-01", 90)
+        assert enc.encode("2026-01-31") == 30
+
+    def test_datetime_accepted(self):
+        enc = DateEncoder("2026-01-01", 90)
+        assert enc.encode(datetime.datetime(2026, 1, 2, 14, 30)) == 1
+
+    def test_out_of_window(self):
+        enc = DateEncoder("2026-01-01", 31)
+        with pytest.raises(EncodingError):
+            enc.encode("2026-02-01")
+        with pytest.raises(EncodingError):
+            enc.encode("2025-12-31")
+
+    def test_unparseable(self):
+        with pytest.raises(EncodingError):
+            DateEncoder("not-a-date", 10)
+        enc = DateEncoder("2026-01-01", 10)
+        with pytest.raises(EncodingError):
+            enc.encode("01/02/2026")
+
+    def test_range(self):
+        enc = DateEncoder("2026-01-01", 90)
+        assert enc.encode_range("2026-01-10", "2026-01-20") == (9, 19)
+
+    def test_zero_days_rejected(self):
+        with pytest.raises(EncodingError):
+            DateEncoder("2026-01-01", 0)
+
+
+class TestIdentityEncoder:
+    def test_passthrough(self):
+        enc = IdentityEncoder(9)
+        assert enc.size == 9
+        assert enc.encode(5) == 5
+        assert enc.decode(5) == 5
+
+    def test_bounds(self):
+        enc = IdentityEncoder(9)
+        with pytest.raises(EncodingError):
+            enc.encode(9)
+        with pytest.raises(EncodingError):
+            enc.encode(-1)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(EncodingError):
+            IdentityEncoder(0)

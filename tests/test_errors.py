@@ -1,0 +1,35 @@
+"""Unit tests for the exception hierarchy (repro.errors)."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.DimensionError,
+    errors.RangeError,
+    errors.BoxSizeError,
+    errors.SchemaError,
+    errors.EncodingError,
+    errors.StorageError,
+    errors.WorkloadError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+    assert issubclass(exc, Exception)
+
+
+def test_single_except_clause_catches_everything():
+    for exc in ALL_ERRORS:
+        try:
+            raise exc("boom")
+        except errors.ReproError as caught:
+            assert "boom" in str(caught)
+
+
+def test_errors_carry_messages():
+    err = errors.RangeError("coordinate 9 out of bounds")
+    assert "coordinate 9" in str(err)

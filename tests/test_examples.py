@@ -1,0 +1,40 @@
+"""Smoke tests: every example script runs to completion and self-checks.
+
+The examples assert their own key facts internally (they are written to
+fail loudly); these tests run each as a subprocess so the documented
+entry points stay working.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_expected_examples_exist():
+    assert set(EXAMPLES) >= {
+        "quickstart.py",
+        "insurance_sales.py",
+        "near_real_time.py",
+        "disk_resident.py",
+        "box_size_tuning.py",
+        "region_checksums.py",
+        "retail_analytics.py",
+    }
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert "OK" in completed.stdout

@@ -1,0 +1,181 @@
+"""Tests for the experiment drivers (repro.bench.experiments).
+
+Each reproduction experiment must not merely run — its table must show
+the paper's result: exact matches for the worked examples, the right
+cost shapes for the analytic claims.
+"""
+
+import math
+
+import pytest
+
+from repro.bench import experiments
+from repro.metrics import complexity
+
+
+class TestExactTableExperiments:
+    def test_e1_every_row_matches_figure_2(self):
+        table = experiments.e1_prefix_table()
+        assert all(table.column("match"))
+        assert len(table.rows) == 9
+
+    def test_e2_no_mismatches(self):
+        table = experiments.e2_region_sums(trials=60)
+        assert all(m == 0 for m in table.column("mismatches"))
+
+    def test_e3_sixty_four_cells(self):
+        table = experiments.e3_prefix_update()
+        assert table.column("cells_written") == [64]
+        assert table.column("table_matches_fig4") == [True]
+
+    def test_e4_all_artifacts_match(self):
+        table = experiments.e4_overlay_tables()
+        assert all(table.column("matches"))
+        assert len(table.rows) == 5
+
+    def test_e5_sixteen_cells(self):
+        table = experiments.e5_rps_update()
+        rows = dict(zip(table.column("structure"), table.column("cells_written")))
+        assert rows == {"RP": 4, "overlay": 12, "total": 16}
+        assert all(table.column("match"))
+
+
+class TestShapeExperiments:
+    def test_e6_contains_paper_quote(self):
+        table = experiments.e6_storage_ratio()
+        pairs = {
+            (d, k): p
+            for d, k, p in zip(
+                table.column("d"), table.column("k"),
+                table.column("paper_percent"),
+            )
+        }
+        assert pairs[(2, 100)] == pytest.approx(1.99)
+
+    def test_e6_monotonic_in_k(self):
+        table = experiments.e6_storage_ratio(dims=(2,), box_sizes=(2, 10, 50))
+        percents = table.column("paper_percent")
+        assert percents == sorted(percents, reverse=True)
+
+    def test_e7_minimum_near_sqrt_n(self):
+        n = 64
+        table = experiments.e7_box_size_sweep(n=n, d=2)
+        ks = table.column("k")
+        measured = table.column("measured_worst")
+        best_k = ks[measured.index(min(measured))]
+        assert abs(best_k - math.sqrt(n)) <= 4
+
+    def test_e7_measured_bounded_by_binomial(self):
+        n = 64
+        table = experiments.e7_box_size_sweep(n=n, d=2)
+        for k, measured in zip(table.column("k"), table.column("measured_worst")):
+            assert measured <= complexity.rps_update_cost_bound(n, 2, k)
+
+    def test_e8_rps_product_beats_baselines(self):
+        table = experiments.e8_complexity_table(sizes=(64,), dims=(2,))
+        rows = {
+            method: product
+            for method, product in zip(
+                table.column("method"), table.column("product")
+            )
+        }
+        assert rows["rps"] < rows["naive"]
+        assert rows["rps"] < rows["prefix_sum"]
+
+    def test_e8_constant_query_methods(self):
+        table = experiments.e8_complexity_table(sizes=(16, 64), dims=(2,))
+        by_method = {}
+        for method, n, q in zip(
+            table.column("method"), table.column("n"),
+            table.column("query_cells"),
+        ):
+            by_method.setdefault(method, {})[n] = q
+        # prefix sum and rps query costs do not grow with n
+        assert by_method["prefix_sum"][16] == by_method["prefix_sum"][64]
+        assert by_method["rps"][16] == by_method["rps"][64]
+        # naive query cost grows with the cube
+        assert by_method["naive"][64] > by_method["naive"][16]
+
+    def test_e9_box_aligned_constant_pages(self):
+        table = experiments.e9_disk_io(n=64, box_size=8, operations=12)
+        for layout, op, worst in zip(
+            table.column("layout"), table.column("op"),
+            table.column("max_pages_per_op"),
+        ):
+            if layout == "box_aligned":
+                if op == "query":
+                    assert worst <= 4  # 2^d pages
+                else:
+                    assert worst <= 2  # 1 read + 1 write-back
+
+    def test_e9_row_major_updates_cost_more(self):
+        table = experiments.e9_disk_io(n=64, box_size=8, operations=12)
+        means = {}
+        for layout, buffers, op, mean in zip(
+            table.column("layout"), table.column("buffer_pages"),
+            table.column("op"), table.column("mean_pages_per_op"),
+        ):
+            means[(layout, buffers, op)] = mean
+        assert means[("row_major", 4, "update")] > means[
+            ("box_aligned", 4, "update")
+        ]
+
+    def test_e10_rows_for_all_methods(self):
+        table = experiments.e10_wallclock(n=64, operations=20)
+        assert set(table.column("method")) == {
+            "naive", "prefix_sum", "rps", "fenwick",
+        }
+
+
+class TestRegistry:
+    def test_all_experiments_present(self):
+        expected = [f"E{i}" for i in range(1, 11)] + ["A1", "A2", "A3", "A6"]
+        assert sorted(experiments.ALL_EXPERIMENTS) == sorted(expected)
+
+    def test_experiment_ids_match_tables(self):
+        for eid in ("E1", "E3", "E5"):
+            table = experiments.ALL_EXPERIMENTS[eid]()
+            assert table.experiment_id == eid
+
+
+class TestAblationExperiments:
+    def test_a1_crossover_shape(self):
+        table = experiments.a1_batch_crossover(n=64)
+        rebuild = table.column("rebuild_cells")
+        incremental = table.column("incremental_cells")
+        auto = table.column("auto_cells")
+        # rebuild cost is flat; incremental grows with the batch
+        assert len(set(rebuild)) == 1
+        assert incremental == sorted(incremental)
+        # auto tracks the lower envelope
+        for inc, reb, aut in zip(incremental, rebuild, auto):
+            assert aut <= min(inc, reb)
+        # both regimes are exercised
+        choices = set(table.column("auto_choice"))
+        assert choices == {"incremental", "rebuild"}
+
+    def test_a2_per_axis_wins(self):
+        table = experiments.a2_anisotropic_boxes()
+        costs = dict(
+            zip(table.column("policy"), table.column("worst_update_cells"))
+        )
+        per_axis = costs["per-axis sqrt(n_i)"]
+        for policy, cost in costs.items():
+            assert per_axis <= cost, policy
+
+    def test_a3_zero_mismatches(self):
+        table = experiments.a3_generalized_operators(trials=50)
+        assert all(m == 0 for m in table.column("mismatches"))
+        assert set(table.column("operator")) == {"sum", "xor", "product"}
+
+
+    def test_a6_growth_ordering(self):
+        table = experiments.a6_hierarchical()
+        by_level = {}
+        for levels, n, cost in zip(
+            table.column("levels"), table.column("n"),
+            table.column("worst_update_cells"),
+        ):
+            by_level.setdefault(levels, []).append(cost)
+        flat, deep = by_level[1], by_level[2]
+        assert deep[-1] / deep[0] < flat[-1] / flat[0]

@@ -1,0 +1,76 @@
+"""Unit tests for fact tables (repro.cube.fact_table)."""
+
+import pytest
+
+from repro.cube.fact_table import FactTable
+from repro.errors import SchemaError
+
+
+class TestBasics:
+    def test_empty(self):
+        table = FactTable()
+        assert len(table) == 0
+        assert list(table) == []
+
+    def test_append_and_iterate(self):
+        table = FactTable()
+        table.append({"age": 37, "sales": 100})
+        table.append({"age": 40, "sales": 50})
+        assert len(table) == 2
+        assert [r["age"] for r in table] == [37, 40]
+
+    def test_constructor_records(self):
+        table = FactTable([{"a": 1}, {"a": 2}])
+        assert len(table) == 2
+
+    def test_extend(self):
+        table = FactTable()
+        table.extend({"a": i} for i in range(5))
+        assert len(table) == 5
+
+    def test_records_are_copied(self):
+        record = {"a": 1}
+        table = FactTable([record])
+        record["a"] = 999
+        assert table[0]["a"] == 1
+
+    def test_getitem_returns_copy(self):
+        table = FactTable([{"a": 1}])
+        table[0]["a"] = 999
+        assert table[0]["a"] == 1
+
+    def test_columns(self):
+        table = FactTable([{"b": 1, "a": 2}, {"c": 3}])
+        assert table.columns() == ["a", "b", "c"]
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "facts.csv"
+        table = FactTable(
+            [
+                {"age": 37, "day": "2026-01-15", "sales": 250.5},
+                {"age": 40, "day": "2026-01-16", "sales": 99.0},
+            ]
+        )
+        table.to_csv(path)
+        loaded = FactTable.from_csv(
+            path, converters={"age": int, "sales": float}
+        )
+        assert len(loaded) == 2
+        assert loaded[0] == {"age": 37, "day": "2026-01-15", "sales": 250.5}
+
+    def test_without_converters_strings(self, tmp_path):
+        path = tmp_path / "facts.csv"
+        FactTable([{"x": 1}]).to_csv(path)
+        loaded = FactTable.from_csv(path)
+        assert loaded[0]["x"] == "1"
+
+    def test_empty_csv_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            FactTable.from_csv(path)
+
+    def test_repr(self):
+        assert "2 records" in repr(FactTable([{}, {}]))

@@ -1,0 +1,82 @@
+"""Unit tests for the Fenwick-tree comparator (repro.baselines.fenwick)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.fenwick import FenwickCube
+from tests.conftest import brute_range_sum, random_range
+
+
+class TestQueries:
+    @pytest.mark.parametrize("shape", [(16,), (9, 9), (10, 13), (6, 5, 7)])
+    def test_range_sums_match_oracle(self, rng, shape):
+        a = rng.integers(-10, 20, size=shape)
+        cube = FenwickCube(a)
+        for _ in range(40):
+            low, high = random_range(rng, shape)
+            assert cube.range_sum(low, high) == brute_range_sum(a, low, high)
+
+    def test_prefix_cost_is_polylog(self, rng):
+        n = 256
+        a = rng.integers(0, 10, size=(n, n))
+        cube = FenwickCube(a)
+        before = cube.counter.snapshot()
+        cube.prefix_sum((n - 1, n - 1))
+        reads = before.delta(cube.counter).cells_read
+        assert reads <= (math.ceil(math.log2(n)) + 1) ** 2
+
+    def test_power_of_two_sizes(self, rng):
+        a = rng.integers(0, 10, size=(32,))
+        cube = FenwickCube(a)
+        assert cube.prefix_sum((31,)) == a.sum()
+        assert cube.prefix_sum((0,)) == a[0]
+
+
+class TestUpdates:
+    def test_update_cost_is_polylog(self, rng):
+        n = 256
+        a = rng.integers(0, 10, size=(n, n))
+        cube = FenwickCube(a)
+        before = cube.counter.snapshot()
+        cube.apply_delta((0, 0), 1)  # worst case: longest update path
+        writes = before.delta(cube.counter).cells_written
+        assert writes <= (math.ceil(math.log2(n)) + 1) ** 2
+
+    def test_updates_keep_queries_correct(self, rng):
+        a = rng.integers(0, 10, size=(12, 12))
+        cube = FenwickCube(a)
+        a = a.copy()
+        for _ in range(40):
+            cell = tuple(int(x) for x in rng.integers(0, 12, size=2))
+            delta = int(rng.integers(-4, 5))
+            a[cell] += delta
+            cube.apply_delta(cell, delta)
+            low, high = random_range(rng, a.shape)
+            assert cube.range_sum(low, high) == brute_range_sum(a, low, high)
+
+    def test_set_semantics(self, rng):
+        a = rng.integers(0, 10, size=(8, 8))
+        cube = FenwickCube(a)
+        cube.update((3, 3), 42)
+        assert cube.cell_value((3, 3)) == 42
+
+
+class TestMisc:
+    def test_to_array_roundtrip(self, rng):
+        a = rng.integers(-5, 10, size=(7, 9))
+        assert np.array_equal(FenwickCube(a).to_array(), a)
+
+    def test_storage(self, rng):
+        a = rng.integers(0, 5, size=(9, 9))
+        assert FenwickCube(a).storage_cells() == 81
+
+    def test_bulk_build_equals_incremental(self, rng):
+        a = rng.integers(0, 10, size=(11, 6))
+        bulk = FenwickCube(a)
+        incremental = FenwickCube(np.zeros_like(a))
+        for idx in np.ndindex(*a.shape):
+            if a[idx]:
+                incremental.apply_delta(idx, int(a[idx]))
+        assert np.array_equal(bulk._tree, incremental._tree)

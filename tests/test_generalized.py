@@ -1,0 +1,150 @@
+"""Tests for generalized-operator prefix structures (paper Section 2).
+
+The paper claims the techniques apply to "any binary operator + for which
+there exists an inverse binary operator -". These tests instantiate the
+prefix method and the relative prefix sum method over XOR and PRODUCT and
+verify them against brute force.
+"""
+
+from functools import reduce
+
+import numpy as np
+import pytest
+
+from repro.aggregates.generalized import (
+    GROUP_PRODUCT,
+    GROUP_SUM,
+    GROUP_XOR,
+    GroupOperator,
+    GroupPrefixCube,
+    GroupRelativePrefixCube,
+    _blocked_accumulate,
+)
+from tests.conftest import random_range
+
+
+def brute_combine(array, low, high, op):
+    """Oracle: fold the operator over the inclusive range."""
+    slices = tuple(slice(l, h + 1) for l, h in zip(low, high))
+    values = array[slices].ravel()
+    return reduce(lambda a, b: op.combine(a, b), values, op.identity)
+
+
+class TestBlockedAccumulate:
+    def test_sum_matches_blocked_cumsum(self, rng):
+        from repro.core.blocked import blocked_cumsum
+
+        a = rng.integers(0, 10, size=(9, 9))
+        ours = _blocked_accumulate(a, 0, 3, GROUP_SUM)
+        assert np.array_equal(ours, blocked_cumsum(a, 0, 3))
+
+    def test_xor_restarts_at_blocks(self, rng):
+        a = rng.integers(0, 256, size=12)
+        out = _blocked_accumulate(a, 0, 4, GROUP_XOR)
+        for i in range(12):
+            start = (i // 4) * 4
+            assert out[i] == reduce(
+                lambda x, y: x ^ y, a[start : i + 1], 0
+            )
+
+
+@pytest.mark.parametrize("op,values", [
+    (GROUP_SUM, lambda rng, shape: rng.integers(-20, 20, size=shape)),
+    (GROUP_XOR, lambda rng, shape: rng.integers(0, 1 << 16, size=shape)),
+    (GROUP_PRODUCT, lambda rng, shape: rng.uniform(0.5, 2.0, size=shape)),
+], ids=["sum", "xor", "product"])
+class TestGroupPrefixCube:
+    def test_prefix_matches_bruteforce(self, rng, op, values):
+        a = values(rng, (7, 8))
+        cube = GroupPrefixCube(a, op)
+        for idx in [(0, 0), (3, 4), (6, 7)]:
+            expected = brute_combine(a, (0, 0), idx, op)
+            assert cube.prefix(idx) == pytest.approx(expected)
+
+    def test_range_queries(self, rng, op, values):
+        a = values(rng, (10, 10))
+        cube = GroupPrefixCube(a, op)
+        for _ in range(30):
+            low, high = random_range(rng, a.shape)
+            expected = brute_combine(a, low, high, op)
+            assert cube.range_query(low, high) == pytest.approx(expected)
+
+    def test_combine_into_then_query(self, rng, op, values):
+        a = values(rng, (8, 8)).astype(op.dtype)
+        cube = GroupPrefixCube(a, op)
+        delta = values(rng, ())
+        cube.combine_into((2, 3), op.dtype(delta) if np.isscalar(delta)
+                          else delta)
+        a[2, 3] = op.combine(a[2, 3], delta)
+        for _ in range(15):
+            low, high = random_range(rng, a.shape)
+            expected = brute_combine(a, low, high, op)
+            assert cube.range_query(low, high) == pytest.approx(expected)
+
+
+@pytest.mark.parametrize("op,values", [
+    (GROUP_SUM, lambda rng, shape: rng.integers(-20, 20, size=shape)),
+    (GROUP_XOR, lambda rng, shape: rng.integers(0, 1 << 16, size=shape)),
+    (GROUP_PRODUCT, lambda rng, shape: rng.uniform(0.5, 2.0, size=shape)),
+], ids=["sum", "xor", "product"])
+class TestGroupRelativePrefixCube:
+    def test_range_queries(self, rng, op, values):
+        a = values(rng, (12, 12))
+        cube = GroupRelativePrefixCube(a, op, box_size=4)
+        for _ in range(40):
+            low, high = random_range(rng, a.shape)
+            expected = brute_combine(a, low, high, op)
+            assert cube.range_query(low, high) == pytest.approx(
+                expected, rel=1e-9
+            )
+
+    def test_updates_preserve_queries(self, rng, op, values):
+        a = values(rng, (10, 10)).astype(op.dtype)
+        cube = GroupRelativePrefixCube(a, op, box_size=3)
+        for _ in range(20):
+            cell = tuple(int(x) for x in rng.integers(0, 10, size=2))
+            delta = op.dtype(values(rng, ()))
+            cube.combine_into(cell, delta)
+            a[cell] = op.combine(a[cell], delta)
+            low, high = random_range(rng, a.shape)
+            expected = brute_combine(a, low, high, op)
+            assert cube.range_query(low, high) == pytest.approx(
+                expected, rel=1e-9
+            )
+
+    def test_cell_value(self, rng, op, values):
+        a = values(rng, (9, 9))
+        cube = GroupRelativePrefixCube(a, op, box_size=3)
+        for idx in [(0, 0), (4, 4), (8, 8), (3, 0)]:
+            assert cube.cell_value(idx) == pytest.approx(a[idx])
+
+    def test_3d(self, rng, op, values):
+        a = values(rng, (6, 6, 6))
+        cube = GroupRelativePrefixCube(a, op, box_size=2)
+        for _ in range(20):
+            low, high = random_range(rng, a.shape)
+            expected = brute_combine(a, low, high, op)
+            assert cube.range_query(low, high) == pytest.approx(
+                expected, rel=1e-9
+            )
+
+
+class TestSumInstanceMatchesCore:
+    def test_group_sum_equals_rps(self, rng):
+        """The SUM instance of the generalized machinery is the core
+        RelativePrefixSumCube, value for value."""
+        from repro.core.rps import RelativePrefixSumCube
+
+        a = rng.integers(0, 30, size=(12, 12))
+        group = GroupRelativePrefixCube(a, GROUP_SUM, box_size=4)
+        core = RelativePrefixSumCube(a, box_size=4)
+        for idx in np.ndindex(12, 12):
+            assert group.prefix(idx) == core.prefix_sum(idx)
+
+    def test_custom_operator(self):
+        """A user-supplied group (mod-2^8 addition via uint8 wraparound)."""
+        op = GroupOperator("mod256", np.add, np.subtract, 0, np.uint8)
+        a = np.arange(64, dtype=np.uint8).reshape(8, 8)
+        cube = GroupRelativePrefixCube(a, op, box_size=3)
+        expected = np.uint8(a[2:5, 1:7].sum() % 256)
+        assert cube.range_query((2, 1), (4, 6)) == expected

@@ -1,0 +1,51 @@
+"""Unit tests for the experiment harness (repro.bench.harness)."""
+
+import pytest
+
+from repro.bench.harness import report, run_all, run_experiment, save_csvs
+from repro.errors import WorkloadError
+
+
+class TestRunExperiment:
+    def test_run_by_id(self):
+        run = run_experiment("E3")
+        assert run.table.experiment_id == "E3"
+        assert run.seconds >= 0
+
+    def test_case_insensitive(self):
+        assert run_experiment("e5").table.experiment_id == "E5"
+
+    def test_kwargs_forwarded(self):
+        run = run_experiment("E7", n=64)
+        assert "n=64" in run.table.title
+
+    def test_unknown_id(self):
+        with pytest.raises(WorkloadError):
+            run_experiment("E99")
+
+
+class TestRunAll:
+    def test_selected_subset_in_order(self):
+        runs = run_all(["E5", "E1"])
+        assert [r.table.experiment_id for r in runs] == ["E5", "E1"]
+
+    def test_report_renders_each(self):
+        runs = run_all(["E1", "E3"])
+        text = report(runs)
+        assert "E1" in text and "E3" in text
+        assert "Figure 2" in text and "Figure 4" in text
+
+
+class TestSaveCsvs:
+    def test_files_written(self, tmp_path):
+        runs = run_all(["E3", "E5"])
+        written = save_csvs(runs, tmp_path / "out")
+        assert sorted(written) == ["E3", "E5"]
+        for path in written.values():
+            content = open(path).read()
+            assert "," in content
+
+    def test_directory_created(self, tmp_path):
+        target = tmp_path / "deep" / "nested"
+        save_csvs(run_all(["E3"]), target)
+        assert (target / "E3.csv").exists()

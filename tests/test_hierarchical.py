@@ -1,0 +1,165 @@
+"""Unit tests for the multi-level RPS extension (repro.extensions)."""
+
+import numpy as np
+import pytest
+
+from repro.core.rps import RelativePrefixSumCube
+from repro.errors import RangeError
+from repro.extensions.hierarchical import (
+    HierarchicalRPSCube,
+    RangeAddPointQuery,
+    difference_array,
+)
+from repro.testing import assert_method_correct
+from tests.conftest import brute_range_sum, random_range
+
+
+class TestDifferenceArray:
+    def test_prefix_of_difference_is_identity(self, rng):
+        x = rng.integers(-9, 9, size=(6, 7))
+        diff = difference_array(x)
+        back = diff.copy()
+        for axis in range(2):
+            back = np.cumsum(back, axis=axis)
+        assert np.array_equal(back, x)
+
+    def test_1d(self):
+        assert difference_array(np.array([3, 5, 4])).tolist() == [3, 2, -1]
+
+
+class TestRangeAddPointQuery:
+    def test_matches_dense_reference(self, rng):
+        x = rng.integers(0, 10, size=(8, 9))
+        structure = RangeAddPointQuery(x)
+        reference = x.copy()
+        for _ in range(40):
+            low, high = random_range(rng, x.shape)
+            delta = int(rng.integers(-5, 6))
+            structure.range_add(low, high, delta)
+            reference[
+                tuple(slice(l, h + 1) for l, h in zip(low, high))
+            ] += delta
+            probe = tuple(int(rng.integers(0, n)) for n in x.shape)
+            assert structure.point_query(probe) == reference[probe]
+        assert np.array_equal(structure.to_array(), reference)
+
+    def test_full_array_add(self, rng):
+        x = rng.integers(0, 5, size=(6, 6))
+        structure = RangeAddPointQuery(x)
+        structure.range_add((0, 0), (5, 5), 7)
+        assert structure.point_query((0, 0)) == x[0, 0] + 7
+        assert structure.point_query((5, 5)) == x[5, 5] + 7
+
+    def test_single_cell_add(self, rng):
+        x = np.zeros((5, 5), dtype=np.int64)
+        structure = RangeAddPointQuery(x)
+        structure.range_add((2, 3), (2, 3), 4)
+        assert structure.point_query((2, 3)) == 4
+        assert structure.point_query((2, 4)) == 0
+        assert structure.point_query((3, 3)) == 0
+
+    def test_inverted_range_rejected(self):
+        structure = RangeAddPointQuery(np.zeros((4, 4)))
+        with pytest.raises(RangeError):
+            structure.range_add((2, 2), (1, 3), 1)
+
+    def test_3d(self, rng):
+        x = rng.integers(0, 5, size=(4, 5, 3))
+        structure = RangeAddPointQuery(x)
+        structure.range_add((1, 1, 1), (2, 3, 2), 10)
+        reference = x.copy()
+        reference[1:3, 1:4, 1:3] += 10
+        for probe in np.ndindex(*x.shape):
+            assert structure.point_query(probe) == reference[probe]
+
+
+class TestHierarchicalCorrectness:
+    @pytest.mark.parametrize("levels", [1, 2, 3])
+    def test_conforms_to_method_contract(self, levels):
+        assert_method_correct(
+            HierarchicalRPSCube,
+            shapes=((9, 9), (10, 7)),
+            operations=20,
+            box_size=3,
+            levels=levels,
+        )
+
+    def test_level_one_equals_flat_rps(self, rng):
+        a = rng.integers(0, 20, size=(12, 12))
+        hierarchical = HierarchicalRPSCube(a, box_size=4, levels=1)
+        flat = RelativePrefixSumCube(a, box_size=4)
+        for idx in np.ndindex(12, 12):
+            assert hierarchical.prefix_sum(idx) == flat.prefix_sum(idx)
+
+    def test_boundary_targets_3d(self, rng):
+        a = rng.integers(0, 10, size=(9, 9, 9))
+        cube = HierarchicalRPSCube(a, box_size=3, levels=2)
+        prefix = a.cumsum(axis=0).cumsum(axis=1).cumsum(axis=2)
+        for t in [(0, 0, 0), (3, 3, 3), (3, 5, 7), (8, 6, 6), (0, 4, 3)]:
+            assert cube.prefix_sum(t) == prefix[t], t
+
+    def test_update_then_query_interleaved(self, rng):
+        a = rng.integers(0, 20, size=(16, 16))
+        cube = HierarchicalRPSCube(a, box_size=4, levels=2)
+        a = a.copy()
+        for _ in range(40):
+            cell = tuple(int(x) for x in rng.integers(0, 16, size=2))
+            delta = int(rng.integers(-5, 6))
+            a[cell] += delta
+            cube.apply_delta(cell, delta)
+            low, high = random_range(rng, a.shape)
+            assert cube.range_sum(low, high) == brute_range_sum(a, low, high)
+
+    def test_invalid_levels(self, rng):
+        with pytest.raises(RangeError):
+            HierarchicalRPSCube(np.ones((4, 4)), levels=0)
+
+
+class TestHierarchicalCosts:
+    def test_query_reads_bounded(self, rng):
+        """Still O(1): at most 2^d stored-value queries, each O(4^d)."""
+        a = rng.integers(0, 9, size=(64, 64))
+        cube = HierarchicalRPSCube(a, box_size=8, levels=2)
+        worst = 0
+        for _ in range(30):
+            t = tuple(int(x) for x in rng.integers(0, 64, size=2))
+            before = cube.counter.snapshot()
+            cube.prefix_sum(t)
+            worst = max(worst, before.delta(cube.counter).cells_read)
+        # 1 RP + 3 stored values x (<= 16 inner reads each)
+        assert worst <= 1 + 3 * 16
+
+    def test_update_growth_rate_below_flat(self):
+        """The headline: L=2's worst-case update grows slower in n."""
+        import math
+
+        def worst_cost(levels, n):
+            k = (
+                round(math.sqrt(n)) if levels == 1
+                else max(2, round(n ** 0.4))
+            )
+            cube = HierarchicalRPSCube(
+                np.zeros((n, n), dtype=np.int64), box_size=k, levels=levels
+            )
+            before = cube.counter.snapshot()
+            cube.apply_delta((1, 1), 1)
+            return before.delta(cube.counter).cells_written
+
+        flat_growth = worst_cost(1, 1024) / worst_cost(1, 256)
+        deep_growth = worst_cost(2, 1024) / worst_cost(2, 256)
+        assert deep_growth < flat_growth
+
+    def test_storage_counts(self, rng):
+        a = rng.integers(0, 9, size=(16, 16))
+        cube = HierarchicalRPSCube(a, box_size=4, levels=2)
+        # RP is dense; inner structures exist for every nonempty subset
+        assert cube.storage_cells() >= a.size
+        assert set(cube._wrapped) == {1, 2, 3}
+
+    def test_counters_charged_to_inner_structures(self, rng):
+        a = rng.integers(0, 9, size=(16, 16))
+        cube = HierarchicalRPSCube(a, box_size=4, levels=2)
+        cube.prefix_sum((13, 13))
+        assert cube.counter.structure_read("overlay.inner") > 0
+        cube.apply_delta((1, 1), 1)
+        assert cube.counter.structure_written("overlay.inner") > 0

@@ -1,0 +1,156 @@
+"""Unit tests for dimension hierarchies (repro.cube.hierarchy)."""
+
+import datetime
+
+import pytest
+
+from repro.cube.encoders import DateEncoder, IntegerEncoder
+from repro.cube.engine import DataCubeEngine
+from repro.cube.hierarchy import BandHierarchy, CalendarHierarchy, group_by
+from repro.cube.schema import CubeSchema, Dimension
+from repro.errors import RangeError, SchemaError
+
+
+@pytest.fixture
+def engine():
+    schema = CubeSchema(
+        [
+            Dimension("age", IntegerEncoder(18, 80)),
+            Dimension("day", DateEncoder("2025-11-15", 120)),
+        ],
+        measure="sales",
+    )
+    engine = DataCubeEngine(schema)
+    engine.ingest({"age": 25, "day": "2025-11-20", "sales": 10.0})
+    engine.ingest({"age": 25, "day": "2025-12-05", "sales": 20.0})
+    engine.ingest({"age": 45, "day": "2026-01-10", "sales": 40.0})
+    engine.ingest({"age": 70, "day": "2026-02-28", "sales": 80.0})
+    return engine
+
+
+class TestCalendarMembers:
+    def test_month_members_clip_to_window(self, engine):
+        hierarchy = CalendarHierarchy(engine, "day")
+        members = dict(hierarchy.members("month"))
+        assert list(members) == [
+            "2025-11", "2025-12", "2026-01", "2026-02", "2026-03",
+        ]
+        # first month clipped to the window start
+        assert members["2025-11"][0] == datetime.date(2025, 11, 15)
+        assert members["2025-11"][1] == datetime.date(2025, 11, 30)
+        # full interior month
+        assert members["2025-12"] == (
+            datetime.date(2025, 12, 1), datetime.date(2025, 12, 31)
+        )
+        # last month clipped to the window end (120 days from 2025-11-15)
+        assert members["2026-03"][1] == datetime.date(2026, 3, 14)
+
+    def test_quarter_members(self, engine):
+        hierarchy = CalendarHierarchy(engine, "day")
+        members = dict(hierarchy.members("quarter"))
+        assert list(members) == ["2025-Q4", "2026-Q1"]
+
+    def test_year_members(self, engine):
+        hierarchy = CalendarHierarchy(engine, "day")
+        members = dict(hierarchy.members("year"))
+        assert list(members) == ["2025", "2026"]
+
+    def test_members_tile_the_window(self, engine):
+        """Members are contiguous, non-overlapping, and cover every day."""
+        hierarchy = CalendarHierarchy(engine, "day")
+        for level in CalendarHierarchy.LEVELS:
+            members = hierarchy.members(level)
+            previous_end = None
+            for _, (start, end) in members:
+                assert start <= end
+                if previous_end is not None:
+                    assert start == previous_end + datetime.timedelta(days=1)
+                previous_end = end
+            assert members[0][1][0] == datetime.date(2025, 11, 15)
+            assert previous_end == datetime.date(2026, 3, 14)
+
+    def test_unknown_level(self, engine):
+        with pytest.raises(RangeError):
+            CalendarHierarchy(engine, "day").members("fortnight")
+
+    def test_non_date_dimension_rejected(self, engine):
+        with pytest.raises(SchemaError):
+            CalendarHierarchy(engine, "age")
+
+
+class TestCalendarRollup:
+    def test_monthly_sums(self, engine):
+        rollup = CalendarHierarchy(engine, "day").rollup("month")
+        assert rollup["2025-11"] == pytest.approx(10.0)
+        assert rollup["2025-12"] == pytest.approx(20.0)
+        assert rollup["2026-01"] == pytest.approx(40.0)
+        assert rollup["2026-02"] == pytest.approx(80.0)
+        assert rollup["2026-03"] == pytest.approx(0.0)
+
+    def test_rollup_total_matches_engine_total(self, engine):
+        for level in CalendarHierarchy.LEVELS:
+            rollup = CalendarHierarchy(engine, "day").rollup(level)
+            assert sum(rollup.values()) == pytest.approx(engine.sum())
+
+    def test_rollup_with_selection(self, engine):
+        rollup = CalendarHierarchy(engine, "day").rollup(
+            "year", selection={"age": (18, 30)}
+        )
+        assert rollup["2025"] == pytest.approx(30.0)
+        assert rollup["2026"] == pytest.approx(0.0)
+
+    def test_count_rollup(self, engine):
+        rollup = CalendarHierarchy(engine, "day").rollup(
+            "quarter", aggregate="count"
+        )
+        assert rollup == {"2025-Q4": 2, "2026-Q1": 2}
+
+
+class TestBandHierarchy:
+    def test_age_bands(self, engine):
+        bands = BandHierarchy(
+            engine, "age",
+            {"young": (18, 30), "mid": (31, 55), "senior": (56, 80)},
+        )
+        rollup = bands.rollup()
+        assert rollup["young"] == pytest.approx(30.0)
+        assert rollup["mid"] == pytest.approx(40.0)
+        assert rollup["senior"] == pytest.approx(80.0)
+
+    def test_band_average(self, engine):
+        bands = BandHierarchy(engine, "age", {"young": (18, 30)})
+        assert bands.rollup(aggregate="average")["young"] == pytest.approx(
+            15.0
+        )
+
+    def test_overlapping_bands_rejected(self, engine):
+        with pytest.raises(RangeError):
+            BandHierarchy(
+                engine, "age", {"a": (18, 40), "b": (35, 60)}
+            )
+
+    def test_empty_bands_rejected(self, engine):
+        with pytest.raises(RangeError):
+            BandHierarchy(engine, "age", {})
+
+
+class TestGroupBy:
+    def test_explicit_members(self, engine):
+        result = group_by(
+            engine, "age",
+            [("lo", (18, 40)), ("hi", (41, 80))],
+        )
+        assert result == {
+            "lo": pytest.approx(30.0), "hi": pytest.approx(120.0)
+        }
+
+    def test_bad_aggregate(self, engine):
+        with pytest.raises(RangeError):
+            group_by(engine, "age", [("all", (18, 80))], aggregate="median")
+
+    def test_selection_on_grouped_dimension_rejected(self, engine):
+        with pytest.raises(RangeError):
+            group_by(
+                engine, "age", [("all", (18, 80))],
+                selection={"age": (20, 30)},
+            )

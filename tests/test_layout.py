@@ -1,0 +1,101 @@
+"""Unit tests for page layouts (repro.storage.layout)."""
+
+import itertools
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.layout import BoxAlignedLayout, RowMajorLayout
+
+
+class TestRowMajorLayout:
+    def test_page_count(self):
+        layout = RowMajorLayout((4, 4), page_size=5)
+        assert layout.page_count == 4  # ceil(16 / 5)
+
+    def test_locate_sequence(self):
+        layout = RowMajorLayout((2, 3), page_size=4)
+        flats = [layout.locate((i, j)) for i in range(2) for j in range(3)]
+        assert flats == [(0, 0), (0, 1), (0, 2), (0, 3), (1, 0), (1, 1)]
+
+    def test_bijective(self):
+        layout = RowMajorLayout((3, 4, 2), page_size=5)
+        seen = set()
+        for coord in itertools.product(range(3), range(4), range(2)):
+            address = layout.locate(coord)
+            assert address not in seen
+            seen.add(address)
+
+    def test_out_of_bounds(self):
+        layout = RowMajorLayout((3, 3), page_size=2)
+        with pytest.raises(StorageError):
+            layout.locate((3, 0))
+
+    def test_bad_page_size(self):
+        with pytest.raises(StorageError):
+            RowMajorLayout((3, 3), page_size=0)
+
+
+class TestBoxAlignedLayout:
+    def test_page_per_box(self):
+        layout = BoxAlignedLayout((9, 9), box_size=3)
+        assert layout.page_count == 9
+        assert layout.page_size == 9
+
+    def test_cells_of_one_box_share_a_page(self):
+        layout = BoxAlignedLayout((9, 9), box_size=3)
+        pages = {
+            layout.locate((i, j))[0]
+            for i in range(3, 6)
+            for j in range(6, 9)
+        }
+        assert len(pages) == 1
+
+    def test_distinct_boxes_distinct_pages(self):
+        layout = BoxAlignedLayout((9, 9), box_size=3)
+        pages = {
+            layout.locate((3 * bi, 3 * bj))[0]
+            for bi in range(3)
+            for bj in range(3)
+        }
+        assert len(pages) == 9
+
+    def test_slots_unique_within_page(self):
+        layout = BoxAlignedLayout((6, 6), box_size=3)
+        slots = {
+            layout.locate((i, j))[1] for i in range(3) for j in range(3)
+        }
+        assert slots == set(range(9))
+
+    def test_partial_boxes_padded(self):
+        layout = BoxAlignedLayout((10, 10), box_size=3)
+        assert layout.page_count == 16
+        page, slot = layout.locate((9, 9))
+        assert page == 15
+        assert 0 <= slot < layout.page_size
+
+    def test_page_of_box(self):
+        layout = BoxAlignedLayout((9, 9), box_size=3)
+        assert layout.page_of_box((0, 0)) == 0
+        assert layout.page_of_box((2, 2)) == 8
+        assert layout.page_of_box((1, 0)) == layout.locate((3, 0))[0]
+
+    def test_3d(self):
+        layout = BoxAlignedLayout((4, 4, 4), box_size=2)
+        assert layout.page_count == 8
+        assert layout.page_size == 8
+        pages = {
+            layout.locate(c)[0]
+            for c in itertools.product(range(2), range(2), range(2))
+        }
+        assert pages == {0}
+
+    def test_out_of_bounds(self):
+        layout = BoxAlignedLayout((4, 4), box_size=2)
+        with pytest.raises(StorageError):
+            layout.locate((0, 4))
+
+    def test_pages_for_cells(self):
+        layout = BoxAlignedLayout((9, 9), box_size=3)
+        pages = layout.pages_for_cells(iter([(0, 0), (1, 1), (8, 8)]))
+        assert len(pages) == 2

@@ -1,0 +1,124 @@
+"""Unit tests for multi-measure engines (repro.cube.multi)."""
+
+import math
+
+import pytest
+
+from repro.baselines.prefix import PrefixSumCube
+from repro.cube.encoders import DateEncoder, IntegerEncoder
+from repro.cube.multi import MultiMeasureEngine
+from repro.cube.schema import Dimension
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def dims():
+    return [
+        Dimension("age", IntegerEncoder(18, 60)),
+        Dimension("day", DateEncoder("2026-01-01", 60)),
+    ]
+
+
+@pytest.fixture
+def engine(dims):
+    records = [
+        {"age": 25, "day": "2026-01-05", "sales": 100.0, "cost": 60.0},
+        {"age": 25, "day": "2026-01-20", "sales": 50.0, "cost": 20.0},
+        {"age": 45, "day": "2026-02-10", "sales": 200.0, "cost": 150.0},
+    ]
+    return MultiMeasureEngine(dims, ["sales", "cost"], records)
+
+
+class TestConstruction:
+    def test_requires_measures(self, dims):
+        with pytest.raises(SchemaError):
+            MultiMeasureEngine(dims, [])
+
+    def test_duplicate_measures_rejected(self, dims):
+        with pytest.raises(SchemaError):
+            MultiMeasureEngine(dims, ["sales", "sales"])
+
+    def test_unknown_measure_lookup(self, engine):
+        with pytest.raises(SchemaError):
+            engine.sum("discount")
+
+    def test_method_override(self, dims):
+        engine = MultiMeasureEngine(
+            dims, ["sales"], method=PrefixSumCube
+        )
+        assert isinstance(engine.engine("sales").backend, PrefixSumCube)
+
+    def test_records_must_carry_all_measures(self, dims):
+        with pytest.raises(SchemaError):
+            MultiMeasureEngine(
+                dims, ["sales", "cost"],
+                [{"age": 25, "day": "2026-01-05", "sales": 1.0}],
+            )
+
+
+class TestQueries:
+    def test_per_measure_sums(self, engine):
+        assert engine.sum("sales") == pytest.approx(350.0)
+        assert engine.sum("cost") == pytest.approx(230.0)
+
+    def test_selection_applies_to_all(self, engine):
+        selection = {"age": (18, 30)}
+        assert engine.sum("sales", selection) == pytest.approx(150.0)
+        assert engine.sum("cost", selection) == pytest.approx(80.0)
+
+    def test_count_shared(self, engine):
+        assert engine.count() == 3
+        assert engine.count({"age": (40, 60)}) == 1
+
+    def test_average(self, engine):
+        assert engine.average("sales", {"age": (18, 30)}) == pytest.approx(
+            75.0
+        )
+
+    def test_totals(self, engine):
+        totals = engine.totals({"age": (18, 30)})
+        assert totals == {
+            "sales": pytest.approx(150.0), "cost": pytest.approx(80.0)
+        }
+
+
+class TestDerivedMeasures:
+    def test_ratio_margin(self, engine):
+        # cost / sales over everything: 230 / 350
+        assert engine.ratio("cost", "sales") == pytest.approx(230 / 350)
+
+    def test_difference_profit(self, engine):
+        assert engine.difference("sales", "cost") == pytest.approx(120.0)
+
+    def test_ratio_of_empty_denominator_nan(self, dims):
+        engine = MultiMeasureEngine(dims, ["sales", "cost"])
+        assert math.isnan(engine.ratio("sales", "cost"))
+
+    def test_profit_by_selection(self, engine):
+        profit_young = engine.difference(
+            "sales", "cost", {"age": (18, 30)}
+        )
+        assert profit_young == pytest.approx(70.0)
+
+
+class TestIngest:
+    def test_ingest_updates_every_measure(self, engine):
+        engine.ingest(
+            {"age": 30, "day": "2026-02-01", "sales": 10.0, "cost": 4.0}
+        )
+        assert engine.sum("sales") == pytest.approx(360.0)
+        assert engine.sum("cost") == pytest.approx(234.0)
+        assert engine.count() == 4
+
+    def test_ingest_many(self, dims):
+        engine = MultiMeasureEngine(dims, ["sales", "cost"])
+        n = engine.ingest_many(
+            {"age": 20 + i, "day": "2026-01-01",
+             "sales": 1.0, "cost": 0.5}
+            for i in range(5)
+        )
+        assert n == 5
+        assert engine.difference("sales", "cost") == pytest.approx(2.5)
+
+    def test_repr(self, engine):
+        assert "sales" in repr(engine) and "cost" in repr(engine)

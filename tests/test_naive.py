@@ -1,0 +1,80 @@
+"""Unit tests for the naive method (repro.baselines.naive)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.naive import NaiveCube
+from repro.errors import RangeError
+from tests.conftest import brute_range_sum, random_range
+
+
+class TestQueries:
+    def test_range_sum_matches_oracle(self, rng):
+        a = rng.integers(0, 30, size=(15, 15))
+        cube = NaiveCube(a)
+        for _ in range(50):
+            low, high = random_range(rng, a.shape)
+            assert cube.range_sum(low, high) == brute_range_sum(a, low, high)
+
+    def test_query_cost_is_range_volume(self, paper_cube):
+        cube = NaiveCube(paper_cube)
+        before = cube.counter.snapshot()
+        cube.range_sum((1, 2), (3, 5))
+        assert before.delta(cube.counter).cells_read == 3 * 4
+
+    def test_full_cube_query_reads_everything(self, paper_cube):
+        cube = NaiveCube(paper_cube)
+        before = cube.counter.snapshot()
+        cube.range_sum((0, 0), (8, 8))
+        assert before.delta(cube.counter).cells_read == 81
+
+    def test_prefix_sum(self, paper_cube):
+        cube = NaiveCube(paper_cube)
+        assert cube.prefix_sum((7, 5)) == 168
+
+    def test_cell_value_single_read(self, paper_cube):
+        cube = NaiveCube(paper_cube)
+        before = cube.counter.snapshot()
+        assert cube.cell_value((4, 4)) == paper_cube[4, 4]
+        assert before.delta(cube.counter).cells_read == 1
+
+
+class TestUpdates:
+    def test_update_cost_is_one(self, paper_cube):
+        cube = NaiveCube(paper_cube)
+        before = cube.counter.snapshot()
+        cube.apply_delta((0, 0), 5)
+        assert before.delta(cube.counter).cells_written == 1
+
+    def test_update_visible_in_queries(self, paper_cube):
+        cube = NaiveCube(paper_cube)
+        total = cube.total()
+        cube.apply_delta((4, 4), 10)
+        assert cube.total() == total + 10
+
+    def test_set_semantics(self, paper_cube):
+        cube = NaiveCube(paper_cube)
+        cube.update((1, 1), 4)
+        assert cube.cell_value((1, 1)) == 4
+
+
+class TestMisc:
+    def test_source_array_not_aliased(self, paper_cube):
+        cube = NaiveCube(paper_cube)
+        paper_cube[0, 0] = 999
+        assert cube.cell_value((0, 0)) != 999
+
+    def test_to_array(self, rng):
+        a = rng.integers(0, 9, size=(5, 5))
+        assert np.array_equal(NaiveCube(a).to_array(), a)
+
+    def test_storage(self, paper_cube):
+        assert NaiveCube(paper_cube).storage_cells() == 81
+
+    def test_invalid_range(self, paper_cube):
+        with pytest.raises(RangeError):
+            NaiveCube(paper_cube).range_sum((0, 5), (8, 4))
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(TypeError):
+            NaiveCube(np.array([["a", "b"]]))

@@ -1,0 +1,141 @@
+"""Unit tests for aggregate operators (repro.aggregates.operators)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.aggregates.operators import SUM, PRODUCT, AggregateCube, InvertibleOperator
+from repro.baselines.naive import NaiveCube
+from repro.core.rps import RelativePrefixSumCube
+from repro.errors import RangeError
+
+
+class TestInvertibleOperator:
+    def test_sum_inverse_law(self):
+        assert SUM.satisfies_inverse_law(7, 3)
+        assert SUM.combine(2, 3) == 5
+        assert SUM.invert(5, 3) == 2
+        assert SUM.identity == 0
+
+    def test_product_inverse_law(self):
+        assert PRODUCT.satisfies_inverse_law(6.0, 2.0)
+        assert PRODUCT.identity == 1
+
+    def test_custom_operator(self):
+        xor = InvertibleOperator("xor", lambda a, b: a ^ b, lambda a, b: a ^ b, 0)
+        assert xor.satisfies_inverse_law(0b1010, 0b0110)
+
+
+class TestAggregateCube:
+    @pytest.fixture
+    def sales(self, rng):
+        values = rng.integers(0, 100, size=(12, 12))
+        counts = rng.integers(0, 5, size=(12, 12))
+        values = np.where(counts > 0, values, 0)
+        return values, counts
+
+    def test_range_sum(self, sales):
+        values, counts = sales
+        agg = AggregateCube(values, counts, box_size=4)
+        assert agg.range_sum((2, 2), (9, 9)) == values[2:10, 2:10].sum()
+
+    def test_range_count(self, sales):
+        values, counts = sales
+        agg = AggregateCube(values, counts, box_size=4)
+        assert agg.range_count((0, 0), (11, 11)) == counts.sum()
+
+    def test_range_average(self, sales):
+        values, counts = sales
+        agg = AggregateCube(values, counts, box_size=4)
+        expected = values[1:5, 1:5].sum() / counts[1:5, 1:5].sum()
+        assert agg.range_average((1, 1), (4, 4)) == pytest.approx(expected)
+
+    def test_average_of_empty_region_is_nan(self):
+        values = np.zeros((6, 6))
+        agg = AggregateCube(values, np.zeros((6, 6), dtype=int), box_size=3)
+        assert math.isnan(agg.range_average((0, 0), (5, 5)))
+
+    def test_default_counts_from_nonzero(self):
+        values = np.array([[5, 0], [0, 2]])
+        agg = AggregateCube(values, box_size=1)
+        assert agg.range_count((0, 0), (1, 1)) == 2
+
+    def test_counts_shape_mismatch(self):
+        with pytest.raises(RangeError):
+            AggregateCube(np.ones((3, 3)), np.ones((2, 2)))
+
+    def test_alternate_backend(self, sales):
+        values, counts = sales
+        agg = AggregateCube(values, counts, method=NaiveCube)
+        assert isinstance(agg.sums, NaiveCube)
+        assert agg.range_sum((0, 0), (11, 11)) == values.sum()
+
+    def test_default_backend_is_rps(self, sales):
+        values, counts = sales
+        agg = AggregateCube(values, counts)
+        assert isinstance(agg.sums, RelativePrefixSumCube)
+
+
+class TestRollingAggregates:
+    @pytest.fixture
+    def daily(self):
+        # 1 x 10 "time series" cube: sales by day.
+        values = np.array([[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]])
+        counts = np.ones_like(values)
+        return AggregateCube(values, counts, box_size=3)
+
+    def test_rolling_sum(self, daily):
+        windows = daily.rolling_sum(1, 3, (0, 0), (0, 9))
+        # Window starting at day 0 covers days 0-2: 1+2+3 = 6, etc.
+        assert windows[0] == 6
+        assert windows[1] == 9
+        # final windows clip at the boundary
+        assert windows[-1] == 10
+        assert windows[-2] == 19
+
+    def test_rolling_average(self, daily):
+        averages = daily.rolling_average(1, 2, (0, 0), (0, 9))
+        assert averages[0] == pytest.approx(1.5)
+        assert averages[-1] == pytest.approx(10.0)
+
+    def test_rolling_window_validation(self, daily):
+        with pytest.raises(RangeError):
+            daily.rolling_sum(1, 0, (0, 0), (0, 9))
+        with pytest.raises(RangeError):
+            daily.rolling_average(1, -2, (0, 0), (0, 9))
+
+    def test_rolling_average_empty_windows_nan(self):
+        values = np.array([[0, 0, 5]])
+        counts = np.array([[0, 0, 1]])
+        agg = AggregateCube(values, counts, box_size=2)
+        averages = agg.rolling_average(1, 1, (0, 0), (0, 2))
+        assert math.isnan(averages[0])
+        assert averages[2] == pytest.approx(5.0)
+
+
+class TestRecordRetract:
+    def test_record_updates_both_structures(self, rng):
+        values = rng.integers(0, 10, size=(8, 8)).astype(float)
+        agg = AggregateCube(values, np.ones((8, 8), dtype=int), box_size=3)
+        total = agg.range_sum((0, 0), (7, 7))
+        count = agg.range_count((0, 0), (7, 7))
+        agg.record((3, 3), 25.0)
+        assert agg.range_sum((0, 0), (7, 7)) == pytest.approx(total + 25.0)
+        assert agg.range_count((0, 0), (7, 7)) == count + 1
+
+    def test_retract_is_inverse_of_record(self, rng):
+        values = rng.integers(0, 10, size=(8, 8)).astype(float)
+        agg = AggregateCube(values, np.ones((8, 8), dtype=int), box_size=3)
+        before_sum = agg.range_sum((0, 0), (7, 7))
+        before_count = agg.range_count((0, 0), (7, 7))
+        agg.record((2, 5), 13.0)
+        agg.retract((2, 5), 13.0)
+        assert agg.range_sum((0, 0), (7, 7)) == pytest.approx(before_sum)
+        assert agg.range_count((0, 0), (7, 7)) == before_count
+
+    def test_record_multiple_occurrences(self):
+        agg = AggregateCube(np.zeros((4, 4)), np.zeros((4, 4), dtype=int),
+                            box_size=2)
+        agg.record((1, 1), 30.0, occurrences=3)
+        assert agg.range_average((1, 1), (1, 1)) == pytest.approx(10.0)

@@ -1,0 +1,73 @@
+"""Unit tests for disk-backed arrays (repro.storage.paged_array)."""
+
+import numpy as np
+
+from repro.storage.layout import BoxAlignedLayout, RowMajorLayout
+from repro.storage.paged_array import PagedNDArray
+
+
+class TestPointOperations:
+    def test_get_set(self):
+        paged = PagedNDArray(RowMajorLayout((4, 4), 4))
+        paged.set((2, 3), 7.5)
+        assert paged.get((2, 3)) == 7.5
+        assert paged.get((0, 0)) == 0.0
+
+    def test_add(self):
+        paged = PagedNDArray(RowMajorLayout((4, 4), 4))
+        paged.add((1, 1), 3)
+        paged.add((1, 1), 4)
+        assert paged.get((1, 1)) == 7.0
+
+    def test_durability_through_eviction(self):
+        paged = PagedNDArray(RowMajorLayout((8, 8), 4), buffer_capacity=1)
+        paged.set((0, 0), 1.0)
+        paged.set((7, 7), 2.0)  # evicts (and persists) the first page
+        assert paged.get((0, 0)) == 1.0
+        assert paged.get((7, 7)) == 2.0
+
+
+class TestBulkLoad:
+    def test_from_array_roundtrip(self, rng):
+        a = rng.integers(0, 50, size=(7, 9)).astype(np.float64)
+        paged = PagedNDArray.from_array(a, BoxAlignedLayout((7, 9), 3))
+        assert np.array_equal(paged.to_array(), a)
+
+    def test_bulk_load_not_charged(self, rng):
+        a = rng.integers(0, 50, size=(6, 6)).astype(np.float64)
+        paged = PagedNDArray.from_array(a, RowMajorLayout((6, 6), 6))
+        assert paged.disk.stats.total_ios == 0
+        assert paged.pool.stats.misses == 0
+
+    def test_dtype_preserved(self, rng):
+        a = rng.integers(0, 5, size=(4, 4))
+        paged = PagedNDArray.from_array(a, RowMajorLayout((4, 4), 4))
+        assert paged.to_array().dtype == a.dtype
+
+
+class TestIOAccounting:
+    def test_cold_reads_fault_pages(self, rng):
+        a = rng.integers(0, 5, size=(8, 8)).astype(np.float64)
+        paged = PagedNDArray.from_array(
+            a, BoxAlignedLayout((8, 8), 4), buffer_capacity=2
+        )
+        paged.pool.drop()  # cold cache (bulk load leaves frames resident)
+        paged.reset_stats()
+        paged.get((0, 0))
+        assert paged.disk.stats.pages_read == 1
+        paged.get((1, 1))  # same box, same page — cached
+        assert paged.disk.stats.pages_read == 1
+        paged.get((7, 7))  # different box
+        assert paged.disk.stats.pages_read == 2
+
+    def test_reset_stats(self, rng):
+        a = rng.integers(0, 5, size=(4, 4)).astype(np.float64)
+        paged = PagedNDArray.from_array(a, RowMajorLayout((4, 4), 2))
+        paged.get((0, 0))
+        paged.reset_stats()
+        assert paged.disk.stats.total_ios == 0
+        assert paged.pool.stats.misses == 0
+
+    def test_repr(self):
+        paged = PagedNDArray(RowMajorLayout((4, 4), 4))
+        assert "PagedNDArray" in repr(paged)

@@ -1,0 +1,134 @@
+"""Unit tests for the disk-resident RPS configuration (repro.storage.paged_rps)."""
+
+import numpy as np
+import pytest
+
+from repro.core.rps import RelativePrefixSumCube
+from repro.storage.layout import BoxAlignedLayout, RowMajorLayout
+from repro.storage.paged_rps import PagedRPSCube
+from tests.conftest import brute_range_sum, random_range
+
+
+class TestCorrectness:
+    def test_agrees_with_in_memory_rps(self, rng):
+        a = rng.integers(0, 30, size=(16, 16))
+        paged = PagedRPSCube(a, box_size=4)
+        memory = RelativePrefixSumCube(a, box_size=4)
+        for _ in range(40):
+            low, high = random_range(rng, a.shape)
+            assert paged.range_sum(low, high) == memory.range_sum(low, high)
+
+    def test_updates_then_queries(self, rng):
+        a = rng.integers(0, 10, size=(12, 12))
+        paged = PagedRPSCube(a, box_size=4, buffer_capacity=3)
+        a = a.copy()
+        for _ in range(30):
+            cell = tuple(int(x) for x in rng.integers(0, 12, size=2))
+            delta = int(rng.integers(-3, 4))
+            a[cell] += delta
+            paged.apply_delta(cell, delta)
+            low, high = random_range(rng, a.shape)
+            assert paged.range_sum(low, high) == brute_range_sum(a, low, high)
+
+    def test_row_major_layout_also_correct(self, rng):
+        a = rng.integers(0, 10, size=(9, 9))
+        paged = PagedRPSCube(
+            a, box_size=3, layout=RowMajorLayout((9, 9), 9)
+        )
+        for _ in range(25):
+            low, high = random_range(rng, a.shape)
+            assert paged.range_sum(low, high) == brute_range_sum(a, low, high)
+
+    def test_3d(self, rng):
+        a = rng.integers(0, 10, size=(6, 6, 6))
+        paged = PagedRPSCube(a, box_size=2)
+        for _ in range(20):
+            low, high = random_range(rng, a.shape)
+            assert paged.range_sum(low, high) == brute_range_sum(a, low, high)
+
+
+class TestSection44Claims:
+    def test_cold_query_reads_at_most_2_to_d_pages(self, rng):
+        """Box-aligned: one RP page per region-sum corner."""
+        a = rng.integers(0, 10, size=(32, 32))
+        paged = PagedRPSCube(a, box_size=8, buffer_capacity=4)
+        for _ in range(20):
+            paged.rp_pages.pool.drop()
+            paged.reset_io_stats()
+            low, high = random_range(rng, a.shape)
+            paged.range_sum(low, high)
+            assert paged.io_stats()["pages_read"] <= 4
+
+    def test_cold_update_touches_one_rp_page(self, rng):
+        """The entire RP cascade stays inside one box = one page."""
+        a = rng.integers(0, 10, size=(32, 32))
+        paged = PagedRPSCube(a, box_size=8, buffer_capacity=4)
+        for _ in range(20):
+            cell = tuple(int(x) for x in rng.integers(0, 32, size=2))
+            paged.rp_pages.pool.drop()
+            paged.reset_io_stats()
+            paged.apply_delta(cell, 1)
+            paged.flush()
+            stats = paged.io_stats()
+            assert stats["pages_read"] == 1
+            assert stats["pages_written"] == 1
+
+    def test_row_major_update_can_straddle_pages(self, rng):
+        """The counter-configuration: unaligned layout spreads one box's
+        cascade over many pages."""
+        n, k = 32, 8
+        a = rng.integers(0, 10, size=(n, n))
+        paged = PagedRPSCube(
+            a, box_size=k, layout=RowMajorLayout((n, n), k * k),
+            buffer_capacity=32,
+        )
+        paged.rp_pages.pool.drop()
+        paged.reset_io_stats()
+        paged.apply_delta((0, 0), 1)  # cascades over a full k x k box
+        paged.flush()
+        assert paged.io_stats()["pages_read"] > 1
+
+    def test_overlay_memory_is_small_fraction(self, rng):
+        """Section 4.4's premise: the RAM-resident overlay is small
+        relative to RP."""
+        a = rng.integers(0, 10, size=(100, 100))
+        paged = PagedRPSCube(a, box_size=10)
+        # live overlay cells / RP cells = (k^d - (k-1)^d) / k^d = 19%
+        ratio = paged.overlay_memory_cells() / a.size
+        assert ratio < 0.25
+
+    def test_warm_buffer_hits(self, rng):
+        a = rng.integers(0, 10, size=(16, 16))
+        paged = PagedRPSCube(a, box_size=4, buffer_capacity=16)
+        paged.range_sum((0, 0), (15, 15))
+        paged.reset_io_stats()
+        paged.range_sum((0, 0), (15, 15))  # same pages, now cached
+        stats = paged.io_stats()
+        assert stats["pages_read"] == 0
+        assert stats["buffer_hit_rate"] == 1.0
+
+
+class TestAccounting:
+    def test_storage_cells_counts_padding(self, rng):
+        a = rng.integers(0, 5, size=(10, 10))
+        paged = PagedRPSCube(a, box_size=3)
+        # 16 pages x 9 slots on disk, plus the overlay in RAM
+        assert paged.storage_cells() == 16 * 9 + paged.overlay.storage_cells()
+
+    def test_cell_counters_still_charged(self, rng):
+        a = rng.integers(0, 5, size=(9, 9))
+        paged = PagedRPSCube(a, box_size=3)
+        before = paged.counter.snapshot()
+        paged.prefix_sum((7, 5))
+        # 1 anchor + 2 borders + 1 RP cell, same as the in-memory method.
+        assert before.delta(paged.counter).cells_read == 4
+
+    def test_update_cell_counts_match_in_memory(self, rng):
+        a = rng.integers(0, 5, size=(9, 9))
+        paged = PagedRPSCube(a, box_size=3)
+        memory = RelativePrefixSumCube(a, box_size=3)
+        paged.apply_delta((1, 1), 1)
+        memory.apply_delta((1, 1), 1)
+        assert (
+            paged.counter.cells_written == memory.counter.cells_written == 16
+        )

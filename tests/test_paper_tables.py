@@ -1,0 +1,134 @@
+"""End-to-end verification against every worked example in the paper.
+
+These are the reproduction's ground-truth tests: each asserts cell-for-cell
+equality with a published figure or the exact costs the paper reports.
+"""
+
+import numpy as np
+
+from repro import paper
+from repro.baselines.prefix import PrefixSumCube
+from repro.core.rps import RelativePrefixSumCube
+
+
+class TestFigure2:
+    def test_prefix_array_exact(self, paper_cube):
+        assert np.array_equal(
+            PrefixSumCube(paper_cube).prefix_array(), paper.ARRAY_P
+        )
+
+    def test_spot_values_from_text(self, paper_cube):
+        cube = PrefixSumCube(paper_cube)
+        assert cube.prefix_sum((4, 0)) == 19   # "cell P[4,0] contains ... 19"
+        assert cube.prefix_sum((2, 1)) == 24   # "cell P[2,1] ... 24"
+        assert cube.prefix_sum((8, 8)) == 290  # sum of the entire array
+
+
+class TestFigure4:
+    def test_update_table_exact(self, paper_cube):
+        cube = PrefixSumCube(paper_cube)
+        cube.update((1, 1), 4)
+        assert np.array_equal(cube.prefix_array(), paper.ARRAY_P_AFTER_UPDATE)
+
+    def test_sixty_four_cells(self, paper_cube):
+        cube = PrefixSumCube(paper_cube)
+        before = cube.counter.snapshot()
+        cube.apply_delta((1, 1), 1)
+        assert before.delta(cube.counter).cells_written == 64
+
+
+class TestFigure10And13:
+    def test_rp_array_exact(self, paper_cube):
+        rps = RelativePrefixSumCube(paper_cube, box_size=3)
+        assert np.array_equal(rps.rp.array(), paper.ARRAY_RP)
+
+    def test_anchor_values_exact(self, paper_cube):
+        rps = RelativePrefixSumCube(paper_cube, box_size=3)
+        assert np.array_equal(
+            rps.overlay.anchors_array().astype(np.int64),
+            paper.OVERLAY_ANCHORS,
+        )
+
+    def test_all_border_values_exact(self, paper_cube):
+        rps = RelativePrefixSumCube(paper_cube, box_size=3)
+        for cell, value in paper.BORDER_ROW_VALUES.items():
+            assert rps.overlay.border_value(cell) == value, cell
+        for cell, value in paper.BORDER_COLUMN_VALUES.items():
+            assert rps.overlay.border_value(cell) == value, cell
+
+    def test_section_3_3_worked_border_calculations(self, paper_cube):
+        """The four border values computed step-by-step in Section 3.3."""
+        rps = RelativePrefixSumCube(paper_cube, box_size=3)
+        assert rps.overlay.anchor_value((3, 3)) == 46
+        assert rps.overlay.border_value((4, 3)) == 7
+        assert rps.overlay.border_value((5, 3)) == 15
+        assert rps.overlay.border_value((3, 4)) == 13
+        assert rps.overlay.border_value((3, 5)) == 27
+
+
+class TestSection33Query:
+    def test_component_values(self, paper_cube):
+        """anchor 86 + border 8 + border 51 + RP 23 = 168."""
+        rps = RelativePrefixSumCube(paper_cube, box_size=3)
+        assert rps.overlay.anchor_value((6, 3)) == (
+            paper.EXAMPLE_QUERY_ANCHOR_VALUE
+        )
+        assert rps.overlay.border_value((7, 3)) == (
+            paper.EXAMPLE_QUERY_BORDER_Y
+        )
+        assert rps.overlay.border_value((6, 5)) == (
+            paper.EXAMPLE_QUERY_BORDER_X
+        )
+        assert rps.rp.value((7, 5)) == paper.EXAMPLE_QUERY_RP
+
+    def test_complete_region_sum(self, paper_cube):
+        rps = RelativePrefixSumCube(paper_cube, box_size=3)
+        assert rps.prefix_sum((7, 5)) == paper.EXAMPLE_QUERY_RESULT
+
+
+class TestFigure15:
+    def test_rp_after_update_exact(self, paper_cube):
+        rps = RelativePrefixSumCube(paper_cube, box_size=3)
+        rps.apply_delta(paper.UPDATE_EXAMPLE_CELL, 1)
+        assert np.array_equal(rps.rp.array(), paper.ARRAY_RP_AFTER_UPDATE)
+
+    def test_twelve_overlay_cells_exact(self, paper_cube):
+        rps = RelativePrefixSumCube(paper_cube, box_size=3)
+        rps.apply_delta(paper.UPDATE_EXAMPLE_CELL, 1)
+        for (r, c), value in paper.OVERLAY_CELLS_AFTER_UPDATE.items():
+            if r % 3 == 0 and c % 3 == 0:
+                got = rps.overlay.anchor_value((r, c))
+            else:
+                got = rps.overlay.border_value((r, c))
+            assert got == value, ((r, c), got, value)
+
+    def test_sixteen_versus_sixty_four(self, paper_cube):
+        """The paper's headline example: 16 cells (RPS) vs 64 (PS)."""
+        rps = RelativePrefixSumCube(paper_cube, box_size=3)
+        rps.apply_delta(paper.UPDATE_EXAMPLE_CELL, 1)
+        assert rps.counter.cells_written == 16
+        assert rps.counter.structure_written("RP") == 4
+        overlay = rps.counter.structure_written(
+            "overlay.border"
+        ) + rps.counter.structure_written("overlay.anchor")
+        assert overlay == 12
+
+    def test_anchor_update_note(self, paper_cube):
+        """Section 4.2's closing note: updating cell (0,0) (directly under
+        an anchor) changes only anchor cells, no border values."""
+        rps = RelativePrefixSumCube(paper_cube, box_size=3)
+        rps.apply_delta((0, 0), 1)
+        assert rps.counter.structure_written("overlay.border") == 0
+        assert rps.counter.structure_written("overlay.anchor") == 8
+        assert rps.counter.structure_written("RP") == 9
+
+
+class TestQueriesAfterUpdateStayConsistent:
+    def test_all_prefixes_after_paper_update(self, paper_cube):
+        rps = RelativePrefixSumCube(paper_cube, box_size=3)
+        rps.apply_delta((1, 1), 1)
+        updated = paper_cube.copy()
+        updated[1, 1] += 1
+        prefix = updated.cumsum(axis=0).cumsum(axis=1)
+        for idx in np.ndindex(9, 9):
+            assert rps.prefix_sum(idx) == prefix[idx], idx

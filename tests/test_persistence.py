@@ -1,0 +1,162 @@
+"""Tests for saving/loading cubes, schemas, and engines (repro.persistence)."""
+
+import numpy as np
+import pytest
+
+from repro import persistence
+from repro.baselines.naive import NaiveCube
+from repro.baselines.prefix import PrefixSumCube
+from repro.core.rps import RelativePrefixSumCube
+from repro.cube.encoders import (
+    BinningEncoder,
+    CategoricalEncoder,
+    DateEncoder,
+    IdentityEncoder,
+    IntegerEncoder,
+    encoder_from_spec,
+)
+from repro.cube.engine import DataCubeEngine
+from repro.cube.schema import CubeSchema, Dimension
+from repro.errors import EncodingError, StorageError
+from tests.conftest import METHOD_CLASSES, random_range
+
+
+class TestMethodRoundtrip:
+    @pytest.mark.parametrize("method_class", METHOD_CLASSES,
+                             ids=lambda c: c.name)
+    def test_roundtrip_preserves_answers(self, rng, tmp_path, method_class):
+        a = rng.integers(0, 30, size=(12, 12))
+        original = method_class(a)
+        original.apply_delta((3, 3), 7)
+        path = tmp_path / "cube.npz"
+        persistence.save_method(original, path)
+        loaded = persistence.load_method(path)
+        assert type(loaded) is method_class
+        for _ in range(20):
+            low, high = random_range(rng, a.shape)
+            assert loaded.range_sum(low, high) == original.range_sum(
+                low, high
+            )
+
+    def test_rps_box_sizes_preserved(self, rng, tmp_path):
+        a = rng.integers(0, 10, size=(12, 20))
+        original = RelativePrefixSumCube(a, box_size=(3, 5))
+        path = tmp_path / "rps.npz"
+        persistence.save_method(original, path)
+        loaded = persistence.load_method(path)
+        assert loaded.box_sizes == (3, 5)
+
+    def test_float_dtype_preserved(self, rng, tmp_path):
+        a = rng.random((6, 6))
+        path = tmp_path / "f.npz"
+        persistence.save_method(NaiveCube(a), path)
+        loaded = persistence.load_method(path)
+        assert loaded.total() == pytest.approx(a.sum())
+
+    def test_unregistered_method_rejected(self, rng, tmp_path):
+        from repro.storage.paged_rps import PagedRPSCube
+
+        cube = PagedRPSCube(rng.integers(0, 5, (8, 8)), box_size=4)
+        with pytest.raises(StorageError):
+            persistence.save_method(cube, tmp_path / "x.npz")
+
+
+class TestEncoderSpecs:
+    @pytest.mark.parametrize("encoder", [
+        IntegerEncoder(18, 80),
+        CategoricalEncoder(["n", "s", "e", "w"]),
+        BinningEncoder([0, 10, 20, 50]),
+        DateEncoder("2026-01-01", 365),
+        IdentityEncoder(9),
+    ], ids=["integer", "categorical", "binning", "date", "identity"])
+    def test_spec_roundtrip(self, encoder):
+        rebuilt = encoder_from_spec(encoder.spec())
+        assert type(rebuilt) is type(encoder)
+        assert rebuilt.size == encoder.size
+        for index in (0, encoder.size - 1):
+            assert rebuilt.decode(index) == encoder.decode(index)
+
+    def test_specs_are_json_safe(self):
+        import json
+
+        for encoder in (IntegerEncoder(0, 5), DateEncoder("2026-01-01", 7)):
+            assert json.loads(json.dumps(encoder.spec())) == encoder.spec()
+
+    def test_unknown_spec(self):
+        with pytest.raises(EncodingError):
+            encoder_from_spec({"type": "hologram"})
+
+
+class TestSchemaRoundtrip:
+    @pytest.fixture
+    def schema(self):
+        return CubeSchema(
+            [
+                Dimension("age", IntegerEncoder(18, 80)),
+                Dimension("day", DateEncoder("2026-01-01", 90)),
+                Dimension("region", CategoricalEncoder(["n", "s"])),
+            ],
+            measure="sales",
+        )
+
+    def test_dict_roundtrip(self, schema):
+        rebuilt = persistence.schema_from_dict(
+            persistence.schema_to_dict(schema)
+        )
+        assert rebuilt.shape == schema.shape
+        assert rebuilt.measure == schema.measure
+        assert [d.name for d in rebuilt.dimensions] == ["age", "day", "region"]
+
+    def test_file_roundtrip(self, schema, tmp_path):
+        path = tmp_path / "schema.json"
+        persistence.save_schema(schema, path)
+        rebuilt = persistence.load_schema(path)
+        assert rebuilt.encode_selection({"age": (37, 52)}) == (
+            schema.encode_selection({"age": (37, 52)})
+        )
+
+
+class TestEngineRoundtrip:
+    def test_roundtrip_preserves_aggregates(self, tmp_path):
+        schema = CubeSchema(
+            [
+                Dimension("age", IntegerEncoder(18, 40)),
+                Dimension("day", DateEncoder("2026-01-01", 30)),
+            ],
+            measure="sales",
+        )
+        engine = DataCubeEngine(schema)
+        engine.ingest({"age": 20, "day": "2026-01-05", "sales": 10.0})
+        engine.ingest({"age": 20, "day": "2026-01-05", "sales": 30.0})
+        engine.ingest({"age": 35, "day": "2026-01-20", "sales": 5.0})
+        path = tmp_path / "engine.npz"
+        persistence.save_engine(engine, path)
+        loaded = persistence.load_engine(path)
+        selection = {"age": (18, 25)}
+        assert loaded.sum(selection) == engine.sum(selection)
+        assert loaded.count(selection) == engine.count(selection)
+        assert loaded.average(selection) == pytest.approx(
+            engine.average(selection)
+        )
+
+    def test_loaded_engine_keeps_ingesting(self, tmp_path):
+        schema = CubeSchema(
+            [Dimension("x", IdentityEncoder(8))], measure="m"
+        )
+        engine = DataCubeEngine(schema, [{"x": 1, "m": 4.0}])
+        path = tmp_path / "engine.npz"
+        persistence.save_engine(engine, path)
+        loaded = persistence.load_engine(path)
+        loaded.ingest({"x": 2, "m": 6.0})
+        assert loaded.sum() == pytest.approx(10.0)
+
+    def test_backend_override(self, tmp_path):
+        schema = CubeSchema(
+            [Dimension("x", IdentityEncoder(8))], measure="m"
+        )
+        engine = DataCubeEngine(schema, [{"x": 0, "m": 1.0}])
+        path = tmp_path / "engine.npz"
+        persistence.save_engine(engine, path)
+        loaded = persistence.load_engine(path, method=PrefixSumCube)
+        assert isinstance(loaded.backend, PrefixSumCube)
+        assert loaded.sum() == pytest.approx(1.0)

@@ -1,0 +1,146 @@
+"""Unit tests for pivot tables (repro.cube.pivot)."""
+
+import pytest
+
+from repro.cube.encoders import CategoricalEncoder, DateEncoder, IntegerEncoder
+from repro.cube.engine import DataCubeEngine
+from repro.cube.hierarchy import CalendarHierarchy
+from repro.cube.pivot import pivot
+from repro.cube.schema import CubeSchema, Dimension
+from repro.errors import RangeError
+
+AGE_BANDS = [("young", (18, 35)), ("old", (36, 80))]
+REGION_MEMBERS = [("n", ("n", "n")), ("s", ("s", "s"))]
+
+
+@pytest.fixture
+def engine():
+    schema = CubeSchema(
+        [
+            Dimension("region", CategoricalEncoder(["n", "s"])),
+            Dimension("age", IntegerEncoder(18, 80)),
+            Dimension("day", DateEncoder("2026-01-01", 90)),
+        ],
+        measure="sales",
+    )
+    engine = DataCubeEngine(schema)
+    facts = [
+        ("n", 25, "2026-01-10", 10.0),
+        ("n", 50, "2026-01-20", 20.0),
+        ("s", 25, "2026-02-10", 40.0),
+        ("s", 50, "2026-02-20", 80.0),
+        ("s", 30, "2026-03-01", 5.0),
+    ]
+    for region, age, day, sales in facts:
+        engine.ingest(
+            {"region": region, "age": age, "day": day, "sales": sales}
+        )
+    return engine
+
+
+class TestPivot:
+    def test_cells(self, engine):
+        table = pivot(engine, "region", REGION_MEMBERS, "age", AGE_BANDS)
+        assert table.value("n", "young") == pytest.approx(10.0)
+        assert table.value("n", "old") == pytest.approx(20.0)
+        assert table.value("s", "young") == pytest.approx(45.0)
+        assert table.value("s", "old") == pytest.approx(80.0)
+
+    def test_margins_and_grand_total(self, engine):
+        table = pivot(engine, "region", REGION_MEMBERS, "age", AGE_BANDS)
+        assert table.row_totals["n"] == pytest.approx(30.0)
+        assert table.row_totals["s"] == pytest.approx(125.0)
+        assert table.column_totals["young"] == pytest.approx(55.0)
+        assert table.column_totals["old"] == pytest.approx(100.0)
+        assert table.grand_total == pytest.approx(155.0)
+
+    def test_margins_consistent_with_cells(self, engine):
+        table = pivot(engine, "region", REGION_MEMBERS, "age", AGE_BANDS)
+        for row in table.row_labels:
+            assert table.row_totals[row] == pytest.approx(
+                sum(table.value(row, col) for col in table.column_labels)
+            )
+        assert table.grand_total == pytest.approx(
+            sum(table.row_totals.values())
+        )
+
+    def test_count_aggregate(self, engine):
+        table = pivot(
+            engine, "region", REGION_MEMBERS, "age", AGE_BANDS,
+            aggregate="count",
+        )
+        assert table.value("s", "young") == 2
+        assert table.grand_total == 5
+
+    def test_average_margins_are_true_averages(self, engine):
+        table = pivot(
+            engine, "region", REGION_MEMBERS, "age", AGE_BANDS,
+            aggregate="average",
+        )
+        # s-row: (40 + 80 + 5) / 3, not the mean of the two cell averages
+        assert table.row_totals["s"] == pytest.approx(125.0 / 3)
+
+    def test_with_extra_selection(self, engine):
+        table = pivot(
+            engine, "region", REGION_MEMBERS, "age", AGE_BANDS,
+            selection={"day": ("2026-01-01", "2026-01-31")},
+        )
+        assert table.grand_total == pytest.approx(30.0)
+        assert table.value("s", "old") == pytest.approx(0.0)
+
+    def test_hierarchy_members_as_axis(self, engine):
+        months = CalendarHierarchy(engine, "day").members("month")
+        table = pivot(engine, "region", REGION_MEMBERS, "day", months)
+        assert table.value("s", "2026-02") == pytest.approx(120.0)
+        assert table.value("n", "2026-03") == pytest.approx(0.0)
+
+    def test_validation(self, engine):
+        with pytest.raises(RangeError):
+            pivot(engine, "region", REGION_MEMBERS, "region",
+                  REGION_MEMBERS)
+        with pytest.raises(RangeError):
+            pivot(engine, "region", REGION_MEMBERS, "age", AGE_BANDS,
+                  aggregate="mode")
+        with pytest.raises(RangeError):
+            pivot(engine, "region", REGION_MEMBERS, "age", AGE_BANDS,
+                  selection={"age": (20, 30)})
+
+    def test_render(self, engine):
+        text = pivot(
+            engine, "region", REGION_MEMBERS, "age", AGE_BANDS
+        ).render()
+        lines = text.splitlines()
+        assert "young" in lines[0] and "total" in lines[0]
+        assert lines[1].startswith("n")
+        assert lines[-1].startswith("total")
+        assert "155.0" in lines[-1]
+
+
+class TestWeekLevel:
+    def test_week_members_tile(self, engine):
+        hierarchy = CalendarHierarchy(engine, "day")
+        members = hierarchy.members("week")
+        import datetime
+
+        cursor = datetime.date(2026, 1, 1)
+        for _, (start, end) in members:
+            assert start == cursor
+            cursor = end + datetime.timedelta(days=1)
+        assert cursor == datetime.date(2026, 1, 1) + datetime.timedelta(
+            days=90
+        )
+
+    def test_week_boundaries_are_sundays(self, engine):
+        members = CalendarHierarchy(engine, "day").members("week")
+        # every interior member ends on a Sunday (ISO weekday 7)
+        for _, (start, end) in members[:-1]:
+            assert end.isoweekday() == 7
+
+    def test_week_labels_iso(self, engine):
+        members = dict(CalendarHierarchy(engine, "day").members("week"))
+        # 2026-01-01 falls in ISO week 2026-W01
+        assert "2026-W01" in members
+
+    def test_week_rollup_totals(self, engine):
+        rollup = CalendarHierarchy(engine, "day").rollup("week")
+        assert sum(rollup.values()) == pytest.approx(engine.sum())

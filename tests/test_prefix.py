@@ -1,0 +1,99 @@
+"""Unit tests for the prefix sum method (repro.baselines.prefix)."""
+
+import numpy as np
+import pytest
+
+from repro import paper
+from repro.baselines.prefix import PrefixSumCube, build_prefix_array
+from tests.conftest import brute_range_sum, random_range
+
+
+class TestBuildPrefixArray:
+    def test_paper_figure_2(self, paper_cube):
+        assert np.array_equal(build_prefix_array(paper_cube), paper.ARRAY_P)
+
+    def test_definition_3d(self, rng):
+        a = rng.integers(0, 10, size=(4, 5, 6))
+        p = build_prefix_array(a)
+        for idx in np.ndindex(*a.shape):
+            region = tuple(slice(0, i + 1) for i in idx)
+            assert p[idx] == a[region].sum()
+
+    def test_last_cell_is_total(self, paper_cube):
+        p = build_prefix_array(paper_cube)
+        assert p[8, 8] == paper_cube.sum() == 290
+
+
+class TestQueries:
+    def test_figure_2_spot_values(self, paper_cube):
+        cube = PrefixSumCube(paper_cube)
+        # P[4,0] = 19 and P[2,1] = 24, the paper's two worked lookups.
+        assert cube.prefix_sum((4, 0)) == 19
+        assert cube.prefix_sum((2, 1)) == 24
+
+    def test_query_cost_constant(self, paper_cube):
+        cube = PrefixSumCube(paper_cube)
+        before = cube.counter.snapshot()
+        cube.range_sum((2, 2), (6, 6))
+        # 2^d = 4 lookups for an interior range
+        assert before.delta(cube.counter).cells_read == 4
+
+    def test_edge_range_skips_empty_corners(self, paper_cube):
+        cube = PrefixSumCube(paper_cube)
+        before = cube.counter.snapshot()
+        cube.range_sum((0, 0), (4, 4))
+        assert before.delta(cube.counter).cells_read == 1
+
+    def test_range_sums_match_oracle(self, rng):
+        a = rng.integers(-10, 30, size=(13, 17))
+        cube = PrefixSumCube(a)
+        for _ in range(60):
+            low, high = random_range(rng, a.shape)
+            assert cube.range_sum(low, high) == brute_range_sum(a, low, high)
+
+
+class TestUpdates:
+    def test_figure_4_cascade(self, paper_cube):
+        cube = PrefixSumCube(paper_cube)
+        before = cube.counter.snapshot()
+        cube.update((1, 1), 4)  # 3 -> 4, the figure's example
+        assert before.delta(cube.counter).cells_written == 64
+        assert np.array_equal(cube.prefix_array(), paper.ARRAY_P_AFTER_UPDATE)
+
+    def test_worst_case_rewrites_everything(self, paper_cube):
+        cube = PrefixSumCube(paper_cube)
+        before = cube.counter.snapshot()
+        cube.apply_delta((0, 0), 1)
+        assert before.delta(cube.counter).cells_written == 81
+
+    def test_best_case_single_cell(self, paper_cube):
+        cube = PrefixSumCube(paper_cube)
+        before = cube.counter.snapshot()
+        cube.apply_delta((8, 8), 1)
+        assert before.delta(cube.counter).cells_written == 1
+
+    def test_updates_keep_queries_correct(self, rng):
+        a = rng.integers(0, 10, size=(10, 10))
+        cube = PrefixSumCube(a)
+        a = a.copy()
+        for _ in range(30):
+            cell = tuple(int(x) for x in rng.integers(0, 10, size=2))
+            delta = int(rng.integers(-4, 5))
+            a[cell] += delta
+            cube.apply_delta(cell, delta)
+            low, high = random_range(rng, a.shape)
+            assert cube.range_sum(low, high) == brute_range_sum(a, low, high)
+
+
+class TestMisc:
+    def test_to_array_inverts_prefix(self, rng):
+        a = rng.integers(-5, 10, size=(6, 7, 3))
+        assert np.array_equal(PrefixSumCube(a).to_array(), a)
+
+    def test_storage(self, paper_cube):
+        assert PrefixSumCube(paper_cube).storage_cells() == 81
+
+    def test_prefix_array_is_a_copy(self, paper_cube):
+        cube = PrefixSumCube(paper_cube)
+        cube.prefix_array()[0, 0] = 999
+        assert cube.prefix_sum((0, 0)) == 3

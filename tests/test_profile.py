@@ -1,0 +1,83 @@
+"""Unit tests for method profiling (repro.metrics.profile)."""
+
+import pytest
+
+from repro.baselines.naive import NaiveCube
+from repro.baselines.prefix import PrefixSumCube
+from repro.core.rps import RelativePrefixSumCube
+from repro.metrics.profile import characterize, render_profile
+
+
+@pytest.fixture(scope="module")
+def rps_profile():
+    return characterize(
+        RelativePrefixSumCube, shape=(32, 32), operations=30, box_size=6
+    )
+
+
+class TestCharacterize:
+    def test_sections_present(self, rps_profile):
+        assert rps_profile["method"] == "rps"
+        assert rps_profile["cube_cells"] == 1024
+        for section in ("query", "update"):
+            for key in ("mean_cells", "median_cells", "max_cells",
+                        "worst_case_cells", "mean_seconds"):
+                assert key in rps_profile[section]
+
+    def test_rps_shape_of_costs(self, rps_profile):
+        # constant-ish queries, bounded updates
+        assert rps_profile["query"]["max_cells"] <= 16
+        assert rps_profile["update"]["worst_case_cells"] < 1024
+
+    def test_naive_profile_extremes(self):
+        profile = characterize(NaiveCube, shape=(32, 32), operations=30)
+        assert profile["update"]["max_cells"] == 1
+        assert profile["query"]["worst_case_cells"] == 30 * 30
+
+    def test_prefix_profile_extremes(self):
+        profile = characterize(PrefixSumCube, shape=(32, 32), operations=30)
+        assert profile["query"]["max_cells"] <= 4
+        assert profile["update"]["worst_case_cells"] == 1024
+
+    def test_method_kwargs_forwarded(self):
+        profile = characterize(
+            RelativePrefixSumCube, shape=(32, 32), operations=10,
+            box_size=16,
+        )
+        # larger boxes -> larger in-box RP cascades possible
+        assert profile["update"]["max_cells"] >= 16
+
+    def test_probes_leave_structure_consistent(self):
+        """characterize applies +1/-1 worst-case probes; net effect zero."""
+        profile = characterize(
+            RelativePrefixSumCube, shape=(16, 16), operations=10
+        )
+        assert profile["cost_product_worst"] > 0
+
+
+class TestRenderProfile:
+    def test_render_contains_key_figures(self, rps_profile):
+        text = render_profile(rps_profile)
+        assert "profile: rps" in text
+        assert "32x32" in text
+        assert "query" in text and "update" in text
+        assert "product" in text
+
+
+class TestCliProfile:
+    def test_cli_runs(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "profile", "--n", "32", "--ops", "10", "--methods", "rps",
+            "--box-size", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "profile: rps" in out
+
+    def test_cli_rejects_unknown_method(self):
+        from repro.cli import main
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            main(["profile", "--methods", "oracle"])

@@ -1,0 +1,163 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The central invariant of the whole system: every range-sum method is an
+exact, update-consistent replacement for the naive scan, for any cube,
+any query, any update sequence, any box size.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.fenwick import FenwickCube
+from repro.baselines.naive import NaiveCube
+from repro.baselines.prefix import PrefixSumCube
+from repro.core.blocked import blocked_prefix_all_axes
+from repro.core.rps import RelativePrefixSumCube
+from repro.metrics import complexity
+
+
+@st.composite
+def cube_and_ops(draw, max_side=12, max_dims=3):
+    """A random cube plus a random sequence of interleaved queries/updates."""
+    d = draw(st.integers(1, max_dims))
+    shape = tuple(draw(st.integers(2, max_side)) for _ in range(d))
+    cells = draw(
+        st.lists(
+            st.integers(-50, 50),
+            min_size=int(np.prod(shape)),
+            max_size=int(np.prod(shape)),
+        )
+    )
+    array = np.array(cells, dtype=np.int64).reshape(shape)
+    box_size = draw(st.integers(1, max_side))
+
+    def coord():
+        return tuple(draw(st.integers(0, n - 1)) for n in shape)
+
+    ops = []
+    for _ in range(draw(st.integers(1, 8))):
+        if draw(st.booleans()):
+            low = coord()
+            high = tuple(draw(st.integers(l, n - 1)) for l, n in zip(low, shape))
+            ops.append(("query", (low, high)))
+        else:
+            ops.append(("update", (coord(), draw(st.integers(-9, 9)))))
+    return array, box_size, ops
+
+
+@settings(max_examples=60, deadline=None)
+@given(cube_and_ops())
+def test_rps_equivalent_to_naive_under_any_op_sequence(data):
+    array, box_size, ops = data
+    rps = RelativePrefixSumCube(array, box_size=box_size)
+    oracle = array.copy()
+    for kind, payload in ops:
+        if kind == "query":
+            low, high = payload
+            slices = tuple(slice(l, h + 1) for l, h in zip(low, high))
+            assert rps.range_sum(low, high) == oracle[slices].sum()
+        else:
+            cell, delta = payload
+            oracle[cell] += delta
+            rps.apply_delta(cell, delta)
+    assert np.array_equal(rps.to_array(), oracle)
+
+
+@settings(max_examples=40, deadline=None)
+@given(cube_and_ops(max_side=10, max_dims=2))
+def test_all_methods_agree(data):
+    array, box_size, ops = data
+    methods = [
+        NaiveCube(array),
+        PrefixSumCube(array),
+        FenwickCube(array),
+        RelativePrefixSumCube(array, box_size=box_size),
+    ]
+    for kind, payload in ops:
+        if kind == "query":
+            low, high = payload
+            answers = {int(m.range_sum(low, high)) for m in methods}
+            assert len(answers) == 1
+        else:
+            cell, delta = payload
+            for m in methods:
+                m.apply_delta(cell, delta)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(-100, 100), min_size=1, max_size=60),
+    st.integers(1, 20),
+)
+def test_blocked_prefix_matches_definition_1d(cells, block):
+    array = np.array(cells, dtype=np.int64)
+    out = blocked_prefix_all_axes(array, block)
+    for i in range(len(cells)):
+        start = (i // block) * block
+        assert out[i] == array[start : i + 1].sum()
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(2, 10_000), st.integers(1, 6))
+def test_storage_ratio_formula_consistency(k, d):
+    """k^d - (k-1)^d cells per box, always in (0, k^d]."""
+    per_box = complexity.overlay_cells_per_box(k, d)
+    assert 0 < per_box <= k**d
+    # identity: sum over nonempty subsets Z of (k-1)^{d-|Z|}
+    from math import comb
+
+    subset_sum = sum(
+        comb(d, z) * (k - 1) ** (d - z) for z in range(1, d + 1)
+    )
+    assert subset_sum == per_box
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(4, 4096), st.integers(2, 4))
+def test_update_bound_dominates_paper_formula(n, d):
+    """((n/k) + k)^d >= the paper's three-term formula at any valid k.
+
+    Holds for d >= 2; the paper's formula is not meant for d = 1, where
+    its border and anchor terms double-count the same cells (in one
+    dimension every face cell *is* an anchor).
+    """
+    k = complexity.optimal_box_size(n)
+    if k > n:
+        return
+    assert complexity.rps_update_cost_bound(n, d, k) >= (
+        complexity.rps_update_cost(n, d, k)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(2, 12), st.integers(2, 12), st.integers(1, 13),
+    st.integers(0, 1000),
+)
+def test_rps_prefix_sums_match_prefix_cube(rows, cols, box, seed):
+    """Cross-implementation invariant: RPS and the Ho et al. prefix cube
+    compute identical prefix sums everywhere."""
+    rng = np.random.default_rng(seed)
+    array = rng.integers(-20, 20, size=(rows, cols))
+    rps = RelativePrefixSumCube(array, box_size=box)
+    ps = PrefixSumCube(array)
+    for idx in np.ndindex(rows, cols):
+        assert rps.prefix_sum(idx) == ps.prefix_sum(idx)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_update_cost_prediction_is_exact(data):
+    """update_cost_breakdown predicts apply_delta's write count exactly."""
+    n = data.draw(st.integers(4, 16))
+    d = data.draw(st.integers(1, 3))
+    k = data.draw(st.integers(1, n))
+    rng = np.random.default_rng(data.draw(st.integers(0, 999)))
+    array = rng.integers(0, 9, size=(n,) * d)
+    rps = RelativePrefixSumCube(array, box_size=k)
+    cell = tuple(data.draw(st.integers(0, n - 1)) for _ in range(d))
+    predicted = rps.update_cost_breakdown(cell)["total"]
+    before = rps.counter.snapshot()
+    rps.apply_delta(cell, 1)
+    assert before.delta(rps.counter).cells_written == predicted

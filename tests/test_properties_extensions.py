@@ -1,0 +1,181 @@
+"""Property-based tests (hypothesis) for the extension layers.
+
+Covers per-axis box sizes, batch strategies, the query parser, calendar
+hierarchies, persistence, and the group-operator machinery.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates.generalized import GROUP_XOR, GroupRelativePrefixCube
+from repro.core.rps import RelativePrefixSumCube
+from repro.cube.encoders import DateEncoder, IntegerEncoder
+from repro.cube.query import Selection, parse_query
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_anisotropic_rps_matches_oracle(data):
+    """Random per-axis box sizes never change any answer."""
+    d = data.draw(st.integers(1, 3))
+    shape = tuple(data.draw(st.integers(2, 10)) for _ in range(d))
+    sizes = tuple(data.draw(st.integers(1, 12)) for _ in range(d))
+    seed = data.draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    array = rng.integers(-9, 9, size=shape)
+    cube = RelativePrefixSumCube(array, box_size=sizes)
+    for _ in range(5):
+        low = tuple(int(rng.integers(0, n)) for n in shape)
+        high = tuple(int(rng.integers(l, n)) for l, n in zip(low, shape))
+        slices = tuple(slice(l, h + 1) for l, h in zip(low, high))
+        assert cube.range_sum(low, high) == array[slices].sum()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_batch_strategies_always_agree(data):
+    """incremental == rebuild == auto, for any batch on any cube."""
+    n = data.draw(st.integers(3, 12))
+    seed = data.draw(st.integers(0, 10_000))
+    k = data.draw(st.integers(1, n))
+    rng = np.random.default_rng(seed)
+    array = rng.integers(0, 9, size=(n, n))
+    batch = [
+        (
+            (int(rng.integers(0, n)), int(rng.integers(0, n))),
+            int(rng.integers(-5, 6)),
+        )
+        for _ in range(data.draw(st.integers(0, 20)))
+    ]
+    results = []
+    for strategy in ("incremental", "rebuild", "auto"):
+        cube = RelativePrefixSumCube(array, box_size=k)
+        cube.apply_batch(list(batch), strategy=strategy)
+        results.append(cube.to_array())
+    assert np.array_equal(results[0], results[1])
+    assert np.array_equal(results[0], results[2])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(-1000, 1000), st.integers(0, 1000),
+    st.sampled_from(["SUM", "COUNT", "AVG"]),
+    st.sampled_from(["age", "day", "region_code"]),
+)
+def test_parser_roundtrip_numeric_between(low, span, aggregate, dimension):
+    """Any numeric BETWEEN parses back to exactly its bounds."""
+    high = low + span
+    text = f"{aggregate}(m) WHERE {dimension} BETWEEN {low} AND {high}"
+    parsed = parse_query(text)
+    assert parsed.measure == "m"
+    assert parsed.selection.bounds[dimension] == (low, high)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_selection_intersection_is_conjunction(data):
+    """intersect() == componentwise range intersection, when nonempty."""
+    def rand_selection():
+        bounds = {}
+        for name in data.draw(
+            st.sets(st.sampled_from(["a", "b", "c"]), min_size=1)
+        ):
+            low = data.draw(st.integers(0, 50))
+            high = low + data.draw(st.integers(0, 50))
+            bounds[name] = (low, high)
+        return Selection(bounds)
+
+    first, second = rand_selection(), rand_selection()
+    try:
+        merged = first.intersect(second)
+    except Exception:
+        # Raised only when some shared dimension's ranges are disjoint.
+        shared = set(first.bounds) & set(second.bounds)
+        assert any(
+            max(first.bounds[n][0], second.bounds[n][0])
+            > min(first.bounds[n][1], second.bounds[n][1])
+            for n in shared
+        )
+        return
+    for name, (low, high) in merged.bounds.items():
+        in_first = first.bounds.get(name)
+        in_second = second.bounds.get(name)
+        expected_low = max(x[0] for x in (in_first, in_second) if x)
+        expected_high = min(x[1] for x in (in_first, in_second) if x)
+        assert (low, high) == (expected_low, expected_high)
+
+
+import datetime as _dt
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.dates(min_value=_dt.date(1900, 1, 1), max_value=_dt.date(8999, 1, 1)),
+    st.integers(1, 800),
+)
+def test_calendar_members_tile_any_window(start, days):
+    """Month members exactly tile any date window (no gaps, no overlaps)."""
+    import datetime
+
+    from repro.cube.engine import DataCubeEngine
+    from repro.cube.hierarchy import CalendarHierarchy
+    from repro.cube.schema import CubeSchema, Dimension
+
+    schema = CubeSchema(
+        [Dimension("day", DateEncoder(start, days))], measure="m"
+    )
+    engine = DataCubeEngine(schema)
+    members = CalendarHierarchy(engine, "day").members("month")
+    cursor = start
+    for _, (member_start, member_end) in members:
+        assert member_start == cursor
+        assert member_end >= member_start
+        cursor = member_end + datetime.timedelta(days=1)
+    assert cursor == start + datetime.timedelta(days=days)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.data())
+def test_persistence_roundtrip_property(data):
+    """save_method/load_method is the identity on observable behaviour."""
+    import tempfile
+    from pathlib import Path
+
+    from repro import persistence
+
+    n = data.draw(st.integers(3, 10))
+    k = data.draw(st.integers(1, n))
+    seed = data.draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    array = rng.integers(-20, 20, size=(n, n))
+    original = RelativePrefixSumCube(array, box_size=k)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "cube.npz"
+        persistence.save_method(original, path)
+        loaded = persistence.load_method(path)
+    assert np.array_equal(loaded.to_array(), original.to_array())
+    assert loaded.box_sizes == original.box_sizes
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_xor_cube_self_inverse_updates(data):
+    """Applying the same XOR twice is a no-op on every query."""
+    n = data.draw(st.integers(3, 10))
+    seed = data.draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    array = rng.integers(0, 1 << 16, size=(n, n))
+    cube = GroupRelativePrefixCube(array, GROUP_XOR, box_size=3)
+    baseline = [
+        int(cube.range_query((0, 0), (n - 1, n - 1))),
+        int(cube.range_query((0, 0), (n // 2, n // 2))),
+    ]
+    cell = (int(rng.integers(0, n)), int(rng.integers(0, n)))
+    value = np.int64(data.draw(st.integers(0, 1 << 16)))
+    cube.combine_into(cell, value)
+    cube.combine_into(cell, value)
+    assert [
+        int(cube.range_query((0, 0), (n - 1, n - 1))),
+        int(cube.range_query((0, 0), (n // 2, n // 2))),
+    ] == baseline

@@ -1,0 +1,183 @@
+"""Unit tests for the query layer (repro.cube.query)."""
+
+import pytest
+
+from repro.cube.encoders import DateEncoder, IntegerEncoder
+from repro.cube.engine import DataCubeEngine
+from repro.cube.query import (
+    ParsedQuery,
+    RangeUnion,
+    Selection,
+    execute_query,
+    parse_query,
+)
+from repro.cube.schema import CubeSchema, Dimension
+from repro.errors import RangeError, SchemaError
+
+
+@pytest.fixture
+def schema():
+    return CubeSchema(
+        [
+            Dimension("age", IntegerEncoder(18, 80)),
+            Dimension("day", DateEncoder("2026-01-01", 90)),
+        ],
+        measure="sales",
+    )
+
+
+@pytest.fixture
+def engine(schema):
+    engine = DataCubeEngine(schema)
+    engine.ingest({"age": 40, "day": "2026-01-10", "sales": 100.0})
+    engine.ingest({"age": 40, "day": "2026-02-10", "sales": 50.0})
+    engine.ingest({"age": 60, "day": "2026-01-10", "sales": 30.0})
+    return engine
+
+
+class TestSelection:
+    def test_to_index_range(self, schema):
+        selection = Selection({"age": (37, 52)})
+        low, high = selection.to_index_range(schema)
+        assert low == (19, 0)
+        assert high == (34, 89)
+
+    def test_intersect_narrows(self):
+        a = Selection({"age": (30, 60)})
+        b = Selection({"age": (50, 80), "day": ("2026-01-01", "2026-01-31")})
+        merged = a.intersect(b)
+        assert merged.bounds["age"] == (50, 60)
+        assert merged.bounds["day"] == ("2026-01-01", "2026-01-31")
+
+    def test_intersect_empty_raises(self):
+        with pytest.raises(RangeError):
+            Selection({"age": (30, 40)}).intersect(
+                Selection({"age": (50, 60)})
+            )
+
+    def test_truthiness(self):
+        assert not Selection()
+        assert Selection({"age": (1, 2)})
+
+
+class TestRangeUnion:
+    def test_needs_members(self):
+        with pytest.raises(RangeError):
+            RangeUnion([])
+
+    def test_disjoint_ok(self, schema):
+        union = RangeUnion(
+            [Selection({"age": (18, 30)}), Selection({"age": (31, 45)})]
+        )
+        union.validate_disjoint(schema)  # no raise
+
+    def test_overlap_detected(self, schema):
+        union = RangeUnion(
+            [Selection({"age": (18, 40)}), Selection({"age": (35, 50)})]
+        )
+        with pytest.raises(RangeError):
+            union.validate_disjoint(schema)
+
+    def test_overlap_on_different_dims_is_boxwise(self, schema):
+        # Same ages but disjoint date windows: boxes do not intersect.
+        union = RangeUnion(
+            [
+                Selection({"age": (18, 40),
+                           "day": ("2026-01-01", "2026-01-31")}),
+                Selection({"age": (18, 40),
+                           "day": ("2026-02-01", "2026-02-28")}),
+            ]
+        )
+        union.validate_disjoint(schema)
+
+
+class TestParser:
+    def test_basic_sum(self):
+        parsed = parse_query(
+            "SUM(sales) WHERE age BETWEEN 37 AND 52"
+        )
+        assert parsed == ParsedQuery(
+            "sum", "sales", Selection({"age": (37, 52)})
+        )
+
+    def test_conjunction_with_dates(self):
+        parsed = parse_query(
+            "SUM(sales) WHERE age BETWEEN 37 AND 52 "
+            "AND day BETWEEN '2026-01-01' AND '2026-03-31'"
+        )
+        assert parsed.selection.bounds["day"] == (
+            "2026-01-01", "2026-03-31"
+        )
+
+    def test_equality_predicate(self):
+        parsed = parse_query("AVG(sales) WHERE age = 40")
+        assert parsed.aggregate == "average"
+        assert parsed.selection.bounds["age"] == (40, 40)
+
+    def test_no_where_clause(self):
+        parsed = parse_query("COUNT(sales)")
+        assert parsed.aggregate == "count"
+        assert not parsed.selection
+
+    def test_case_insensitive_keywords(self):
+        parsed = parse_query("sum(sales) where age between 20 and 30")
+        assert parsed.aggregate == "sum"
+
+    def test_float_literals(self):
+        parsed = parse_query("SUM(m) WHERE price BETWEEN 1.5 AND 9.75")
+        assert parsed.selection.bounds["price"] == (1.5, 9.75)
+
+    def test_bare_word_literals(self):
+        parsed = parse_query("SUM(m) WHERE region BETWEEN east AND west")
+        assert parsed.selection.bounds["region"] == ("east", "west")
+
+    @pytest.mark.parametrize("bad", [
+        "",
+        "FROBNICATE(sales)",
+        "SUM sales",
+        "SUM(sales) WHERE",
+        "SUM(sales) WHERE age",
+        "SUM(sales) WHERE age NEAR 40",
+        "SUM(sales) WHERE age BETWEEN 1",
+        "SUM(sales) WHERE age BETWEEN 1 AND 2 age BETWEEN 3 AND 4",
+        "SUM(sales) WHERE age = 1 AND age = 2",
+        "SUM(sales) !!!",
+    ])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(RangeError):
+            parse_query(bad)
+
+
+class TestExecuteQuery:
+    def test_sum(self, engine):
+        result = execute_query(
+            engine,
+            "SUM(sales) WHERE age BETWEEN 35 AND 45",
+        )
+        assert result == pytest.approx(150.0)
+
+    def test_sum_with_dates(self, engine):
+        result = execute_query(
+            engine,
+            "SUM(sales) WHERE day BETWEEN '2026-01-01' AND '2026-01-31'",
+        )
+        assert result == pytest.approx(130.0)
+
+    def test_count_everything(self, engine):
+        assert execute_query(engine, "COUNT(sales)") == 3
+
+    def test_average(self, engine):
+        result = execute_query(engine, "AVG(sales) WHERE age = 40")
+        assert result == pytest.approx(75.0)
+
+    def test_wrong_measure_rejected(self, engine):
+        with pytest.raises(SchemaError):
+            execute_query(engine, "SUM(profit)")
+
+    def test_paper_query_verbatim(self, engine):
+        """The paper's motivating query, as text."""
+        text = (
+            "SUM(sales) WHERE age BETWEEN 37 AND 52 "
+            "AND day BETWEEN '2026-01-01' AND '2026-03-31'"
+        )
+        assert execute_query(engine, text) == pytest.approx(150.0)

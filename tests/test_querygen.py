@@ -1,0 +1,108 @@
+"""Unit tests for query-stream generators (repro.workloads.querygen)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import querygen
+
+
+def assert_valid_range(shape, low, high):
+    assert len(low) == len(high) == len(shape)
+    for l, h, n in zip(low, high, shape):
+        assert 0 <= l <= h < n
+
+
+class TestRandomRanges:
+    def test_count_and_validity(self):
+        shape = (20, 30)
+        ranges = list(querygen.random_ranges(shape, 50, seed=1))
+        assert len(ranges) == 50
+        for low, high in ranges:
+            assert_valid_range(shape, low, high)
+
+    def test_deterministic(self):
+        a = list(querygen.random_ranges((10, 10), 20, seed=7))
+        b = list(querygen.random_ranges((10, 10), 20, seed=7))
+        assert a == b
+
+
+class TestFixedExtent:
+    def test_extent_respected(self):
+        shape = (100,)
+        for low, high in querygen.fixed_extent_ranges(shape, 0.25, 20, seed=2):
+            assert high[0] - low[0] + 1 == 25
+
+    def test_full_extent(self):
+        for low, high in querygen.fixed_extent_ranges((10, 10), 1.0, 5):
+            assert low == (0, 0)
+            assert high == (9, 9)
+
+    def test_minimum_width_one(self):
+        for low, high in querygen.fixed_extent_ranges((100,), 0.001, 5):
+            assert high[0] == low[0]
+
+    def test_invalid_extent(self):
+        with pytest.raises(WorkloadError):
+            list(querygen.fixed_extent_ranges((10,), 0.0, 1))
+        with pytest.raises(WorkloadError):
+            list(querygen.fixed_extent_ranges((10,), 1.5, 1))
+
+
+class TestPointQueries:
+    def test_degenerate_ranges(self):
+        for low, high in querygen.point_queries((9, 9), 30, seed=3):
+            assert low == high
+            assert_valid_range((9, 9), low, high)
+
+
+class TestHotspot:
+    def test_hot_queries_concentrate(self):
+        shape = (100, 100)
+        ranges = list(
+            querygen.hotspot_ranges(
+                shape, 200, hotspot_fraction=0.2, hot_probability=1.0, seed=4
+            )
+        )
+        for low, high in ranges:
+            assert_valid_range(shape, low, high)
+            for l, h, n in zip(low, high, shape):
+                base = (n - 20) // 2
+                assert base <= l <= h < base + 20
+
+    def test_cold_queries_roam(self):
+        shape = (100,)
+        ranges = list(
+            querygen.hotspot_ranges(
+                shape, 100, hot_probability=0.0, seed=5
+            )
+        )
+        # with no hotspot bias, some queries start outside the center
+        assert any(low[0] < 30 for low, _ in ranges)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            list(querygen.hotspot_ranges((10,), 1, hotspot_fraction=0))
+        with pytest.raises(WorkloadError):
+            list(querygen.hotspot_ranges((10,), 1, hot_probability=2))
+
+
+class TestSlidingWindows:
+    def test_window_positions(self):
+        windows = list(querygen.sliding_windows((5, 10), axis=1, window=3))
+        assert len(windows) == 8
+        first_low, first_high = windows[0]
+        assert first_low == (0, 0)
+        assert first_high == (4, 2)
+        last_low, last_high = windows[-1]
+        assert last_low == (0, 7)
+        assert last_high == (4, 9)
+
+    def test_window_covers_full_other_axes(self):
+        for low, high in querygen.sliding_windows((5, 10), axis=1, window=2):
+            assert low[0] == 0 and high[0] == 4
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            list(querygen.sliding_windows((5, 10), axis=2, window=1))
+        with pytest.raises(WorkloadError):
+            list(querygen.sliding_windows((5, 10), axis=0, window=6))

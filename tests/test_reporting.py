@@ -1,0 +1,114 @@
+"""Unit tests for result rendering (repro.bench.reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import (
+    ResultTable,
+    render_matrix,
+    render_table,
+    to_csv,
+    write_csv,
+)
+
+
+@pytest.fixture
+def table():
+    t = ResultTable("E0", "demo table", ["k", "cost"])
+    t.add_row(3, 16)
+    t.add_row(16, 900.5)
+    t.notes.append("a note")
+    return t
+
+
+class TestResultTable:
+    def test_add_row_arity_checked(self, table):
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column(self, table):
+        assert table.column("k") == [3, 16]
+        assert table.column("cost") == [16, 900.5]
+
+    def test_column_unknown(self, table):
+        with pytest.raises(ValueError):
+            table.column("nope")
+
+
+class TestRenderTable:
+    def test_contains_all_parts(self, table):
+        text = render_table(table)
+        assert "E0" in text
+        assert "demo table" in text
+        assert "k" in text and "cost" in text
+        assert "900.5" in text
+        assert "note: a note" in text
+
+    def test_alignment_consistent(self, table):
+        lines = render_table(table).splitlines()
+        data_lines = [l for l in lines if l and not l.startswith(("==", "  note"))]
+        widths = {len(l) for l in data_lines}
+        assert len(widths) == 1
+
+    def test_float_formatting(self):
+        t = ResultTable("E0", "floats", ["v"])
+        t.add_row(0.000123)
+        t.add_row(float("nan"))
+        t.add_row(123456.0)
+        text = render_table(t)
+        assert "0.000123" in text
+        assert "nan" in text
+        assert "1.23e+05" in text
+
+
+class TestCsv:
+    def test_to_csv(self, table):
+        csv_text = to_csv(table)
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "k,cost"
+        assert lines[1] == "3,16"
+
+    def test_write_csv(self, table, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(table, path)
+        assert path.read_text().startswith("k,cost")
+
+
+class TestRenderMatrix:
+    def test_matrix_rows(self):
+        text = render_matrix("demo", np.array([[1, 2], [3, 4]]))
+        lines = text.splitlines()
+        assert lines[0] == "-- demo --"
+        assert "1" in lines[1] and "2" in lines[1]
+        assert lines[2].startswith("1:")
+
+
+class TestRenderSeries:
+    def test_bars_scale_with_values(self):
+        from repro.bench.reporting import render_series
+
+        text = render_series(
+            "update cells", {"n=64": 196, "n=256": 900, "n=1024": 3844}
+        )
+        lines = text.splitlines()
+        assert lines[0] == "-- update cells --"
+        bars = [line.count("#") for line in lines[1:]]
+        assert bars[0] < bars[1] < bars[2]
+
+    def test_log_scaling_compresses_ratios(self):
+        from repro.bench.reporting import render_series
+
+        log_text = render_series("s", {"a": 1, "b": 1000}, width=50)
+        linear_text = render_series(
+            "s", {"a": 1, "b": 1000}, width=50, logarithmic=False
+        )
+        log_small = log_text.splitlines()[1].count("#")
+        linear_small = linear_text.splitlines()[1].count("#")
+        assert log_small >= linear_small  # log keeps tiny values visible
+
+    def test_zero_and_empty(self):
+        from repro.bench.reporting import render_series
+
+        assert "(empty)" in render_series("s", {})
+        text = render_series("s", {"zero": 0, "one": 5})
+        assert text.splitlines()[1].count("#") == 0

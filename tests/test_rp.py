@@ -1,0 +1,119 @@
+"""Unit tests for the relative prefix array (repro.core.rp)."""
+
+import numpy as np
+import pytest
+
+from repro import paper
+from repro.core.rp import RelativePrefixArray
+from repro.errors import RangeError
+
+
+class TestConstruction:
+    def test_paper_rp_table(self, paper_cube):
+        rp = RelativePrefixArray(paper_cube, paper.BOX_SIZE)
+        assert np.array_equal(rp.array(), paper.ARRAY_RP)
+
+    def test_value_definition(self, rng):
+        a = rng.integers(0, 10, size=(10, 7))
+        rp = RelativePrefixArray(a, 3)
+        for i in range(10):
+            for j in range(7):
+                ai, aj = (i // 3) * 3, (j // 3) * 3
+                assert rp.value((i, j)) == a[ai : i + 1, aj : j + 1].sum()
+
+    def test_anchor_cells_equal_source(self, rng):
+        a = rng.integers(0, 10, size=(9, 9))
+        rp = RelativePrefixArray(a, 3)
+        for i in (0, 3, 6):
+            for j in (0, 3, 6):
+                assert rp.value((i, j)) == a[i, j]
+
+
+class TestCellValue:
+    def test_recovers_source_cells(self, rng):
+        a = rng.integers(0, 10, size=(9, 9))
+        rp = RelativePrefixArray(a, 3)
+        for idx in np.ndindex(9, 9):
+            assert rp.cell_value(idx) == a[idx]
+
+    def test_recovers_after_updates(self, rng):
+        a = rng.integers(0, 10, size=(8, 8))
+        rp = RelativePrefixArray(a, 3)
+        for _ in range(10):
+            cell = tuple(int(x) for x in rng.integers(0, 8, size=2))
+            delta = int(rng.integers(1, 5))
+            a[cell] += delta
+            rp.apply_delta(cell, delta)
+        for idx in np.ndindex(8, 8):
+            assert rp.cell_value(idx) == a[idx]
+
+
+class TestUpdates:
+    def test_paper_update_cascade(self, paper_cube):
+        rp = RelativePrefixArray(paper_cube, paper.BOX_SIZE)
+        written = rp.apply_delta(paper.UPDATE_EXAMPLE_CELL, 1)
+        assert written == paper.UPDATE_EXAMPLE_RPS_RP_CELLS
+        assert np.array_equal(rp.array(), paper.ARRAY_RP_AFTER_UPDATE)
+
+    def test_cascade_never_leaves_box(self, rng):
+        a = rng.integers(0, 10, size=(9, 9))
+        rp = RelativePrefixArray(a, 3)
+        before = rp.array()
+        rp.apply_delta((4, 4), 7)
+        after = rp.array()
+        changed = np.argwhere(before != after)
+        for i, j in changed:
+            assert 3 <= i < 6 and 3 <= j < 6
+
+    def test_update_at_box_corner_changes_one_cell(self, rng):
+        a = rng.integers(0, 10, size=(9, 9))
+        rp = RelativePrefixArray(a, 3)
+        assert rp.apply_delta((5, 5), 1) == 1
+
+    def test_update_at_anchor_changes_whole_box(self, rng):
+        a = rng.integers(0, 10, size=(9, 9))
+        rp = RelativePrefixArray(a, 3)
+        assert rp.apply_delta((3, 3), 1) == 9
+
+    def test_update_in_partial_box(self, rng):
+        a = rng.integers(0, 10, size=(10, 10))
+        rp = RelativePrefixArray(a, 3)
+        # box anchored at (9, 9) is 1x1
+        assert rp.apply_delta((9, 9), 1) == 1
+        assert rp.value((9, 9)) == a[9, 9] + 1
+
+    def test_update_equals_rebuild(self, rng):
+        a = rng.integers(0, 10, size=(7, 11))
+        rp = RelativePrefixArray(a, 4)
+        for _ in range(15):
+            cell = tuple(
+                int(rng.integers(0, n)) for n in a.shape
+            )
+            delta = int(rng.integers(-3, 4))
+            a[cell] += delta
+            rp.apply_delta(cell, delta)
+        fresh = RelativePrefixArray(a, 4)
+        assert np.array_equal(rp.array(), fresh.array())
+
+
+class TestAccounting:
+    def test_reads_charged(self, paper_cube):
+        rp = RelativePrefixArray(paper_cube, 3)
+        rp.value((4, 4))
+        assert rp.counter.structure_read("RP") == 1
+
+    def test_writes_charged(self, paper_cube):
+        rp = RelativePrefixArray(paper_cube, 3)
+        rp.apply_delta((1, 1), 1)
+        assert rp.counter.structure_written("RP") == 4
+
+    def test_storage_equals_source_size(self, paper_cube):
+        rp = RelativePrefixArray(paper_cube, 3)
+        assert rp.storage_cells() == paper_cube.size
+
+
+class TestValidation:
+    def test_out_of_bounds_lookup(self, paper_cube):
+        rp = RelativePrefixArray(paper_cube, 3)
+        with pytest.raises(RangeError):
+            rp.value((9, 0))

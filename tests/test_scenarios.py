@@ -1,0 +1,101 @@
+"""Unit tests for workload scenarios (repro.workloads.scenarios)."""
+
+import pytest
+
+from repro.baselines.naive import NaiveCube
+from repro.baselines.prefix import PrefixSumCube
+from repro.core.rps import RelativePrefixSumCube
+from repro.errors import WorkloadError
+from repro.workloads.scenarios import SCENARIOS, get_scenario, run_scenario
+
+
+class TestRegistry:
+    def test_expected_scenarios(self):
+        assert set(SCENARIOS) == {
+            "dashboard", "nightly_etl", "audit", "ticker",
+        }
+
+    def test_get_scenario(self):
+        assert get_scenario("audit").name == "audit"
+
+    def test_unknown_scenario(self):
+        with pytest.raises(WorkloadError):
+            get_scenario("apocalypse")
+
+    def test_descriptions_nonempty(self):
+        for scenario in SCENARIOS.values():
+            assert scenario.description
+
+
+class TestRunScenario:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_every_scenario_runs_verified(self, name):
+        result = run_scenario(
+            name, RelativePrefixSumCube, shape=(32, 32), operations=20,
+        )
+        assert result.mismatches == 0
+        assert result.queries > 0
+
+    def test_audit_has_no_updates(self):
+        result = run_scenario(
+            "audit", NaiveCube, shape=(32, 32), operations=20
+        )
+        assert result.updates == 0
+
+    def test_etl_is_update_heavy(self):
+        result = run_scenario(
+            "nightly_etl", RelativePrefixSumCube,
+            shape=(32, 32), operations=20,
+        )
+        assert result.updates > result.queries
+
+    def test_deterministic_given_seed(self):
+        first = run_scenario(
+            "dashboard", NaiveCube, shape=(32, 32), operations=20, seed=5,
+            verify=False,
+        )
+        second = run_scenario(
+            "dashboard", NaiveCube, shape=(32, 32), operations=20, seed=5,
+            verify=False,
+        )
+        assert first.query_cells_read == second.query_cells_read
+        assert first.update_cells_written == second.update_cells_written
+
+    def test_scenario_separates_methods(self):
+        """The ETL scenario's update bias must hurt the prefix-sum method
+        more than RPS, matching the paper's motivation."""
+        ps = run_scenario(
+            "nightly_etl", PrefixSumCube, shape=(64, 64), operations=30,
+            verify=False,
+        )
+        rps = run_scenario(
+            "nightly_etl", RelativePrefixSumCube, shape=(64, 64),
+            operations=30, verify=False,
+        )
+        assert rps.cells_per_update < ps.cells_per_update / 5
+
+
+class TestCliWorkload:
+    def test_listing(self, capsys):
+        from repro.cli import main
+
+        assert main(["workload"]) == 0
+        out = capsys.readouterr().out
+        assert "dashboard" in out and "nightly_etl" in out
+
+    def test_run_via_cli(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "workload", "audit", "--n", "32", "--ops", "10",
+            "--methods", "rps",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "rps" in out
+        assert "mismatches" in out
+
+    def test_unknown_method_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(WorkloadError):
+            main(["workload", "audit", "--methods", "quantum"])

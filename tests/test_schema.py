@@ -1,0 +1,122 @@
+"""Unit tests for cube schemas (repro.cube.schema)."""
+
+import pytest
+
+from repro.cube.encoders import (
+    CategoricalEncoder,
+    DateEncoder,
+    IntegerEncoder,
+)
+from repro.cube.schema import CubeSchema, Dimension
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def schema():
+    """The paper's insurance example: SALES by CUSTOMER_AGE x DATE_OF_SALE."""
+    return CubeSchema(
+        [
+            Dimension("age", IntegerEncoder(20, 69)),
+            Dimension("day", DateEncoder("2026-01-01", 90)),
+        ],
+        measure="sales",
+    )
+
+
+class TestConstruction:
+    def test_shape_and_ndim(self, schema):
+        assert schema.shape == (50, 90)
+        assert schema.ndim == 2
+
+    def test_dimension_lookup(self, schema):
+        assert schema.axis_of("age") == 0
+        assert schema.axis_of("day") == 1
+        assert schema.dimension("age").size == 50
+
+    def test_unknown_dimension(self, schema):
+        with pytest.raises(SchemaError):
+            schema.axis_of("region")
+
+    def test_duplicate_names_rejected(self):
+        dim = Dimension("x", IntegerEncoder(0, 9))
+        with pytest.raises(SchemaError):
+            CubeSchema([dim, dim], measure="m")
+
+    def test_measure_name_collision_rejected(self):
+        with pytest.raises(SchemaError):
+            CubeSchema(
+                [Dimension("sales", IntegerEncoder(0, 9))], measure="sales"
+            )
+
+    def test_empty_dimensions_rejected(self):
+        with pytest.raises(SchemaError):
+            CubeSchema([], measure="m")
+
+    def test_empty_measure_rejected(self):
+        with pytest.raises(SchemaError):
+            CubeSchema(
+                [Dimension("x", IntegerEncoder(0, 9))], measure=""
+            )
+
+
+class TestRecordEncoding:
+    def test_encode_record(self, schema):
+        coords, measure = schema.encode_record(
+            {"age": 37, "day": "2026-01-15", "sales": 250.0}
+        )
+        assert coords == (17, 14)
+        assert measure == 250.0
+
+    def test_extra_keys_ignored(self, schema):
+        coords, _ = schema.encode_record(
+            {"age": 20, "day": "2026-01-01", "sales": 1, "region": "north"}
+        )
+        assert coords == (0, 0)
+
+    def test_missing_dimension(self, schema):
+        with pytest.raises(SchemaError):
+            schema.encode_record({"age": 37, "sales": 1})
+
+    def test_missing_measure(self, schema):
+        with pytest.raises(SchemaError):
+            schema.encode_record({"age": 37, "day": "2026-01-15"})
+
+
+class TestSelectionEncoding:
+    def test_full_selection(self, schema):
+        low, high = schema.encode_selection(
+            {"age": (37, 52), "day": ("2026-01-01", "2026-03-31")}
+        )
+        assert low == (17, 0)
+        assert high == (32, 89)
+
+    def test_partial_selection_spans_missing_dims(self, schema):
+        low, high = schema.encode_selection({"age": (37, 52)})
+        assert low == (17, 0)
+        assert high == (32, 89)
+
+    def test_empty_selection_is_full_cube(self, schema):
+        low, high = schema.encode_selection({})
+        assert low == (0, 0)
+        assert high == (49, 89)
+
+    def test_unknown_dimension_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.encode_selection({"region": (0, 1)})
+
+    def test_malformed_bounds_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.encode_selection({"age": (37,)})
+
+    def test_categorical_dimension(self):
+        schema = CubeSchema(
+            [Dimension("region", CategoricalEncoder(["n", "s", "e", "w"]))],
+            measure="m",
+        )
+        low, high = schema.encode_selection({"region": ("s", "w")})
+        assert (low, high) == ((1,), (3,))
+
+
+def test_repr_mentions_dimensions(schema):
+    text = repr(schema)
+    assert "age[50]" in text and "day[90]" in text and "sales" in text

@@ -1,0 +1,98 @@
+"""Unit tests for the sparse naive baseline (repro.baselines.sparse)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.naive import NaiveCube
+from repro.baselines.sparse import SparseNaiveCube
+from repro.workloads import datagen
+from tests.conftest import brute_range_sum, random_range
+
+
+class TestQueries:
+    def test_matches_dense_oracle(self, rng):
+        a = datagen.sparse_cube((20, 20), density=0.1, seed=1)
+        cube = SparseNaiveCube(a)
+        for _ in range(40):
+            low, high = random_range(rng, a.shape)
+            assert cube.range_sum(low, high) == brute_range_sum(a, low, high)
+
+    def test_prefix_sum(self, rng):
+        a = datagen.sparse_cube((15, 15), density=0.2, seed=2)
+        cube = SparseNaiveCube(a)
+        dense = NaiveCube(a)
+        for t in [(0, 0), (7, 3), (14, 14)]:
+            assert cube.prefix_sum(t) == dense.prefix_sum(t)
+
+    def test_query_cost_is_nnz_not_volume(self):
+        a = np.zeros((50, 50), dtype=np.int64)
+        a[10, 10] = 5
+        a[40, 40] = 7
+        cube = SparseNaiveCube(a)
+        before = cube.counter.snapshot()
+        cube.range_sum((0, 0), (49, 49))
+        # 2 stored cells scanned, not 2500
+        assert before.delta(cube.counter).cells_read == 2
+
+    def test_empty_cube(self):
+        cube = SparseNaiveCube(np.zeros((8, 8)))
+        assert cube.nonzero_cells == 0
+        assert cube.range_sum((0, 0), (7, 7)) == 0
+
+
+class TestUpdates:
+    def test_o1_updates(self, rng):
+        a = datagen.sparse_cube((20, 20), density=0.05, seed=3)
+        cube = SparseNaiveCube(a)
+        before = cube.counter.snapshot()
+        cube.apply_delta((5, 5), 9)
+        assert before.delta(cube.counter).cells_written == 1
+
+    def test_cancelling_delta_frees_the_cell(self):
+        a = np.zeros((6, 6), dtype=np.int64)
+        a[2, 2] = 4
+        cube = SparseNaiveCube(a)
+        assert cube.nonzero_cells == 1
+        cube.apply_delta((2, 2), -4)
+        assert cube.nonzero_cells == 0
+        assert cube.cell_value((2, 2)) == 0
+
+    def test_update_creates_cell(self):
+        cube = SparseNaiveCube(np.zeros((6, 6)))
+        cube.apply_delta((3, 4), 2.5)
+        assert cube.nonzero_cells == 1
+        assert cube.cell_value((3, 4)) == pytest.approx(2.5)
+
+    def test_updates_keep_queries_correct(self, rng):
+        a = datagen.sparse_cube((12, 12), density=0.1, seed=4)
+        cube = SparseNaiveCube(a)
+        a = a.copy()
+        for _ in range(30):
+            cell = tuple(int(x) for x in rng.integers(0, 12, size=2))
+            delta = int(rng.integers(-3, 4))
+            a[cell] += delta
+            cube.apply_delta(cell, delta)
+            low, high = random_range(rng, a.shape)
+            assert cube.range_sum(low, high) == brute_range_sum(a, low, high)
+
+
+class TestStorage:
+    def test_storage_is_nnz(self, rng):
+        a = datagen.sparse_cube((30, 30), density=0.07, seed=5)
+        cube = SparseNaiveCube(a)
+        assert cube.storage_cells() == np.count_nonzero(a)
+        assert cube.storage_cells() < a.size / 5
+
+    def test_to_array_roundtrip(self, rng):
+        a = datagen.sparse_cube((10, 14), density=0.15, seed=6)
+        assert np.array_equal(SparseNaiveCube(a).to_array(), a)
+
+    def test_set_semantics(self, rng):
+        a = datagen.sparse_cube((8, 8), density=0.2, seed=7)
+        cube = SparseNaiveCube(a)
+        cube.update((1, 1), 42)
+        assert cube.cell_value((1, 1)) == 42
+
+    def test_verify_passes(self, rng):
+        a = datagen.sparse_cube((10, 10), density=0.2, seed=8)
+        SparseNaiveCube(a).verify(probes=15)

@@ -1,0 +1,138 @@
+"""Unit tests for workload traces (repro.workloads.trace)."""
+
+import pytest
+
+from repro.baselines.naive import NaiveCube
+from repro.core.rps import RelativePrefixSumCube
+from repro.errors import WorkloadError
+from repro.workloads import datagen, querygen, updategen
+from repro.workloads.trace import Operation, Trace
+
+
+@pytest.fixture
+def trace():
+    return Trace.capture(
+        queries=querygen.random_ranges((16, 16), 10, seed=1),
+        updates=updategen.random_updates((16, 16), 8, seed=2),
+    )
+
+
+class TestOperation:
+    def test_query_json_roundtrip(self):
+        op = Operation("query", low=(1, 2), high=(3, 4))
+        assert Operation.from_json(op.to_json()) == op
+
+    def test_update_json_roundtrip(self):
+        op = Operation("update", cell=(5, 6), delta=-3)
+        assert Operation.from_json(op.to_json()) == op
+
+    def test_bad_line(self):
+        with pytest.raises(WorkloadError):
+            Operation.from_json("not json")
+        with pytest.raises(WorkloadError):
+            Operation.from_json('{"op": "x"}')
+
+
+class TestCapture:
+    def test_counts(self, trace):
+        assert len(trace) == 18
+        assert len(trace.queries()) == 10
+        assert len(trace.updates()) == 8
+
+    def test_interleaved_order(self, trace):
+        kinds = [op.kind for op in trace.operations[:4]]
+        assert kinds == ["query", "update", "query", "update"]
+
+    def test_sequential_order(self):
+        trace = Trace.capture(
+            queries=querygen.random_ranges((8, 8), 3, seed=1),
+            updates=updategen.random_updates((8, 8), 3, seed=2),
+            interleave=False,
+        )
+        kinds = [op.kind for op in trace.operations]
+        assert kinds == ["query"] * 3 + ["update"] * 3
+
+
+class TestPersistence:
+    def test_save_load_identity(self, trace, tmp_path):
+        path = tmp_path / "workload.jsonl"
+        trace.save(path)
+        assert Trace.load(path) == trace
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"op": "q", "low": [0], "high": [3]}\n\n'
+            '{"op": "u", "cell": [2], "delta": 5}\n'
+        )
+        trace = Trace.load(path)
+        assert len(trace) == 2
+
+
+class TestReplay:
+    def test_replay_verified(self, trace):
+        cube = datagen.uniform_cube((16, 16), seed=3)
+        method = RelativePrefixSumCube(cube, box_size=4)
+        result = trace.replay(method, oracle=cube.copy())
+        assert result.mismatches == 0
+        assert result.queries == 10
+        assert result.updates == 8
+
+    def test_same_trace_same_answers_across_methods(self, trace):
+        cube = datagen.uniform_cube((16, 16), seed=3)
+        naive_result = trace.replay(NaiveCube(cube), oracle=cube.copy())
+        rps_result = trace.replay(
+            RelativePrefixSumCube(cube, box_size=4), oracle=cube.copy()
+        )
+        assert naive_result.mismatches == rps_result.mismatches == 0
+        # identical op mix, so identical op counts
+        assert naive_result.updates == rps_result.updates
+
+    def test_replay_preserves_recorded_order(self, tmp_path):
+        """A hand-built trace where order matters: update before query."""
+        trace = Trace(
+            [
+                Operation("update", cell=(0, 0), delta=100),
+                Operation("query", low=(0, 0), high=(0, 0)),
+            ]
+        )
+        import numpy as np
+
+        method = NaiveCube(np.zeros((4, 4), dtype=np.int64))
+        result = trace.replay(method)
+        # the query must observe the preceding update
+        assert method.cell_value((0, 0)) == 100
+        assert result.queries == 1 and result.updates == 1
+
+    def test_repr(self, trace):
+        assert "10 queries" in repr(trace)
+
+
+class TestCliTrace:
+    def test_capture_and_replay(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "t.jsonl"
+        assert main([
+            "trace", "capture", str(path),
+            "--scenario", "audit", "--n", "32", "--ops", "10",
+        ]) == 0
+        assert path.exists()
+        assert main([
+            "trace", "replay", str(path), "--n", "32",
+            "--methods", "rps",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "captured" in out and "replaying" in out
+        assert "mismatches" in out
+
+    def test_replay_rejects_unknown_method(self, tmp_path):
+        from repro.cli import main
+        from repro.errors import WorkloadError
+        import pytest as _pytest
+
+        path = tmp_path / "t.jsonl"
+        main(["trace", "capture", str(path), "--scenario", "audit",
+              "--n", "16", "--ops", "4"])
+        with _pytest.raises(WorkloadError):
+            main(["trace", "replay", str(path), "--methods", "psychic"])

@@ -1,0 +1,88 @@
+"""Unit tests for update-stream generators (repro.workloads.updategen)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import updategen
+
+
+def assert_valid_cell(shape, cell):
+    assert len(cell) == len(shape)
+    for c, n in zip(cell, shape):
+        assert 0 <= c < n
+
+
+class TestRandomUpdates:
+    def test_count_validity_nonzero_deltas(self):
+        shape = (15, 15)
+        updates = list(updategen.random_updates(shape, 100, seed=1))
+        assert len(updates) == 100
+        for cell, delta in updates:
+            assert_valid_cell(shape, cell)
+            assert delta != 0
+            assert -10 <= delta <= 10
+
+    def test_deterministic(self):
+        a = list(updategen.random_updates((9, 9), 30, seed=2))
+        b = list(updategen.random_updates((9, 9), 30, seed=2))
+        assert a == b
+
+    def test_invalid_max_delta(self):
+        with pytest.raises(WorkloadError):
+            list(updategen.random_updates((9, 9), 1, max_delta=0))
+
+
+class TestSkewedUpdates:
+    def test_hot_cells_absorb_traffic(self):
+        updates = list(
+            updategen.skewed_updates(
+                (50, 50), 500, hot_cells=4, hot_probability=0.9, seed=3
+            )
+        )
+        from collections import Counter
+
+        counts = Counter(cell for cell, _ in updates)
+        top4 = sum(c for _, c in counts.most_common(4))
+        assert top4 > 0.8 * len(updates)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            list(updategen.skewed_updates((9, 9), 1, hot_cells=0))
+
+
+class TestAppendUpdates:
+    def test_updates_land_in_recent_slice(self):
+        shape = (50, 100)  # (age, day), day is the time axis
+        updates = list(
+            updategen.append_updates(
+                shape, 200, time_axis=1, recent_fraction=0.1, seed=4
+            )
+        )
+        for cell, delta in updates:
+            assert_valid_cell(shape, cell)
+            assert cell[1] >= 90  # last 10% of the time axis
+            assert delta > 0     # appends only add
+
+    def test_negative_axis(self):
+        updates = list(
+            updategen.append_updates((20, 30), 50, time_axis=-1, seed=5)
+        )
+        assert all(cell[1] >= 27 for cell, _ in updates)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            list(updategen.append_updates((9, 9), 1, recent_fraction=0))
+
+
+class TestWorstCase:
+    def test_prefix_sum_worst_is_origin(self):
+        assert updategen.worst_case_cell((9, 9), "prefix_sum") == (0, 0)
+
+    def test_rps_worst_is_ones(self):
+        assert updategen.worst_case_cell((9, 9), "rps") == (1, 1)
+
+    def test_rps_worst_clamped_for_tiny_dims(self):
+        assert updategen.worst_case_cell((1, 9), "rps") == (0, 1)
+
+    def test_naive(self):
+        assert updategen.worst_case_cell((5, 5, 5), "naive") == (0, 0, 0)
