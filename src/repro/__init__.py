@@ -66,7 +66,8 @@ from repro.persistence import (
     save_method,
     save_schema,
 )
-from repro.metrics import AccessCounter
+from repro.metrics import AccessCounter, LatencyRecorder, ServiceMetrics
+from repro.serve import CubeService, ServiceClosedError
 from repro.storage import BoxAlignedLayout, PagedRPSCube, RowMajorLayout
 
 __version__ = "1.0.0"
@@ -80,6 +81,7 @@ __all__ = [
     "BoxAlignedLayout",
     "CategoricalEncoder",
     "CubeSchema",
+    "CubeService",
     "DataCubeEngine",
     "DateEncoder",
     "Dimension",
@@ -89,6 +91,7 @@ __all__ = [
     "IdentityEncoder",
     "IntegerEncoder",
     "InvertibleOperator",
+    "LatencyRecorder",
     "MultiMeasureEngine",
     "NaiveCube",
     "Overlay",
@@ -98,6 +101,8 @@ __all__ = [
     "RelativePrefixArray",
     "RelativePrefixSumCube",
     "ReproError",
+    "ServiceClosedError",
+    "ServiceMetrics",
     "GroupOperator",
     "GroupPrefixCube",
     "GroupRelativePrefixCube",

@@ -23,6 +23,65 @@ class NaiveCube(RangeSumMethod):
 
     def _build(self, array: np.ndarray) -> None:
         self._a = array.copy()
+        # Lazily-built padded prefix cube used only by the *_many kernels
+        # (invalidated by every write). Purely a wall-clock shortcut: the
+        # counters still charge the naive method's logical cost — the
+        # volume of every scanned region — so the cost model is unchanged.
+        self._batch_prefix = None
+
+    def _padded_prefix(self) -> np.ndarray:
+        """``P1`` with a zero border: ``P1[t + 1] = SUM(A[0..t])``.
+
+        The +1 padding turns every empty-prefix corner of the
+        inclusion–exclusion identity into an ordinary zero lookup, so the
+        batched kernels need no masking.
+        """
+        if self._batch_prefix is None:
+            p1 = np.zeros(
+                tuple(n + 1 for n in self.shape), dtype=self._a.dtype
+            )
+            inner = tuple(slice(1, None) for _ in self.shape)
+            p1[inner] = self._a
+            for axis in range(self.ndim):
+                np.cumsum(p1, axis=axis, out=p1)
+            self._batch_prefix = p1
+        return self._batch_prefix
+
+    def prefix_sum_many(self, targets) -> np.ndarray:
+        """Batched prefix sums from one shared prefix pass over ``A``.
+
+        Charges the same logical cost as looping :meth:`prefix_sum`:
+        every cell of every prefix region, however the lookup is
+        physically served.
+        """
+        batch = indexing.normalize_index_batch(targets, self.shape)
+        if len(batch) == 0:
+            return np.empty(0, dtype=self._dtype)
+        volumes = np.prod(batch.astype(np.int64) + 1, axis=1)
+        self.counter.read(int(volumes.sum()), structure="A")
+        return self._padded_prefix()[tuple((batch + 1).T)]
+
+    def range_sum_many(self, lows, highs) -> np.ndarray:
+        """Batched range sums via ``2^d`` gathers on the padded prefix.
+
+        Charges each query's region volume — the naive method's logical
+        scan cost — exactly as the looped :meth:`range_sum` does.
+        """
+        lo, hi = indexing.normalize_range_batch(lows, highs, self.shape)
+        if len(lo) == 0:
+            return np.empty(0, dtype=self._dtype)
+        volumes = np.prod((hi - lo + 1).astype(np.int64), axis=1)
+        self.counter.read(int(volumes.sum()), structure="A")
+        p1 = self._padded_prefix()
+        out = np.zeros(len(lo), dtype=self._dtype)
+        for mask in range(1 << self.ndim):
+            corner = hi + 1
+            for axis in range(self.ndim):
+                if mask & (1 << axis):
+                    corner[:, axis] = lo[:, axis]
+            sign = -1 if bin(mask).count("1") % 2 else 1
+            out += sign * p1[tuple(corner.T)]
+        return out
 
     def prefix_sum(self, target: Sequence[int]):
         """Sum ``A[0..target]`` by scanning the prefix region."""
@@ -48,6 +107,7 @@ class NaiveCube(RangeSumMethod):
         """Add ``delta`` to one cell — the O(1) update of the naive method."""
         idx = indexing.normalize_index(index, self.shape)
         self._a[idx] += delta
+        self._batch_prefix = None
         self.counter.write(1, structure="A")
 
     def apply_batch(self, updates) -> int:

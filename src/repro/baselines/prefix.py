@@ -43,6 +43,23 @@ class PrefixSumCube(RangeSumMethod):
         self.counter.read(1, structure="P")
         return self._p[t]
 
+    def prefix_sum_many(self, targets) -> np.ndarray:
+        """Batched prefix sums: one fancy-indexed gather on ``P``.
+
+        Charges one read per target — exactly what looping
+        :meth:`prefix_sum` charges.
+        """
+        batch = indexing.normalize_index_batch(targets, self.shape)
+        if len(batch) == 0:
+            return np.empty(0, dtype=self._p.dtype)
+        self.counter.read(len(batch), structure="P")
+        return self._p[tuple(batch.T)]
+
+    def range_sum_many(self, lows, highs) -> np.ndarray:
+        """Batched range sums: one gather per corner of the identity."""
+        lo, hi = indexing.normalize_range_batch(lows, highs, self.shape)
+        return self._corner_range_sum_many(lo, hi)
+
     def apply_delta(self, index: Sequence[int], delta) -> None:
         """Cascade ``delta`` into every P-cell dominating ``index``.
 

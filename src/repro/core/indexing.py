@@ -73,6 +73,83 @@ def normalize_range(
     return lo, hi
 
 
+def normalize_index_batch(targets, shape: Sequence[int]) -> np.ndarray:
+    """Validate and canonicalize a ``(Q, d)`` batch of cell coordinates.
+
+    The batch counterpart of :func:`normalize_index`, used by the
+    ``*_many`` query kernels. Accepts any array-like of coordinate rows
+    (a ``(Q, d)`` integer array, a list of tuples, ...); for 1-d cubes a
+    flat length-Q vector is also accepted. ``Q = 0`` is legal and yields
+    a ``(0, d)`` result.
+
+    Returns:
+        A ``(Q, d)`` ``np.intp`` array of validated coordinates.
+
+    Raises:
+        DimensionError: if rows do not have one coordinate per dimension.
+        TypeError: if the batch is not of integer dtype.
+        RangeError: if any coordinate falls outside ``[0, n_i)``.
+    """
+    d = len(shape)
+    arr = np.asarray(targets)
+    if arr.size == 0:
+        return np.empty((0, d), dtype=np.intp)
+    if d == 1 and arr.ndim == 1:
+        arr = arr[:, np.newaxis]
+    if arr.ndim != 2 or arr.shape[1] != d:
+        raise DimensionError(
+            f"expected a (Q, {d}) batch of coordinates, got shape "
+            f"{arr.shape}"
+        )
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise TypeError(
+            f"coordinate batches must be integer-typed, got {arr.dtype}"
+        )
+    arr = arr.astype(np.intp, copy=False)
+    bounds = np.asarray(shape, dtype=np.intp)
+    bad = (arr < 0) | (arr >= bounds)
+    if bad.any():
+        q, axis = map(int, np.argwhere(bad)[0])
+        raise RangeError(
+            f"coordinate {int(arr[q, axis])} of batch row {q} out of "
+            f"bounds for axis {axis} with size {shape[axis]}"
+        )
+    return arr
+
+
+def normalize_range_batch(
+    lows, highs, shape: Sequence[int]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate a batch of inclusive query ranges ``[lows[q], highs[q]]``.
+
+    The batch counterpart of :func:`normalize_range`. Both inputs follow
+    the :func:`normalize_index_batch` conventions and must have the same
+    number of rows.
+
+    Returns:
+        The pair of validated ``(Q, d)`` ``np.intp`` arrays.
+
+    Raises:
+        DimensionError: on arity or batch-length mismatch.
+        RangeError: if a bound is out of the cube or ``low > high``
+            anywhere.
+    """
+    lo = normalize_index_batch(lows, shape)
+    hi = normalize_index_batch(highs, shape)
+    if len(lo) != len(hi):
+        raise DimensionError(
+            f"lows and highs disagree on batch size: {len(lo)} vs {len(hi)}"
+        )
+    inverted = lo > hi
+    if inverted.any():
+        q, axis = map(int, np.argwhere(inverted)[0])
+        raise RangeError(
+            f"inverted range in batch row {q} on axis {axis}: "
+            f"low {int(lo[q, axis])} > high {int(hi[q, axis])}"
+        )
+    return lo, hi
+
+
 def range_volume(low: Coord, high: Coord) -> int:
     """Number of cells inside the inclusive range ``[low, high]``."""
     volume = 1

@@ -260,6 +260,47 @@ class Overlay:
             self.counter.read(reads, structure="overlay.border")
         return total
 
+    def prefix_contribution_many(self, targets) -> np.ndarray:
+        """Batched :meth:`prefix_contribution` over a ``(Q, d)`` array.
+
+        One fancy-indexed gather per term of the subset expansion: the
+        anchor-value gather plus one gather per proper nonempty subset
+        ``S'`` of the dimensions, applied to the rows whose target is
+        off-anchor on all of ``S'`` (the same per-target subset the
+        looped path walks). Charges identical counter totals: one anchor
+        read per target plus one border read per applicable ``(target,
+        subset)`` pair.
+        """
+        batch = indexing.normalize_index_batch(targets, self.shape)
+        q_count = len(batch)
+        if q_count == 0:
+            anchor_grid = self._values[self._full_mask]
+            return np.empty(0, dtype=anchor_grid.dtype)
+        sizes = np.asarray(self.box_sizes, dtype=np.intp)
+        box = batch // sizes
+        on_anchor = batch == box * sizes  # (Q, d): coordinate is anchor-aligned
+        total = self._values[self._full_mask][tuple(box.T)].copy()
+        self.counter.read(q_count, structure="overlay.anchor")
+        border_reads = 0
+        for sub in range(1, self._full_mask):
+            applicable = np.ones(q_count, dtype=bool)
+            for axis in range(self.ndim):
+                if sub & (1 << axis):
+                    applicable &= ~on_anchor[:, axis]
+            if not applicable.any():
+                continue
+            z_mask = self._full_mask ^ sub
+            cell = tuple(
+                batch[applicable, axis] if sub & (1 << axis)
+                else box[applicable, axis]
+                for axis in range(self.ndim)
+            )
+            total[applicable] += self._values[z_mask][cell]
+            border_reads += int(applicable.sum())
+        if border_reads:
+            self.counter.read(border_reads, structure="overlay.border")
+        return total
+
     # -- updates -------------------------------------------------------------
 
     def apply_delta(self, index: Sequence[int], delta) -> int:

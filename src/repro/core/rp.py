@@ -58,6 +58,17 @@ class RelativePrefixArray:
         self.counter.read(1, structure="RP")
         return self._rp[idx]
 
+    def value_many(self, targets) -> np.ndarray:
+        """``RP[t]`` for a ``(Q, d)`` batch — one fancy-indexed gather.
+
+        Charges one read per row, same as looping :meth:`value`.
+        """
+        batch = indexing.normalize_index_batch(targets, self.shape)
+        if len(batch) == 0:
+            return np.empty(0, dtype=self._rp.dtype)
+        self.counter.read(len(batch), structure="RP")
+        return self._rp[tuple(batch.T)]
+
     def cell_value(self, index: Sequence[int]):
         """Recover ``A[index]`` from RP alone by box-local differencing.
 

@@ -105,6 +105,25 @@ class RelativePrefixSumCube(RangeSumMethod):
         full prefix sums — the cascade never leaves the box)."""
         return self.rp.cell_value(index)
 
+    def prefix_sum_many(self, targets) -> np.ndarray:
+        """Batched prefix sums: overlay subset gathers plus one RP gather.
+
+        One fancy-indexed gather per term of the query identity —
+        anchors, each border subset, and RP — with no per-query Python.
+        Counter charges match the looped path exactly (see
+        :meth:`Overlay.prefix_contribution_many`).
+        """
+        batch = indexing.normalize_index_batch(targets, self.shape)
+        return (
+            self.overlay.prefix_contribution_many(batch)
+            + self.rp.value_many(batch)
+        )
+
+    def range_sum_many(self, lows, highs) -> np.ndarray:
+        """Batched range sums: the corner identity over batched prefixes."""
+        lo, hi = indexing.normalize_range_batch(lows, highs, self.shape)
+        return self._corner_range_sum_many(lo, hi)
+
     def explain_prefix(self, target: Sequence[int]) -> dict:
         """Break one prefix sum into its stored components.
 

@@ -2,10 +2,13 @@
 
 from repro.metrics.counters import AccessCounter, CounterSnapshot, measured
 from repro.metrics.profile import characterize, render_profile
+from repro.metrics.service import LatencyRecorder, ServiceMetrics
 
 __all__ = [
     "AccessCounter",
     "CounterSnapshot",
+    "LatencyRecorder",
+    "ServiceMetrics",
     "characterize",
     "measured",
     "render_profile",

@@ -1,0 +1,150 @@
+"""Latency and throughput instrumentation for the serving layer.
+
+The :class:`~repro.metrics.counters.AccessCounter` family measures the
+paper's unit — logical cells touched. A serving process needs the
+operational complement: how long reads and batch applications take, how
+many of them happened, and where the tail is. :class:`LatencyRecorder`
+and :class:`ServiceMetrics` provide that, thread-safely, for
+:class:`repro.serve.CubeService`; nothing here is specific to serving,
+so other drivers (the CLI, benchmarks) can reuse them.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List
+
+
+class LatencyRecorder:
+    """Thread-safe duration tally with percentile summaries.
+
+    Keeps exact count/total/min/max plus a bounded sample reservoir for
+    percentiles (the first ``capacity`` observations — adequate for the
+    benchmark- and test-sized runs this library performs; it is not a
+    streaming quantile sketch).
+    """
+
+    def __init__(self, capacity: int = 8192) -> None:
+        self._lock = threading.Lock()
+        self._capacity = int(capacity)
+        self._samples: List[float] = []
+        self.count = 0
+        self.total_seconds = 0.0
+        self.min_seconds = float("inf")
+        self.max_seconds = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Add one observed duration (seconds)."""
+        value = float(seconds)
+        with self._lock:
+            self.count += 1
+            self.total_seconds += value
+            if value < self.min_seconds:
+                self.min_seconds = value
+            if value > self.max_seconds:
+                self.max_seconds = value
+            if len(self._samples) < self._capacity:
+                self._samples.append(value)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the retained samples (0 if empty)."""
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return 0.0
+        rank = min(len(samples) - 1, max(0, int(q / 100.0 * len(samples))))
+        return samples[rank]
+
+    def summary(self) -> Dict[str, float]:
+        """Count, mean, p50/p95/p99 and extrema as a plain dict."""
+        with self._lock:
+            count = self.count
+            total = self.total_seconds
+            low = self.min_seconds if count else 0.0
+            high = self.max_seconds
+        return {
+            "count": count,
+            "mean_s": (total / count) if count else 0.0,
+            "p50_s": self.percentile(50),
+            "p95_s": self.percentile(95),
+            "p99_s": self.percentile(99),
+            "min_s": low,
+            "max_s": high,
+            "total_s": total,
+        }
+
+
+class ServiceMetrics:
+    """Operational counters for one :class:`~repro.serve.CubeService`.
+
+    Attributes:
+        read_latency: per read-call durations (one call may carry a
+            whole query batch).
+        apply_latency: per writer-cycle durations: coalesce + apply +
+            swap + back-buffer catch-up.
+        swap_wait: time the writer spent waiting for in-flight readers
+            to drain off the retiring snapshot.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.read_latency = LatencyRecorder()
+        self.apply_latency = LatencyRecorder()
+        self.swap_wait = LatencyRecorder()
+        self.read_calls = 0
+        self.queries_served = 0
+        self.updates_submitted = 0
+        self.updates_applied = 0
+        self.updates_coalesced = 0
+        self.batches_applied = 0
+        self.swaps = 0
+
+    # -- recording (called by the service) ----------------------------------
+
+    def record_read(self, seconds: float, queries: int) -> None:
+        """One reader call serving ``queries`` range/prefix queries."""
+        with self._lock:
+            self.read_calls += 1
+            self.queries_served += int(queries)
+        self.read_latency.record(seconds)
+
+    def record_submit(self, updates: int) -> None:
+        """``updates`` deltas entered the write queue."""
+        with self._lock:
+            self.updates_submitted += int(updates)
+
+    def record_apply(
+        self,
+        seconds: float,
+        submitted: int,
+        applied: int,
+        swap_wait_seconds: float,
+    ) -> None:
+        """One writer cycle: ``submitted`` queued deltas coalesced down
+        to ``applied`` distinct-cell deltas and double-applied."""
+        with self._lock:
+            self.batches_applied += 1
+            self.swaps += 1
+            self.updates_applied += int(applied)
+            self.updates_coalesced += int(submitted) - int(applied)
+        self.apply_latency.record(seconds)
+        self.swap_wait.record(swap_wait_seconds)
+
+    # -- reporting -----------------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        """All tallies and latency summaries as one plain dict."""
+        with self._lock:
+            counts = {
+                "read_calls": self.read_calls,
+                "queries_served": self.queries_served,
+                "updates_submitted": self.updates_submitted,
+                "updates_applied": self.updates_applied,
+                "updates_coalesced": self.updates_coalesced,
+                "batches_applied": self.batches_applied,
+                "swaps": self.swaps,
+            }
+        counts["read_latency"] = self.read_latency.summary()
+        counts["apply_latency"] = self.apply_latency.summary()
+        counts["swap_wait"] = self.swap_wait.summary()
+        return counts

@@ -1,0 +1,11 @@
+"""Concurrent serving: snapshot-isolated reads over batched writes.
+
+See :mod:`repro.serve.service` for the design; the short version is
+double buffering — readers pin an immutable snapshot, a single writer
+thread coalesces queued deltas into ``apply_batch`` on the back buffer
+and atomically swaps it in.
+"""
+
+from repro.serve.service import CubeService, ServiceClosedError
+
+__all__ = ["CubeService", "ServiceClosedError"]

@@ -1,0 +1,362 @@
+"""Snapshot-isolated concurrent serving of a range-sum method.
+
+The paper's structures are single-writer by construction: an update
+cascades through shared arrays, so a reader that interleaves with it can
+observe a half-applied state (a torn read). :class:`CubeService` makes
+the trade the OLAP workload actually wants — heavy concurrent reads,
+periodic batched writes — safe:
+
+* **Readers** run against an immutable *snapshot*: a fully-built method
+  instance that is never mutated while published. Any number of threads
+  may query it concurrently (queries only read).
+* **A single writer thread** drains queued deltas, coalesces them per
+  cell, applies them to the *back buffer* via the method's own
+  ``apply_batch`` (so the RPS incremental/rebuild crossover still
+  applies), and atomically swaps the back buffer in as the new snapshot.
+* After the swap the writer waits for in-flight readers to drain off the
+  retired snapshot, then replays the same batch onto it — classic
+  double buffering: each batch is applied twice, but no reader ever
+  sees a structure mid-cascade, and batch cost stays proportional to
+  the batch (no per-batch rebuild).
+
+Consistency contract: every read observes the state after some prefix
+of the submitted update groups — never a partially applied group. Each
+``submit_*`` call is one atomic group; the snapshot ``version`` equals
+the number of groups applied, so ``query_many`` callers can correlate
+results with an exact logical state.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.base import RangeSumMethod
+from repro.errors import ReproError
+from repro.metrics.service import ServiceMetrics
+
+
+class ServiceClosedError(ReproError):
+    """Raised when submitting to or querying a closed service."""
+
+
+class _Snapshot:
+    """One published state: a method instance plus reader accounting.
+
+    ``version`` is the number of update groups folded in. ``active`` is
+    the count of in-flight reader calls; the writer mutates the instance
+    only while it is unpublished *and* ``active == 0``.
+    """
+
+    __slots__ = ("method", "version", "active", "cond")
+
+    def __init__(self, method: RangeSumMethod, version: int) -> None:
+        self.method = method
+        self.version = version
+        self.active = 0
+        self.cond = threading.Condition(threading.Lock())
+
+
+class CubeService:
+    """Serve one data cube to concurrent readers during batched writes.
+
+    Args:
+        method_cls: any :class:`~repro.core.base.RangeSumMethod`
+            subclass; two instances are built (front and back buffer).
+        array: the initial dense cube.
+        method_kwargs: forwarded to both constructions (box sizes etc.).
+        poll_seconds: writer wake-up interval while the queue is idle.
+        max_groups_per_cycle: most queued groups merged into one
+            ``apply_batch`` cycle (bounds swap latency under a firehose).
+
+    Use as a context manager, or call :meth:`close` explicitly — the
+    writer is a daemon thread, but an orderly close drains the queue::
+
+        with CubeService(RelativePrefixSumCube, cube) as svc:
+            svc.submit_batch([((3, 4), +10), ((0, 1), -2)])
+            svc.flush()
+            total = svc.total()
+    """
+
+    def __init__(
+        self,
+        method_cls,
+        array: np.ndarray,
+        *,
+        method_kwargs: Optional[Dict] = None,
+        poll_seconds: float = 0.002,
+        max_groups_per_cycle: int = 1024,
+    ) -> None:
+        kwargs = dict(method_kwargs or {})
+        source = np.asarray(array)
+        self._front = _Snapshot(method_cls(source, **kwargs), version=0)
+        self._back = method_cls(source, **kwargs)
+        self.shape = self._front.method.shape
+        self.metrics = ServiceMetrics()
+        self._poll_seconds = float(poll_seconds)
+        self._max_groups = int(max_groups_per_cycle)
+        self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._state_lock = threading.Condition(threading.Lock())
+        self._submitted_groups = 0
+        self._applied_groups = 0
+        self._closed = False
+        self._writer_error: Optional[BaseException] = None
+        self._writer = threading.Thread(
+            target=self._writer_loop, name="cube-service-writer", daemon=True
+        )
+        self._writer.start()
+
+    # -- reader API ----------------------------------------------------------
+
+    def _acquire(self) -> _Snapshot:
+        """Pin the current snapshot against retirement while reading.
+
+        Retry protocol: after registering on a snapshot, re-check that it
+        is still published; the writer only mutates a snapshot once it is
+        unpublished and its active count has hit zero, so a successful
+        re-check guarantees the instance stays frozen until release.
+        """
+        while True:
+            snap = self._front
+            with snap.cond:
+                snap.active += 1
+            if snap is self._front:
+                return snap
+            self._release(snap)
+
+    def _release(self, snap: _Snapshot) -> None:
+        with snap.cond:
+            snap.active -= 1
+            if snap.active == 0:
+                snap.cond.notify_all()
+
+    def _read(self, fn):
+        if self._writer_error is not None:
+            raise ServiceClosedError(
+                "service writer died"
+            ) from self._writer_error
+        start = time.perf_counter()
+        snap = self._acquire()
+        try:
+            result = fn(snap.method)
+            version = snap.version
+        finally:
+            self._release(snap)
+        return result, version, time.perf_counter() - start
+
+    def query_many(
+        self, lows, highs
+    ) -> Tuple[np.ndarray, int]:
+        """Batched range sums plus the snapshot version that served them.
+
+        The whole batch is answered by one snapshot — results are
+        mutually consistent, and ``version`` names the exact logical
+        state (number of update groups applied).
+        """
+        values, version, seconds = self._read(
+            lambda m: m.range_sum_many(lows, highs)
+        )
+        self.metrics.record_read(seconds, len(values))
+        return values, version
+
+    def range_sum_many(self, lows, highs) -> np.ndarray:
+        """Batched range sums against one consistent snapshot."""
+        return self.query_many(lows, highs)[0]
+
+    def prefix_sum_many(self, targets) -> np.ndarray:
+        """Batched prefix sums against one consistent snapshot."""
+        values, _, seconds = self._read(
+            lambda m: m.prefix_sum_many(targets)
+        )
+        self.metrics.record_read(seconds, len(values))
+        return values
+
+    def range_sum(self, low: Sequence[int], high: Sequence[int]):
+        """One range sum (snapshot-isolated like the batched calls)."""
+        value, _, seconds = self._read(lambda m: m.range_sum(low, high))
+        self.metrics.record_read(seconds, 1)
+        return value
+
+    def prefix_sum(self, target: Sequence[int]):
+        """One prefix sum against the current snapshot."""
+        value, _, seconds = self._read(lambda m: m.prefix_sum(target))
+        self.metrics.record_read(seconds, 1)
+        return value
+
+    def cell_value(self, index: Sequence[int]):
+        """One cell read against the current snapshot."""
+        value, _, seconds = self._read(lambda m: m.cell_value(index))
+        self.metrics.record_read(seconds, 1)
+        return value
+
+    def total(self):
+        """Sum of the whole cube at the current snapshot."""
+        value, _, seconds = self._read(lambda m: m.total())
+        self.metrics.record_read(seconds, 1)
+        return value
+
+    @property
+    def version(self) -> int:
+        """Update groups visible to a reader acquiring a snapshot now."""
+        return self._front.version
+
+    # -- writer API ----------------------------------------------------------
+
+    def submit_delta(self, index: Sequence[int], delta) -> int:
+        """Queue one cell delta as its own atomic group; returns the
+        group's sequence number (compare with :attr:`version`)."""
+        return self.submit_batch([(index, delta)])
+
+    def submit_batch(
+        self, updates: Iterable[Tuple[Sequence[int], object]]
+    ) -> int:
+        """Queue one atomic group of ``(index, delta)`` updates.
+
+        The group is applied in a single ``apply_batch`` cycle — readers
+        either see all of it or none of it. Returns the group's sequence
+        number: once :attr:`version` reaches it, every read reflects it.
+        """
+        group = [
+            (tuple(int(c) for c in index), delta) for index, delta in updates
+        ]
+        with self._state_lock:
+            if self._closed:
+                raise ServiceClosedError("service is closed to new updates")
+            self._submitted_groups += 1
+            seq = self._submitted_groups
+            # enqueue under the lock so queue order == sequence order
+            self._queue.put((seq, group))
+        self.metrics.record_submit(len(group))
+        return seq
+
+    def flush(self, timeout: Optional[float] = None) -> int:
+        """Block until every group submitted so far is applied.
+
+        Returns the applied-group count (== the version any subsequent
+        read will see at minimum). Raises on writer death or timeout.
+        """
+        with self._state_lock:
+            target = self._submitted_groups
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while self._applied_groups < target:
+                if self._writer_error is not None:
+                    raise ServiceClosedError(
+                        "service writer died"
+                    ) from self._writer_error
+                remaining = (
+                    None if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError(
+                        f"flush timed out at {self._applied_groups}/"
+                        f"{target} groups applied"
+                    )
+                self._state_lock.wait(remaining)
+            return self._applied_groups
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self, timeout: Optional[float] = 30.0) -> None:
+        """Stop accepting updates, drain the queue, stop the writer."""
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._writer.join(timeout)
+        if self._writer.is_alive():
+            raise TimeoutError("service writer did not stop in time")
+        if self._writer_error is not None:
+            raise ServiceClosedError(
+                "service writer died"
+            ) from self._writer_error
+
+    def __enter__(self) -> "CubeService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def stats(self) -> Dict:
+        """Operational snapshot: version, backlog, and metrics."""
+        with self._state_lock:
+            submitted = self._submitted_groups
+            applied = self._applied_groups
+        report = self.metrics.snapshot()
+        report.update(
+            version=self.version,
+            groups_submitted=submitted,
+            groups_applied=applied,
+            groups_pending=submitted - applied,
+        )
+        return report
+
+    # -- the writer ----------------------------------------------------------
+
+    def _writer_loop(self) -> None:
+        try:
+            while True:
+                try:
+                    first = self._queue.get(timeout=self._poll_seconds)
+                except queue.Empty:
+                    with self._state_lock:
+                        if (
+                            self._closed
+                            and self._applied_groups
+                            == self._submitted_groups
+                        ):
+                            return
+                    continue
+                groups = [first]
+                while len(groups) < self._max_groups:
+                    try:
+                        groups.append(self._queue.get_nowait())
+                    except queue.Empty:
+                        break
+                self._apply_groups(groups)
+        except BaseException as error:  # surface to readers/flushers
+            self._writer_error = error
+            with self._state_lock:
+                self._state_lock.notify_all()
+
+    def _apply_groups(self, groups) -> None:
+        """One double-buffered write cycle over whole submitted groups."""
+        start = time.perf_counter()
+        submitted = 0
+        coalesced: Dict[Tuple[int, ...], object] = {}
+        for _, group in groups:
+            for cell, delta in group:
+                submitted += 1
+                if cell in coalesced:
+                    coalesced[cell] = coalesced[cell] + delta
+                else:
+                    coalesced[cell] = delta
+        batch = [
+            (cell, delta) for cell, delta in coalesced.items() if delta
+        ]
+        retired = self._front
+        if batch:
+            self._back.apply_batch(batch)
+        self._front = _Snapshot(
+            self._back, retired.version + len(groups)
+        )
+        # Wait out readers still pinned to the retired snapshot, then
+        # catch it up off-line; it becomes the next cycle's back buffer.
+        wait_start = time.perf_counter()
+        with retired.cond:
+            while retired.active:
+                retired.cond.wait()
+        swap_wait = time.perf_counter() - wait_start
+        if batch:
+            retired.method.apply_batch(batch)
+        self._back = retired.method
+        with self._state_lock:
+            self._applied_groups = groups[-1][0]
+            self._state_lock.notify_all()
+        self.metrics.record_apply(
+            time.perf_counter() - start, submitted, len(batch), swap_wait
+        )

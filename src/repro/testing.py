@@ -13,6 +13,12 @@ oracle over randomized cubes (several shapes and dtypes), raising
 ``AssertionError`` with a reproducible seed on the first violation. The
 library's own methods are checked with exactly this harness in
 ``tests/test_conformance.py``.
+
+:func:`assert_method_correct` also exercises the batched query kernels
+(``prefix_sum_many`` / ``range_sum_many``); use
+:func:`assert_batch_queries_correct` alone for a focused check that a
+custom vectorized kernel matches the looped path in both values and
+counter charges.
 """
 
 from __future__ import annotations
@@ -42,6 +48,150 @@ def _random_range(rng, shape):
         low.append(a)
         high.append(b)
     return tuple(low), tuple(high)
+
+
+def _batch_of_ranges(rng, shape, count):
+    """``(Q, d)`` low/high batches of random ranges (may repeat)."""
+    lows = np.empty((count, len(shape)), dtype=np.intp)
+    highs = np.empty((count, len(shape)), dtype=np.intp)
+    for q in range(count):
+        low, high = _random_range(rng, shape)
+        lows[q] = low
+        highs[q] = high
+    return lows, highs
+
+
+def assert_batch_queries_correct(
+    method_cls: Type[RangeSumMethod],
+    shapes: Sequence[Tuple[int, ...]] = DEFAULT_SHAPES,
+    queries: int = 16,
+    seed: int = 0,
+    check_counters: bool = True,
+    **method_kwargs,
+) -> None:
+    """Validate the batched query kernels of one method class.
+
+    Drives ``prefix_sum_many`` and ``range_sum_many`` against the
+    brute-force oracle *and* against the method's own looped path —
+    including empty batches, ``Q = 1``, duplicated queries, and targets
+    on box/cube boundaries. With ``check_counters`` (default) the
+    batched calls must charge exactly the logical cell costs the looped
+    calls charge, in total and per structure.
+
+    Raises:
+        AssertionError: on the first violation, with shape/seed context.
+    """
+    for shape in shapes:
+        rng = np.random.default_rng(seed)
+        array = rng.integers(-20, 20, size=shape)
+        context = f"[{method_cls.__name__} shape={shape} seed={seed}]"
+        looped = method_cls(array, **method_kwargs)
+        batched = method_cls(array, **method_kwargs)
+        d = len(shape)
+
+        # empty batches are legal and charge nothing
+        empty = np.empty((0, d), dtype=np.intp)
+        before = batched.counter.snapshot()
+        assert batched.prefix_sum_many(empty).shape == (0,), (
+            f"{context} prefix_sum_many([]) must return shape (0,)"
+        )
+        assert batched.range_sum_many(empty, empty).shape == (0,), (
+            f"{context} range_sum_many([], []) must return shape (0,)"
+        )
+        delta = before.delta(batched.counter)
+        assert delta.cells_read == 0 and delta.cells_written == 0, (
+            f"{context} empty batches must not charge the counter"
+        )
+
+        lows, highs = _batch_of_ranges(rng, shape, queries)
+        # boundary rows: the full cube, a single cell at each extreme,
+        # and a duplicated row
+        top = np.asarray(shape, dtype=np.intp) - 1
+        extremes = np.array(
+            [np.zeros(d, dtype=np.intp), top, np.zeros(d, dtype=np.intp)]
+        )
+        lows = np.vstack([lows, np.zeros((1, d), dtype=np.intp), extremes])
+        highs = np.vstack([highs, top[np.newaxis], extremes])
+        lows = np.vstack([lows, lows[:1]])  # duplicate of the first query
+        highs = np.vstack([highs, highs[:1]])
+
+        loop_before = looped.counter.snapshot()
+        expected = [
+            looped.range_sum(tuple(lo), tuple(hi))
+            for lo, hi in zip(lows, highs)
+        ]
+        loop_cost = loop_before.delta(looped.counter)
+        batch_before = batched.counter.snapshot()
+        got = batched.range_sum_many(lows, highs)
+        batch_cost = batch_before.delta(batched.counter)
+        oracle = [
+            _oracle_range(array, tuple(lo), tuple(hi))
+            for lo, hi in zip(lows, highs)
+        ]
+        assert got.shape == (len(lows),), (
+            f"{context} range_sum_many returned shape {got.shape}"
+        )
+        assert np.allclose(
+            np.asarray(got, dtype=np.float64),
+            np.asarray(oracle, dtype=np.float64),
+        ), f"{context} range_sum_many diverged from the oracle"
+        assert np.allclose(
+            np.asarray(got, dtype=np.float64),
+            np.asarray(expected, dtype=np.float64),
+        ), f"{context} range_sum_many diverged from the looped path"
+        assert np.isclose(
+            float(got[-1]), float(got[0])
+        ), f"{context} duplicated query rows answered differently"
+        if check_counters:
+            assert (
+                loop_cost.cells_read == batch_cost.cells_read
+                and loop_cost.cells_written == batch_cost.cells_written
+            ), (
+                f"{context} range_sum_many charged "
+                f"{batch_cost.cells_read}r/{batch_cost.cells_written}w, "
+                f"looped path charged "
+                f"{loop_cost.cells_read}r/{loop_cost.cells_written}w"
+            )
+
+        # Q = 1 agrees with the scalar call
+        one = batched.range_sum_many(lows[:1], highs[:1])
+        assert np.isclose(
+            float(one[0]), float(looped.range_sum(lows[0], highs[0]))
+        ), f"{context} Q=1 batch disagrees with the scalar range_sum"
+
+        # prefix_sum_many over the high corners (hits box boundaries)
+        loop_before = looped.counter.snapshot()
+        expected_p = [looped.prefix_sum(tuple(t)) for t in highs]
+        loop_cost = loop_before.delta(looped.counter)
+        batch_before = batched.counter.snapshot()
+        got_p = batched.prefix_sum_many(highs)
+        batch_cost = batch_before.delta(batched.counter)
+        assert np.allclose(
+            np.asarray(got_p, dtype=np.float64),
+            np.asarray(expected_p, dtype=np.float64),
+        ), f"{context} prefix_sum_many diverged from the looped path"
+        if check_counters:
+            assert loop_cost.cells_read == batch_cost.cells_read, (
+                f"{context} prefix_sum_many charged "
+                f"{batch_cost.cells_read} reads, looped path charged "
+                f"{loop_cost.cells_read}"
+            )
+
+        # batched queries observe updates (no stale caches)
+        cell = tuple(int(rng.integers(0, n)) for n in shape)
+        looped.apply_delta(cell, 17)
+        batched.apply_delta(cell, 17)
+        array_after = array.copy()
+        array_after[cell] += 17
+        got_after = batched.range_sum_many(lows, highs)
+        oracle_after = [
+            _oracle_range(array_after, tuple(lo), tuple(hi))
+            for lo, hi in zip(lows, highs)
+        ]
+        assert np.allclose(
+            np.asarray(got_after, dtype=np.float64),
+            np.asarray(oracle_after, dtype=np.float64),
+        ), f"{context} range_sum_many went stale after apply_delta"
 
 
 def assert_method_correct(
@@ -141,3 +291,12 @@ def assert_method_correct(
 
         # built-in verification agrees
         method.verify(probes=20, seed=seed)
+
+    # the batched query kernels obey the same contract
+    assert_batch_queries_correct(
+        method_cls,
+        shapes=shapes,
+        seed=seed,
+        check_counters=check_counters,
+        **method_kwargs,
+    )

@@ -9,7 +9,7 @@ from repro.baselines.prefix import PrefixSumCube
 from repro.baselines.sparse import SparseNaiveCube
 from repro.core.rps import RelativePrefixSumCube
 from repro.storage.paged_rps import PagedRPSCube
-from repro.testing import assert_method_correct
+from repro.testing import assert_batch_queries_correct, assert_method_correct
 
 
 @pytest.mark.parametrize("method_cls", [
@@ -18,6 +18,63 @@ from repro.testing import assert_method_correct
 ], ids=lambda c: c.name)
 def test_shipped_methods_conform(method_cls):
     assert_method_correct(method_cls, operations=25)
+
+
+@pytest.mark.parametrize("method_cls", [
+    NaiveCube, PrefixSumCube, FenwickCube, SparseNaiveCube,
+    RelativePrefixSumCube,
+], ids=lambda c: c.name)
+def test_shipped_methods_batch_queries_conform(method_cls):
+    """The *_many kernels: oracle agreement, looped-path agreement,
+    identical counter charges, empty/Q=1/duplicate/boundary batches."""
+    assert_batch_queries_correct(method_cls, queries=24, seed=3)
+
+
+def test_paged_rps_batch_queries_conform():
+    assert_batch_queries_correct(
+        PagedRPSCube,
+        shapes=((9, 9),),
+        queries=8,
+        box_size=3,
+        buffer_capacity=4,
+    )
+
+
+class _BrokenBatchCube(NaiveCube):
+    """Deliberately wrong: vectorized path drops the last query."""
+
+    name = "broken_batch"
+
+    def range_sum_many(self, lows, highs):
+        result = super().range_sum_many(lows, highs)
+        if len(result):
+            result = result.copy()
+            result[-1] = 0
+        return result
+
+
+class _UnderchargingBatchCube(PrefixSumCube):
+    """Deliberately wrong: the batched gather forgets the counter."""
+
+    name = "undercharging"
+
+    def prefix_sum_many(self, targets):
+        before = self.counter.snapshot()
+        result = super().prefix_sum_many(targets)
+        self.counter.cells_read = before.cells_read
+        return result
+
+
+def test_batch_harness_catches_wrong_values():
+    with pytest.raises(AssertionError, match="range_sum_many"):
+        assert_batch_queries_correct(_BrokenBatchCube, shapes=((9, 9),))
+
+
+def test_batch_harness_catches_undercharged_counters():
+    with pytest.raises(AssertionError, match="charged"):
+        assert_batch_queries_correct(
+            _UnderchargingBatchCube, shapes=((9, 9),)
+        )
 
 
 def test_paged_rps_conforms():

@@ -129,6 +129,80 @@ class TestBoxSizeExtremes:
         assert cube.rp.counter.structure_written("RP") == 1
 
 
+class TestDegenerateBoxBatchPaths:
+    """k=1, k=n_i and k>n_i on the RPS query/update/batch paths.
+
+    The degenerate overlays (every cell its own box; one box for the
+    whole cube; partial boxes everywhere) must stay exact through batch
+    updates under every strategy and through the batched query kernels.
+    """
+
+    SHAPE = (7, 5)  # non-square so k=n_i differs per axis
+
+    def _boxes(self):
+        n1, n2 = self.SHAPE
+        return {
+            "k=1": 1,
+            "k=n_i": (n1, n2),
+            "k>n_i": max(self.SHAPE) * 3,
+        }
+
+    @pytest.mark.parametrize("strategy", ["incremental", "rebuild", "auto"])
+    def test_apply_batch_strategies_stay_exact(self, rng, strategy):
+        for label, box in self._boxes().items():
+            a = rng.integers(-9, 9, size=self.SHAPE)
+            cube = RelativePrefixSumCube(a, box_size=box)
+            expected = a.copy()
+            batch = []
+            for _ in range(12):
+                cell = tuple(int(rng.integers(0, n)) for n in self.SHAPE)
+                delta = int(rng.integers(-5, 6))
+                batch.append((cell, delta))
+                expected[cell] += delta
+            cube.apply_batch(batch, strategy=strategy)
+            assert np.array_equal(cube.to_array(), expected), (
+                f"{label} strategy={strategy}"
+            )
+            cube.verify_structures()
+
+    def test_batched_queries_at_degenerate_boxes(self, rng):
+        for label, box in self._boxes().items():
+            a = rng.integers(-9, 9, size=self.SHAPE)
+            cube = RelativePrefixSumCube(a, box_size=box)
+            lows, highs = [], []
+            for lo_hi in np.ndindex(*self.SHAPE):
+                lows.append((0, 0))
+                highs.append(lo_hi)
+            lows = np.asarray(lows, dtype=np.intp)
+            highs = np.asarray(highs, dtype=np.intp)
+            got = cube.range_sum_many(lows, highs)
+            prefixes = cube.prefix_sum_many(highs)
+            for q, target in enumerate(np.ndindex(*self.SHAPE)):
+                expected = a[tuple(slice(0, t + 1) for t in target)].sum()
+                assert got[q] == expected, f"{label} range at {target}"
+                assert prefixes[q] == expected, f"{label} prefix at {target}"
+
+    def test_point_update_then_batch_query_roundtrip(self, rng):
+        for label, box in self._boxes().items():
+            a = rng.integers(0, 9, size=self.SHAPE)
+            cube = RelativePrefixSumCube(a, box_size=box)
+            expected = a.copy()
+            for _ in range(8):
+                cell = tuple(int(rng.integers(0, n)) for n in self.SHAPE)
+                cube.update(cell, 42)  # set-semantics path
+                expected[cell] = 42
+            top = tuple(n - 1 for n in self.SHAPE)
+            full = cube.range_sum_many([(0, 0)], [top])
+            assert full[0] == expected.sum(), label
+            cube.verify_structures()
+
+    def test_k_above_n_reports_single_box(self, rng):
+        a = rng.integers(0, 9, size=self.SHAPE)
+        cube = RelativePrefixSumCube(a, box_size=100)
+        assert cube.overlay.boxes_shape == (1, 1)
+        assert cube.total() == a.sum()
+
+
 class TestUpdatePositionsExhaustive:
     def test_every_cell_of_small_cube(self, rng):
         """Update every position of a 6x6 (k=2), checking structures
