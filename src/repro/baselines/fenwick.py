@@ -135,6 +135,22 @@ class FenwickCube(RangeSumMethod):
         self._tree[np.ix_(*grids)] = view
         self.counter.write(view.size, structure="fenwick")
 
+    def apply_batch_array(self, indices, deltas) -> int:
+        """Array-signature batch updates, looped per row.
+
+        The Fenwick update paths are log-structured (a different
+        ``np.ix_`` grid per cell), not suffix regions, so there is no
+        shared cumulative-sum pass to batch them into; the fallback keeps
+        the uniform ``apply_batch_array`` contract — and the per-update
+        ledger — by looping :meth:`apply_delta`.
+        """
+        idx, deltas = indexing.normalize_update_batch(
+            indices, deltas, self.shape
+        )
+        for row, delta in zip(idx, deltas):
+            self.apply_delta(tuple(int(c) for c in row), delta)
+        return len(idx)
+
     def storage_cells(self) -> int:
         """The tree is exactly the size of A."""
         return self._tree.size

@@ -118,6 +118,22 @@ class NaiveCube(RangeSumMethod):
             count += 1
         return count
 
+    def apply_batch_array(self, indices, deltas) -> int:
+        """One ``np.add.at`` scatter (duplicate rows accumulate).
+
+        Charges one write per row — the same ledger as looping
+        :meth:`apply_delta` — and invalidates the batch-query cache once.
+        """
+        idx, deltas = indexing.normalize_update_batch(
+            indices, deltas, self.shape
+        )
+        if len(idx) == 0:
+            return 0
+        np.add.at(self._a, tuple(idx.T), deltas)
+        self._batch_prefix = None
+        self.counter.write(len(idx), structure="A")
+        return len(idx)
+
     def storage_cells(self) -> int:
         """The naive method stores exactly the source array."""
         return self._a.size

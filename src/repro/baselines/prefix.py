@@ -92,6 +92,24 @@ class PrefixSumCube(RangeSumMethod):
             self.counter.write(self._p.size, structure="P")
         return count
 
+    def apply_batch_array(self, indices, deltas) -> int:
+        """Array-native :meth:`apply_batch`: scatter, prefix-sum, add.
+
+        Same one-pass fold and same ledger (one ``n^d`` write pass per
+        non-empty batch, however large), with ``np.add.at`` replacing the
+        per-row Python scatter.
+        """
+        idx, deltas = indexing.normalize_update_batch(
+            indices, deltas, self.shape
+        )
+        if len(idx) == 0:
+            return 0
+        spread = np.zeros(self.shape, dtype=self._p.dtype)
+        np.add.at(spread, tuple(idx.T), deltas)
+        self._p += build_prefix_array(spread)
+        self.counter.write(self._p.size, structure="P")
+        return len(idx)
+
     def storage_cells(self) -> int:
         """P has exactly the same size as A."""
         return self._p.size

@@ -203,6 +203,25 @@ class RangeSumMethod(abc.ABC):
             count += 1
         return count
 
+    def apply_batch_array(self, indices, deltas) -> int:
+        """Apply an ``(m, d)`` index batch with aligned ``(m,)`` deltas.
+
+        The array-native counterpart of :meth:`apply_batch`, fed directly
+        by the serving layer's coalescer. The base implementation loops
+        :meth:`apply_delta` (identical values and ledger); methods with a
+        bulk path override it — the RPS cube routes through its strategy
+        planner, the prefix cube folds the batch into one pass, the naive
+        cube scatters in one ``np.add.at``.
+
+        Returns the number of updates applied.
+        """
+        idx, deltas = indexing.normalize_update_batch(
+            indices, deltas, self.shape
+        )
+        for row, delta in zip(idx, deltas):
+            self.apply_delta(tuple(int(c) for c in row), delta)
+        return len(idx)
+
     # -- introspection ------------------------------------------------------
 
     @abc.abstractmethod
@@ -223,11 +242,17 @@ class RangeSumMethod(abc.ABC):
         """Self-check: random range sums against the reconstructed array.
 
         Intended as an integrity check after bulk operations or a load
-        from persistence. Raises :class:`~repro.errors.RangeError` on the
-        first mismatch; O(n^d) for the reconstruction plus ``probes``
-        range queries.
+        from persistence. Integer cubes are compared exactly in their
+        native dtype — float64 holds only 53 mantissa bits, so an
+        ``isclose`` comparison would wave through corruptions in cubes
+        with values beyond 2^53. Floating cubes keep the tolerance-based
+        comparison (their own arithmetic reorders legitimately).
+
+        Raises :class:`~repro.errors.RangeError` on the first mismatch;
+        O(n^d) for the reconstruction plus ``probes`` range queries.
         """
-        reference = np.asarray(self.to_array(), dtype=np.float64)
+        reference = np.asarray(self.to_array())
+        floating = np.issubdtype(reference.dtype, np.floating)
         rng = np.random.default_rng(seed)
         for _ in range(probes):
             low, high = [], []
@@ -235,11 +260,17 @@ class RangeSumMethod(abc.ABC):
                 a, b = sorted(int(x) for x in rng.integers(0, n, size=2))
                 low.append(a)
                 high.append(b)
-            expected = reference[
+            region = reference[
                 tuple(slice(l, h + 1) for l, h in zip(low, high))
-            ].sum()
-            got = float(self.range_sum(tuple(low), tuple(high)))
-            if not np.isclose(got, expected):
+            ]
+            got = self.range_sum(tuple(low), tuple(high))
+            if floating:
+                expected = float(region.sum())
+                mismatch = not np.isclose(float(got), expected)
+            else:
+                expected = int(region.sum())
+                mismatch = int(got) != expected
+            if mismatch:
                 raise RangeError(
                     f"{type(self).__name__} failed verification at "
                     f"range {tuple(low)}..{tuple(high)}: "

@@ -93,6 +93,14 @@ def normalize_index_batch(targets, shape: Sequence[int]) -> np.ndarray:
     d = len(shape)
     arr = np.asarray(targets)
     if arr.size == 0:
+        # Arity is validated even for empty batches: a (0, j) batch with
+        # j != d is malformed, not merely empty. A flat length-0 vector
+        # (e.g. a bare ``[]``) is accepted as "no rows" for any d.
+        if arr.ndim > 2 or (arr.ndim == 2 and arr.shape[1] != d):
+            raise DimensionError(
+                f"expected a (Q, {d}) batch of coordinates, got shape "
+                f"{arr.shape}"
+            )
         return np.empty((0, d), dtype=np.intp)
     if d == 1 and arr.ndim == 1:
         arr = arr[:, np.newaxis]
@@ -148,6 +156,39 @@ def normalize_range_batch(
             f"low {int(lo[q, axis])} > high {int(hi[q, axis])}"
         )
     return lo, hi
+
+
+def normalize_update_batch(
+    indices, deltas, shape: Sequence[int]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate an ``(m, d)`` index batch with its aligned delta vector.
+
+    The update counterpart of :func:`normalize_index_batch`, used by the
+    ``apply_batch_array`` kernels. ``deltas`` may be any length-m numeric
+    array-like, or a scalar (broadcast to every row).
+
+    Returns:
+        ``(indices, deltas)`` — a validated ``(m, d)`` ``np.intp`` array
+        and a length-m numeric array.
+
+    Raises:
+        DimensionError: on arity mismatch or when the delta vector does
+            not align with the index batch.
+        TypeError: if either input is not numeric.
+        RangeError: if any coordinate falls outside ``[0, n_i)``.
+    """
+    idx = normalize_index_batch(indices, shape)
+    arr = np.asarray(deltas)
+    if arr.ndim == 0:
+        arr = np.broadcast_to(arr, (len(idx),))
+    if arr.ndim != 1 or len(arr) != len(idx):
+        raise DimensionError(
+            f"expected {len(idx)} deltas aligned with the index batch, "
+            f"got shape {arr.shape}"
+        )
+    if not np.issubdtype(arr.dtype, np.number):
+        raise TypeError(f"deltas must be numeric, got {arr.dtype}")
+    return idx, arr
 
 
 def range_volume(low: Coord, high: Coord) -> int:

@@ -114,6 +114,49 @@ def subset_update_slices(shape, box_sizes, boxes_shape, idx, mask):
     return tuple(add), sub
 
 
+def subset_update_extents(shape, box_sizes, boxes_shape, batch, mask):
+    """Batched counterpart of :func:`subset_update_slices`.
+
+    For a validated ``(m, d)`` index batch, returns per-row descriptions
+    of how each update touches the value array of subset ``mask``:
+
+    * ``applicable`` — rows affecting this subset at all (no non-Z axis
+      anchor-aligned),
+    * ``exclusion`` — applicable rows whose ``Π{a_j}`` exclusion slice
+      applies (anchor-aligned on all of Z),
+    * ``add_cells`` / ``sub_cells`` — the cell counts of the two regions
+      (``add_cells`` is 0 when the affected slice is empty, e.g. the
+      update sits in the last box of a Z axis).
+
+    The region geometry matches :func:`subset_update_slices` exactly;
+    only the representation differs (counts instead of slices), so the
+    vectorized update path can charge the very cells the looped cascade
+    charges.
+    """
+    m, ndim = batch.shape
+    applicable = np.ones(m, dtype=bool)
+    exclusion = np.ones(m, dtype=bool)
+    add_cells = np.ones(m, dtype=np.int64)
+    sub_cells = np.ones(m, dtype=np.int64)
+    for axis in range(ndim):
+        u = batch[:, axis]
+        k = box_sizes[axis]
+        box = u // k
+        aligned = u == box * k
+        if mask & (1 << axis):
+            # Boxes with anchor at or after the update on this axis.
+            add_cells *= np.maximum(boxes_shape[axis] - (box + ~aligned), 0)
+            exclusion &= aligned
+        else:
+            # Same box, strictly after its anchor, at or after u.
+            applicable &= ~aligned
+            span = np.minimum((box + 1) * k, shape[axis]) - u
+            add_cells *= span
+            sub_cells *= span
+    exclusion &= applicable
+    return applicable, exclusion, add_cells, sub_cells
+
+
 class Overlay:
     """Anchor and border values for every overlay box of a cube.
 
@@ -339,6 +382,103 @@ class Overlay:
                 self.counter.write(touched, structure=structure)
             touched_total += touched
         return touched_total
+
+    def apply_batch_array(self, indices, deltas) -> int:
+        """Propagate ``(m, d)`` point deltas in one vectorized pass.
+
+        Every stored value is linear in ``A``, so the batch's effect on
+        the value array of subset ``Z`` is realized without touching
+        individual updates: scatter each applicable delta at the *low
+        corner* of its affected region (box ``ceil(u_j / k_j)`` on the
+        ``Z`` axes, raw coordinate ``u_j`` elsewhere) and run the region
+        shape as cumulative sums — plain over box indices on ``Z`` axes,
+        box-blocked over raw coordinates elsewhere. The anchor-exclusion
+        slice is a second scatter (at box ``u_j // k_j``) accumulated
+        over the non-``Z`` axes only, subtracted. ``np.add.at``
+        accumulates duplicate rows, so one batch may hit one cell twice.
+
+        Charges exactly what looping :meth:`apply_delta` charges, per
+        structure (zero-delta rows included). Returns the total number of
+        overlay cells written, in that same ledger.
+        """
+        batch, deltas = indexing.normalize_update_batch(
+            indices, deltas, self.shape
+        )
+        if len(batch) == 0:
+            return 0
+        sizes = np.asarray(self.box_sizes, dtype=np.intp)
+        box = batch // sizes
+        ceil_box = box + (batch != box * sizes)
+        touched_total = 0
+        for mask in range(1, self._full_mask + 1):
+            applicable, exclusion, add_cells, sub_cells = (
+                subset_update_extents(
+                    self.shape, self.box_sizes, self.boxes_shape, batch, mask
+                )
+            )
+            values = self._values[mask]
+            add_rows = applicable & (add_cells > 0)
+            if add_rows.any():
+                spread = np.zeros_like(values)
+                pos = tuple(
+                    ceil_box[add_rows, axis] if mask & (1 << axis)
+                    else batch[add_rows, axis]
+                    for axis in range(self.ndim)
+                )
+                np.add.at(spread, pos, deltas[add_rows])
+                for axis in range(self.ndim):
+                    if mask & (1 << axis):
+                        np.cumsum(spread, axis=axis, out=spread)
+                    else:
+                        spread = blocked_cumsum(
+                            spread, axis, self.box_sizes[axis]
+                        )
+                values += spread
+            if exclusion.any():
+                spread = np.zeros_like(values)
+                pos = tuple(
+                    box[exclusion, axis] if mask & (1 << axis)
+                    else batch[exclusion, axis]
+                    for axis in range(self.ndim)
+                )
+                np.add.at(spread, pos, deltas[exclusion])
+                for axis in range(self.ndim):
+                    if not mask & (1 << axis):
+                        spread = blocked_cumsum(
+                            spread, axis, self.box_sizes[axis]
+                        )
+                values -= spread
+            touched = int(
+                add_cells[applicable].sum() - sub_cells[exclusion].sum()
+            )
+            if touched:
+                structure = (
+                    "overlay.anchor" if mask == self._full_mask
+                    else "overlay.border"
+                )
+                self.counter.write(touched, structure=structure)
+            touched_total += touched
+        return touched_total
+
+    def update_cost_many(self, batch) -> np.ndarray:
+        """Per-row overlay cells a batch of updates would touch.
+
+        The batched counterpart of :meth:`update_cost` — same counts,
+        computed without mutating anything and without per-row Python.
+        """
+        batch = indexing.normalize_index_batch(batch, self.shape)
+        totals = np.zeros(len(batch), dtype=np.int64)
+        if len(batch) == 0:
+            return totals
+        for mask in range(1, self._full_mask + 1):
+            applicable, exclusion, add_cells, sub_cells = (
+                subset_update_extents(
+                    self.shape, self.box_sizes, self.boxes_shape, batch, mask
+                )
+            )
+            totals += np.where(applicable, add_cells, 0)
+            totals -= np.where(exclusion, sub_cells, 0)
+        return totals
 
     def _update_slices(self, idx: Coord, mask: int):
         """(add, subtract) slice tuples for one subset's value array.

@@ -170,47 +170,106 @@ class RelativePrefixSumCube(RangeSumMethod):
         self.rp.apply_delta(idx, delta)
         self.overlay.apply_delta(idx, delta)
 
+    #: Approximate numpy cells processed in the wall-clock time of one
+    #: Python-level cascade step; calibrated by ``bench_u1``. ``auto``
+    #: switches from looped cascades to the vectorized engine once the
+    #: batch is large enough that one whole-structure pass is cheaper
+    #: than m interpreter round-trips.
+    VECTORIZED_CELLS_PER_CASCADE = 1024
+
+    BATCH_STRATEGIES = ("auto", "incremental", "vectorized", "rebuild")
+
     def apply_batch(self, updates, strategy: str = "auto") -> int:
         """Apply many ``(index, delta)`` updates.
 
         Strategies:
 
         * ``"incremental"`` — one constrained cascade per update
-          (m x O(n^{d/2}) cells).
+          (m x O(n^{d/2}) cells, one Python step per update).
+        * ``"vectorized"`` — identical incremental semantics and cell
+          ledger, executed as whole-structure scatter/cumsum passes (no
+          per-update Python; see :meth:`Overlay.apply_batch_array`).
         * ``"rebuild"`` — materialize the batch, rebuild overlay and RP
           from the patched array (O(n^d) cells, independent of m).
-        * ``"auto"`` (default) — estimate both and pick the cheaper; the
-          crossover sits near m ~ n^{d/2}, measured in the ``bench_a1``
-          ablation.
+        * ``"auto"`` (default) — :meth:`choose_batch_strategy`: the
+          paper's cost model picks incremental-vs-rebuild semantics, a
+          wall-clock model picks looped-vs-vectorized execution; the
+          crossovers are measured in the ``bench_a1``/``bench_u1``
+          ablations.
 
         Returns the number of updates applied.
         """
-        if strategy not in ("auto", "incremental", "rebuild"):
+        batch = list(updates)
+        if not batch:
+            self._check_strategy(strategy)
+            return 0
+        indices = np.array(
+            [
+                indexing.normalize_index(index, self.shape)
+                for index, _ in batch
+            ],
+            dtype=np.intp,
+        )
+        deltas = np.asarray([delta for _, delta in batch])
+        return self._apply_batch_arrays(indices, deltas, strategy)
+
+    def apply_batch_array(
+        self, indices, deltas, strategy: str = "auto"
+    ) -> int:
+        """Array-native :meth:`apply_batch` over ``(m, d)`` + ``(m,)``
+        arrays — the kernel the serving layer feeds directly."""
+        batch, deltas = indexing.normalize_update_batch(
+            indices, deltas, self.shape
+        )
+        if len(batch) == 0:
+            self._check_strategy(strategy)
+            return 0
+        return self._apply_batch_arrays(batch, deltas, strategy)
+
+    def _check_strategy(self, strategy: str) -> None:
+        if strategy not in self.BATCH_STRATEGIES:
             raise RangeError(
                 f"unknown batch strategy {strategy!r}; choose auto, "
-                f"incremental, or rebuild"
+                f"incremental, vectorized, or rebuild"
             )
-        batch = [
-            (indexing.normalize_index(index, self.shape), delta)
-            for index, delta in updates
-        ]
-        if not batch:
-            return 0
+
+    def choose_batch_strategy(self, indices) -> str:
+        """The strategy ``"auto"`` would pick for this index batch.
+
+        Two nested decisions: the paper's logical cost model compares the
+        summed cascade cost against one rebuild (the crossover near
+        ``m ~ n^{d/2}``); when incremental semantics win, a wall-clock
+        model compares m interpreter steps against one whole-structure
+        vectorized pass (:attr:`VECTORIZED_CELLS_PER_CASCADE`).
+        """
+        batch = indexing.normalize_index_batch(indices, self.shape)
+        if int(self.update_cost_many(batch).sum()) > self.storage_cells():
+            return "rebuild"
+        vectorized_pass_cells = (
+            self.rp.storage_cells() + self.overlay.allocated_cells()
+        )
+        if (
+            len(batch) * self.VECTORIZED_CELLS_PER_CASCADE
+            >= vectorized_pass_cells
+        ):
+            return "vectorized"
+        return "incremental"
+
+    def _apply_batch_arrays(
+        self, indices: np.ndarray, deltas: np.ndarray, strategy: str
+    ) -> int:
+        self._check_strategy(strategy)
         if strategy == "auto":
-            incremental_cost = sum(
-                self.update_cost_breakdown(idx)["total"] for idx, _ in batch
-            )
-            strategy = (
-                "rebuild" if incremental_cost > self.storage_cells()
-                else "incremental"
-            )
+            strategy = self.choose_batch_strategy(indices)
         if strategy == "incremental":
-            for idx, delta in batch:
-                self.apply_delta(idx, delta)
+            for row, delta in zip(indices, deltas):
+                self.apply_delta(tuple(int(c) for c in row), delta)
+        elif strategy == "vectorized":
+            self.rp.apply_batch_array(indices, deltas)
+            self.overlay.apply_batch_array(indices, deltas)
         else:
             patched = self.to_array()
-            for idx, delta in batch:
-                patched[idx] += delta
+            np.add.at(patched, tuple(indices.T), deltas)
             self.overlay = Overlay(
                 patched, self.box_sizes, counter=self.counter
             )
@@ -221,7 +280,7 @@ class RelativePrefixSumCube(RangeSumMethod):
             self.counter.write(
                 self.overlay.storage_cells(), structure="overlay.border"
             )
-        return len(batch)
+        return len(indices)
 
     def update_cost_breakdown(self, index: Sequence[int]) -> dict:
         """Predicted cells touched by an update at ``index``, by structure.
@@ -238,6 +297,18 @@ class RelativePrefixSumCube(RangeSumMethod):
             "rp": rp_cells,
             "overlay": overlay_cells,
         }
+
+    def update_cost_many(self, indices) -> np.ndarray:
+        """Per-row predicted cells touched for an ``(m, d)`` index batch.
+
+        The batched counterpart of :meth:`update_cost_breakdown`'s
+        ``"total"`` — identical counts with no per-row Python, used by
+        ``"auto"`` batch planning.
+        """
+        batch = indexing.normalize_index_batch(indices, self.shape)
+        return self.rp.update_sizes(batch) + self.overlay.update_cost_many(
+            batch
+        )
 
     def _rp_update_size(self, idx) -> int:
         size = 1

@@ -113,6 +113,27 @@ class ServiceMetrics:
         with self._lock:
             self.updates_submitted += int(updates)
 
+    def record_apply_counts(self, submitted: int, applied: int) -> None:
+        """One writer cycle's tallies: ``submitted`` queued deltas
+        coalesced down to ``applied`` distinct-cell deltas.
+
+        Recorded the moment the cycle's snapshot is published (before the
+        retired buffer is caught up), so a ``flush()``-then-``stats()``
+        sequence observes the counts of every cycle it waited for.
+        """
+        with self._lock:
+            self.batches_applied += 1
+            self.swaps += 1
+            self.updates_applied += int(applied)
+            self.updates_coalesced += int(submitted) - int(applied)
+
+    def record_apply_latency(
+        self, seconds: float, swap_wait_seconds: float
+    ) -> None:
+        """One writer cycle's durations, recorded when the cycle ends."""
+        self.apply_latency.record(seconds)
+        self.swap_wait.record(swap_wait_seconds)
+
     def record_apply(
         self,
         seconds: float,
@@ -120,15 +141,10 @@ class ServiceMetrics:
         applied: int,
         swap_wait_seconds: float,
     ) -> None:
-        """One writer cycle: ``submitted`` queued deltas coalesced down
-        to ``applied`` distinct-cell deltas and double-applied."""
-        with self._lock:
-            self.batches_applied += 1
-            self.swaps += 1
-            self.updates_applied += int(applied)
-            self.updates_coalesced += int(submitted) - int(applied)
-        self.apply_latency.record(seconds)
-        self.swap_wait.record(swap_wait_seconds)
+        """One writer cycle, counts and durations in one call (kept for
+        drivers that measure a whole cycle after the fact)."""
+        self.record_apply_counts(submitted, applied)
+        self.record_apply_latency(seconds, swap_wait_seconds)
 
     # -- reporting -----------------------------------------------------------
 

@@ -10,9 +10,11 @@ periodic batched writes — safe:
   instance that is never mutated while published. Any number of threads
   may query it concurrently (queries only read).
 * **A single writer thread** drains queued deltas, coalesces them per
-  cell, applies them to the *back buffer* via the method's own
-  ``apply_batch`` (so the RPS incremental/rebuild crossover still
-  applies), and atomically swaps the back buffer in as the new snapshot.
+  cell with one array pass (``np.unique`` over the index rows plus a
+  segment-summing scatter), applies them to the *back buffer* via the
+  method's own ``apply_batch_array`` (so the RPS strategy planner —
+  incremental, vectorized, or rebuild — still applies), and atomically
+  swaps the back buffer in as the new snapshot.
 * After the swap the writer waits for in-flight readers to drain off the
   retired snapshot, then replays the same batch onto it — classic
   double buffering: each batch is applied twice, but no reader ever
@@ -103,6 +105,7 @@ class CubeService:
         self._state_lock = threading.Condition(threading.Lock())
         self._submitted_groups = 0
         self._applied_groups = 0
+        self._completed_groups = 0
         self._closed = False
         self._writer_error: Optional[BaseException] = None
         self._writer = threading.Thread(
@@ -202,7 +205,8 @@ class CubeService:
     @property
     def version(self) -> int:
         """Update groups visible to a reader acquiring a snapshot now."""
-        return self._front.version
+        with self._state_lock:
+            return self._front.version
 
     # -- writer API ----------------------------------------------------------
 
@@ -224,6 +228,12 @@ class CubeService:
             (tuple(int(c) for c in index), delta) for index, delta in updates
         ]
         with self._state_lock:
+            if self._writer_error is not None:
+                # Nothing enqueued now can ever be applied; failing the
+                # submit is the only honest answer.
+                raise ServiceClosedError(
+                    "service writer died"
+                ) from self._writer_error
             if self._closed:
                 raise ServiceClosedError("service is closed to new updates")
             self._submitted_groups += 1
@@ -237,12 +247,15 @@ class CubeService:
         """Block until every group submitted so far is applied.
 
         Returns the applied-group count (== the version any subsequent
-        read will see at minimum). Raises on writer death or timeout.
+        read will see at minimum). Waits for the whole writer cycle —
+        including the retired buffer's catch-up and the metrics record —
+        so ``stats()`` after a flush reflects every awaited group.
+        Raises on writer death or timeout.
         """
         with self._state_lock:
             target = self._submitted_groups
             deadline = None if timeout is None else time.monotonic() + timeout
-            while self._applied_groups < target:
+            while self._completed_groups < target:
                 if self._writer_error is not None:
                     raise ServiceClosedError(
                         "service writer died"
@@ -282,13 +295,22 @@ class CubeService:
         self.close()
 
     def stats(self) -> Dict:
-        """Operational snapshot: version, backlog, and metrics."""
+        """Operational snapshot: version, backlog, and metrics.
+
+        Version and group counters are read in one ``_state_lock``
+        acquisition (the lock is not reentrant, so this reads
+        ``_front.version`` directly rather than via :attr:`version`), and
+        the writer publishes the new snapshot and bumps
+        ``_applied_groups`` under the same lock — the report is
+        internally consistent: ``version <= groups_applied`` always.
+        """
         with self._state_lock:
+            version = self._front.version
             submitted = self._submitted_groups
             applied = self._applied_groups
         report = self.metrics.snapshot()
         report.update(
-            version=self.version,
+            version=version,
             groups_submitted=submitted,
             groups_applied=applied,
             groups_pending=submitted - applied,
@@ -319,31 +341,48 @@ class CubeService:
                         break
                 self._apply_groups(groups)
         except BaseException as error:  # surface to readers/flushers
-            self._writer_error = error
             with self._state_lock:
+                self._writer_error = error
                 self._state_lock.notify_all()
 
     def _apply_groups(self, groups) -> None:
         """One double-buffered write cycle over whole submitted groups."""
         start = time.perf_counter()
-        submitted = 0
-        coalesced: Dict[Tuple[int, ...], object] = {}
+        cells = []
+        raw = []
         for _, group in groups:
             for cell, delta in group:
-                submitted += 1
-                if cell in coalesced:
-                    coalesced[cell] = coalesced[cell] + delta
-                else:
-                    coalesced[cell] = delta
-        batch = [
-            (cell, delta) for cell, delta in coalesced.items() if delta
-        ]
+                cells.append(cell)
+                raw.append(delta)
+        submitted = len(cells)
+        # Coalesce per cell in one array pass: sort-unique the index
+        # rows, segment-sum the deltas onto their unique row, and drop
+        # cells whose deltas cancelled.
+        if cells:
+            idx = np.asarray(cells, dtype=np.intp)
+            deltas = np.asarray(raw)
+            unique, inverse = np.unique(idx, axis=0, return_inverse=True)
+            summed = np.zeros(len(unique), dtype=deltas.dtype)
+            # reshape(-1): inverse is (m, 1) on some numpy versions
+            np.add.at(summed, inverse.reshape(-1), deltas)
+            live = summed != 0
+            indices = unique[live]
+            deltas = summed[live]
+        else:
+            indices = np.empty((0, len(self.shape)), dtype=np.intp)
+            deltas = np.empty(0)
+        applied = len(indices)
         retired = self._front
-        if batch:
-            self._back.apply_batch(batch)
-        self._front = _Snapshot(
-            self._back, retired.version + len(groups)
-        )
+        if applied:
+            self._back.apply_batch_array(indices, deltas)
+        fresh = _Snapshot(self._back, retired.version + len(groups))
+        # Publish the snapshot and the applied-group counter in one
+        # critical section so stats()/flush() never observe a version
+        # ahead of groups_applied (or vice versa).
+        self.metrics.record_apply_counts(submitted, applied)
+        with self._state_lock:
+            self._front = fresh
+            self._applied_groups = groups[-1][0]
         # Wait out readers still pinned to the retired snapshot, then
         # catch it up off-line; it becomes the next cycle's back buffer.
         wait_start = time.perf_counter()
@@ -351,12 +390,12 @@ class CubeService:
             while retired.active:
                 retired.cond.wait()
         swap_wait = time.perf_counter() - wait_start
-        if batch:
-            retired.method.apply_batch(batch)
+        if applied:
+            retired.method.apply_batch_array(indices, deltas)
         self._back = retired.method
-        with self._state_lock:
-            self._applied_groups = groups[-1][0]
-            self._state_lock.notify_all()
-        self.metrics.record_apply(
-            time.perf_counter() - start, submitted, len(batch), swap_wait
+        self.metrics.record_apply_latency(
+            time.perf_counter() - start, swap_wait
         )
+        with self._state_lock:
+            self._completed_groups = groups[-1][0]
+            self._state_lock.notify_all()

@@ -15,8 +15,10 @@ library's own methods are checked with exactly this harness in
 ``tests/test_conformance.py``.
 
 :func:`assert_method_correct` also exercises the batched query kernels
-(``prefix_sum_many`` / ``range_sum_many``); use
-:func:`assert_batch_queries_correct` alone for a focused check that a
+(``prefix_sum_many`` / ``range_sum_many``) and the array-signature batch
+updates (``apply_batch_array``); use
+:func:`assert_batch_queries_correct` or
+:func:`assert_batch_updates_correct` alone for a focused check that a
 custom vectorized kernel matches the looped path in both values and
 counter charges.
 """
@@ -194,6 +196,106 @@ def assert_batch_queries_correct(
         ), f"{context} range_sum_many went stale after apply_delta"
 
 
+def assert_batch_updates_correct(
+    method_cls: Type[RangeSumMethod],
+    shapes: Sequence[Tuple[int, ...]] = DEFAULT_SHAPES,
+    updates: int = 24,
+    seed: int = 0,
+    check_counters: bool = True,
+    **method_kwargs,
+) -> None:
+    """Validate the array-signature batch updates of one method class.
+
+    The contract: ``apply_batch_array(indices, deltas)`` must be
+    *equivalent to the method's own* ``apply_batch`` over the same rows —
+    identical resulting values (checked against a scatter-add oracle)
+    and, with ``check_counters`` (default), an identical counter ledger
+    in totals and per structure. Exercised with duplicate rows, zero
+    deltas, and an empty batch (which must be free); finishes with the
+    method's own :meth:`~repro.core.base.RangeSumMethod.verify`.
+
+    Raises:
+        AssertionError: on the first violation, with shape/seed context.
+    """
+    for shape in shapes:
+        rng = np.random.default_rng(seed)
+        array = rng.integers(-20, 20, size=shape)
+        context = f"[{method_cls.__name__} shape={shape} seed={seed}]"
+        listed = method_cls(array, **method_kwargs)
+        arrayed = method_cls(array, **method_kwargs)
+        d = len(shape)
+
+        # an empty batch is legal and charges nothing
+        before = arrayed.counter.snapshot()
+        applied = arrayed.apply_batch_array(
+            np.empty((0, d), dtype=np.intp), np.empty(0, dtype=np.int64)
+        )
+        cost = before.delta(arrayed.counter)
+        assert applied == 0, f"{context} empty batch applied {applied} rows"
+        assert cost.cells_read == 0 and cost.cells_written == 0, (
+            f"{context} empty apply_batch_array must not charge the counter"
+        )
+
+        # random rows with duplicates and explicit zero deltas
+        idx = np.stack(
+            [rng.integers(0, n, size=updates) for n in shape], axis=1
+        ).astype(np.intp)
+        idx = np.vstack([idx, idx[:3]])  # duplicated cells accumulate
+        deltas = rng.integers(-9, 10, size=len(idx)).astype(np.int64)
+        deltas[1] = 0  # zero deltas still travel through the kernel
+        oracle = array.astype(np.int64)
+        np.add.at(oracle, tuple(idx.T), deltas)
+
+        list_before = listed.counter.snapshot()
+        listed.apply_batch(
+            [
+                (tuple(int(c) for c in row), int(dv))
+                for row, dv in zip(idx, deltas)
+            ]
+        )
+        list_cost = list_before.delta(listed.counter)
+        array_before = arrayed.counter.snapshot()
+        applied = arrayed.apply_batch_array(idx, deltas)
+        array_cost = array_before.delta(arrayed.counter)
+        assert applied == len(idx), (
+            f"{context} apply_batch_array reported {applied} of {len(idx)}"
+        )
+        assert np.array_equal(
+            np.asarray(arrayed.to_array(), dtype=np.int64), oracle
+        ), f"{context} apply_batch_array diverged from the scatter oracle"
+        assert np.array_equal(
+            np.asarray(listed.to_array(), dtype=np.int64), oracle
+        ), f"{context} apply_batch diverged from the scatter oracle"
+        if check_counters:
+            assert (
+                list_cost.cells_read == array_cost.cells_read
+                and list_cost.cells_written == array_cost.cells_written
+            ), (
+                f"{context} apply_batch_array charged "
+                f"{array_cost.cells_read}r/{array_cost.cells_written}w, "
+                f"apply_batch charged "
+                f"{list_cost.cells_read}r/{list_cost.cells_written}w"
+            )
+            assert (
+                listed.counter.by_structure == arrayed.counter.by_structure
+            ), (
+                f"{context} per-structure ledgers diverged: "
+                f"{listed.counter.by_structure} != "
+                f"{arrayed.counter.by_structure}"
+            )
+
+        # scalar deltas broadcast across the batch
+        scalar = method_cls(array, **method_kwargs)
+        scalar.apply_batch_array(idx[:4], 7)
+        bumped = array.astype(np.int64)
+        np.add.at(bumped, tuple(idx[:4].T), np.full(4, 7, dtype=np.int64))
+        assert np.array_equal(
+            np.asarray(scalar.to_array(), dtype=np.int64), bumped
+        ), f"{context} scalar delta broadcast diverged"
+
+        arrayed.verify(probes=20, seed=seed)
+
+
 def assert_method_correct(
     method_cls: Type[RangeSumMethod],
     shapes: Sequence[Tuple[int, ...]] = DEFAULT_SHAPES,
@@ -294,6 +396,14 @@ def assert_method_correct(
 
     # the batched query kernels obey the same contract
     assert_batch_queries_correct(
+        method_cls,
+        shapes=shapes,
+        seed=seed,
+        check_counters=check_counters,
+        **method_kwargs,
+    )
+    # ...and so do the array-signature batch updates
+    assert_batch_updates_correct(
         method_cls,
         shapes=shapes,
         seed=seed,

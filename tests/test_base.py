@@ -105,6 +105,36 @@ class TestVerify:
         with pytest.raises(RangeError):
             cube.verify(probes=200)
 
+    def test_integer_cubes_verified_exactly_beyond_2_53(self, rng):
+        """Integer verification must compare in native int64: float64 has
+        53 mantissa bits, so an off-by-one at 2^62 vanishes under
+        ``np.isclose`` — the old comparison waved this corruption
+        through."""
+        from repro.baselines.naive import NaiveCube
+        from repro.errors import RangeError
+
+        class _LyingNaive(NaiveCube):
+            """Answers every range sum off by exactly one."""
+
+            name = "lying"
+
+            def range_sum(self, low, high):
+                return super().range_sum(low, high) + 1
+
+        array = np.full((2, 2), 2**60, dtype=np.int64)
+        with pytest.raises(RangeError):
+            _LyingNaive(array).verify(probes=8)
+        # the exact comparison has no false positives on honest cubes
+        NaiveCube(array).verify(probes=8)
+
+    def test_float_cubes_keep_tolerant_verification(self, rng):
+        """Floating cubes legitimately reorder arithmetic; verify stays
+        tolerance-based for them."""
+        from repro.baselines.prefix import PrefixSumCube
+
+        array = rng.random((7, 7)) * 1e6
+        PrefixSumCube(array).verify(probes=30)
+
     def test_rps_structural_verify(self, rng):
         from repro.core.rps import RelativePrefixSumCube
         from repro.errors import RangeError

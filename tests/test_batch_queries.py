@@ -194,3 +194,18 @@ class TestBatchValidation:
         empty = np.empty((0, 2), dtype=np.intp)
         assert cube.prefix_sum_many(empty).shape == (0,)
         assert cube.range_sum_many(empty, empty).shape == (0,)
+
+    def test_misshaped_empty_batch_rejected(self):
+        """Empty batches are arity-checked too: a (0, 3) batch against a
+        2-d cube used to pass silently through the empty early-out."""
+        cube = RelativePrefixSumCube(np.arange(16).reshape(4, 4))
+        bad = np.empty((0, 3), dtype=np.intp)
+        with pytest.raises(DimensionError):
+            cube.prefix_sum_many(bad)
+        with pytest.raises(DimensionError):
+            cube.range_sum_many(bad, bad)
+
+    def test_flat_empty_batch_still_legal(self):
+        cube = RelativePrefixSumCube(np.arange(16).reshape(4, 4))
+        assert cube.prefix_sum_many([]).shape == (0,)
+        assert cube.prefix_sum_many(np.empty(0, dtype=np.intp)).shape == (0,)

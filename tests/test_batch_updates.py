@@ -124,6 +124,164 @@ class TestRpsStrategies:
             )
 
 
+VECTOR_SHAPES_AND_BOXES = [
+    ((23,), 4),             # d=1, partial trailing box
+    ((17, 6), (5, 3)),      # d=2, non-square, per-axis boxes
+    ((9, 14, 5), 3),        # d=3, odd sizes
+    ((5, 3, 6, 4), 2),      # d=4
+]
+
+
+def _update_batch(rng, shape, m):
+    """(m+5, d) rows with duplicates and one explicit zero delta."""
+    idx = np.stack(
+        [rng.integers(0, n, size=m) for n in shape], axis=1
+    ).astype(np.intp)
+    idx = np.vstack([idx, idx[:5]])  # duplicate cells accumulate
+    deltas = rng.integers(-9, 10, size=len(idx)).astype(np.int64)
+    deltas[2] = 0  # zero deltas still travel (and charge) like the loop
+    return idx, deltas
+
+
+class TestVectorizedStrategy:
+    """The vectorized engine must be indistinguishable from the looped
+    incremental path: same values, same structures byte-for-byte, same
+    counter ledger (totals and per structure)."""
+
+    @pytest.mark.parametrize(
+        "shape,box", VECTOR_SHAPES_AND_BOXES, ids=lambda v: str(v)
+    )
+    def test_vectorized_matches_incremental_exactly(self, rng, shape, box):
+        array = rng.integers(-50, 50, size=shape)
+        looped = RelativePrefixSumCube(array, box_size=box)
+        vectorized = RelativePrefixSumCube(array, box_size=box)
+        idx, deltas = _update_batch(rng, shape, 40)
+
+        loop_before = looped.counter.snapshot()
+        looped.apply_batch_array(idx, deltas, strategy="incremental")
+        loop_cost = loop_before.delta(looped.counter)
+        vec_before = vectorized.counter.snapshot()
+        vectorized.apply_batch_array(idx, deltas, strategy="vectorized")
+        vec_cost = vec_before.delta(vectorized.counter)
+
+        assert np.array_equal(looped.rp.array(), vectorized.rp.array())
+        for mask in looped.overlay.masks():
+            assert np.array_equal(
+                looped.overlay.values_array(mask),
+                vectorized.overlay.values_array(mask),
+            ), f"overlay subset {mask:#b} diverged"
+        assert loop_cost.cells_written == vec_cost.cells_written
+        assert loop_cost.cells_read == vec_cost.cells_read
+        assert (
+            looped.counter.by_structure == vectorized.counter.by_structure
+        )
+        vectorized.verify_structures()
+
+    @pytest.mark.parametrize(
+        "shape,box", VECTOR_SHAPES_AND_BOXES, ids=lambda v: str(v)
+    )
+    def test_vectorized_through_list_api(self, rng, shape, box):
+        array = rng.integers(-20, 20, size=shape)
+        cube = RelativePrefixSumCube(array, box_size=box)
+        idx, deltas = _update_batch(rng, shape, 25)
+        updates = [
+            (tuple(int(c) for c in row), int(dv))
+            for row, dv in zip(idx, deltas)
+        ]
+        cube.apply_batch(updates, strategy="vectorized")
+        oracle = array.astype(np.int64)
+        np.add.at(oracle, tuple(idx.T), deltas)
+        assert np.array_equal(cube.to_array(), oracle)
+        cube.verify_structures()
+
+    def test_all_zero_coalesced_deltas_are_a_noop_in_values(self, rng):
+        """Deltas that cancel pairwise leave every structure unchanged
+        but still charge the cascade cells (the loop would too)."""
+        array = rng.integers(0, 30, size=(18, 18))
+        cube = RelativePrefixSumCube(array, box_size=4)
+        rp_before = cube.rp.array()
+        idx = np.array([[3, 5], [3, 5], [10, 2], [10, 2]], dtype=np.intp)
+        deltas = np.array([7, -7, 4, -4], dtype=np.int64)
+        before = cube.counter.snapshot()
+        cube.apply_batch_array(idx, deltas, strategy="vectorized")
+        assert before.delta(cube.counter).cells_written > 0
+        assert np.array_equal(cube.rp.array(), rp_before)
+        assert np.array_equal(cube.to_array(), array)
+        cube.verify_structures()
+
+    def test_update_cost_many_matches_scalar_breakdown(self, rng):
+        array = rng.integers(0, 9, size=(19, 13))
+        cube = RelativePrefixSumCube(array, box_size=(4, 3))
+        idx = np.stack(
+            [rng.integers(0, n, size=30) for n in array.shape], axis=1
+        )
+        costs = cube.update_cost_many(idx)
+        for row, cost in zip(idx, costs):
+            breakdown = cube.update_cost_breakdown(tuple(int(c) for c in row))
+            assert int(cost) == breakdown["total"], tuple(row)
+
+
+class TestAutoStrategySelection:
+    """``auto`` = logical cost model (incremental-vs-rebuild semantics)
+    nested with the wall-clock model (looped-vs-vectorized execution)."""
+
+    @pytest.fixture
+    def cube(self, rng):
+        return RelativePrefixSumCube(
+            rng.integers(0, 9, size=(128, 128)), box_size=8
+        )
+
+    def test_tiny_batches_stay_looped(self, cube, rng):
+        idx = np.stack(
+            [rng.integers(0, 128, size=5) for _ in range(2)], axis=1
+        )
+        assert cube.choose_batch_strategy(idx) == "incremental"
+
+    def test_medium_batches_go_vectorized(self, cube):
+        # cheap cascades (high coordinates), enough rows that one
+        # whole-structure pass beats m interpreter round-trips
+        idx = np.full((60, 2), 127, dtype=np.intp)
+        assert cube.choose_batch_strategy(idx) == "vectorized"
+
+    def test_huge_expensive_batches_rebuild(self, cube):
+        idx = np.ones((500, 2), dtype=np.intp)  # near-worst-case cascades
+        assert cube.choose_batch_strategy(idx) == "rebuild"
+
+    def test_crossover_threshold_is_the_documented_model(self, cube):
+        pass_cells = (
+            cube.rp.storage_cells() + cube.overlay.allocated_cells()
+        )
+        threshold = -(-pass_cells // cube.VECTORIZED_CELLS_PER_CASCADE)
+        below = np.full((threshold - 1, 2), 127, dtype=np.intp)
+        at = np.full((threshold, 2), 127, dtype=np.intp)
+        assert cube.choose_batch_strategy(below) == "incremental"
+        assert cube.choose_batch_strategy(at) == "vectorized"
+
+    def test_auto_array_path_applies_correctly(self, rng):
+        array = rng.integers(0, 9, size=(64, 64))
+        cube = RelativePrefixSumCube(array, box_size=8)
+        idx = np.stack(
+            [rng.integers(0, 64, size=200) for _ in range(2)], axis=1
+        )
+        deltas = rng.integers(-5, 6, size=200).astype(np.int64)
+        cube.apply_batch_array(idx, deltas)  # auto
+        oracle = array.astype(np.int64)
+        np.add.at(oracle, tuple(idx.T), deltas)
+        assert np.array_equal(cube.to_array(), oracle)
+        cube.verify_structures()
+
+    def test_unknown_strategy_rejected_on_array_path(self, rng):
+        cube = RelativePrefixSumCube(rng.integers(0, 5, (6, 6)), box_size=3)
+        with pytest.raises(RangeError):
+            cube.apply_batch_array(
+                np.zeros((1, 2), dtype=np.intp), [1], strategy="magic"
+            )
+        with pytest.raises(RangeError):  # checked even for empty batches
+            cube.apply_batch_array(
+                np.empty((0, 2), dtype=np.intp), [], strategy="magic"
+            )
+
+
 class TestPrefixSumBatch:
     def test_one_pass_cost(self, rng):
         """However many updates, the PS batch costs one n^d pass."""

@@ -9,7 +9,11 @@ from repro.baselines.prefix import PrefixSumCube
 from repro.baselines.sparse import SparseNaiveCube
 from repro.core.rps import RelativePrefixSumCube
 from repro.storage.paged_rps import PagedRPSCube
-from repro.testing import assert_batch_queries_correct, assert_method_correct
+from repro.testing import (
+    assert_batch_queries_correct,
+    assert_batch_updates_correct,
+    assert_method_correct,
+)
 
 
 @pytest.mark.parametrize("method_cls", [
@@ -28,6 +32,38 @@ def test_shipped_methods_batch_queries_conform(method_cls):
     """The *_many kernels: oracle agreement, looped-path agreement,
     identical counter charges, empty/Q=1/duplicate/boundary batches."""
     assert_batch_queries_correct(method_cls, queries=24, seed=3)
+
+
+@pytest.mark.parametrize("method_cls", [
+    NaiveCube, PrefixSumCube, FenwickCube, SparseNaiveCube,
+    RelativePrefixSumCube,
+], ids=lambda c: c.name)
+def test_shipped_methods_batch_updates_conform(method_cls):
+    """apply_batch_array: equivalent to the method's own apply_batch in
+    values and full counter ledger, with duplicates and zero deltas."""
+    assert_batch_updates_correct(method_cls, updates=20, seed=5)
+
+
+class _DroppingBatchUpdateCube(NaiveCube):
+    """Deliberately wrong: the array path drops the last update."""
+
+    name = "dropping_batch_update"
+
+    def apply_batch_array(self, indices, deltas):
+        import numpy as np
+
+        idx = np.asarray(indices)
+        if len(idx) == 0:
+            return 0
+        dv = np.broadcast_to(np.asarray(deltas), (len(idx),))
+        return super().apply_batch_array(idx[:-1], dv[:-1]) + 1
+
+
+def test_batch_update_harness_catches_wrong_values():
+    with pytest.raises(AssertionError, match="apply_batch_array"):
+        assert_batch_updates_correct(
+            _DroppingBatchUpdateCube, shapes=((9, 9),)
+        )
 
 
 def test_paged_rps_batch_queries_conform():

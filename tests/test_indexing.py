@@ -56,6 +56,73 @@ class TestNormalizeRange:
             indexing.normalize_range((0, 0), (9, 8), (9, 9))
 
 
+class TestNormalizeIndexBatch:
+    def test_misshaped_empty_batch_rejected(self):
+        """A (0, 3) batch against a 2-d cube is malformed, not merely
+        empty — arity is validated before the empty early-out."""
+        import numpy as np
+
+        with pytest.raises(DimensionError):
+            indexing.normalize_index_batch(np.empty((0, 3)), (9, 9))
+
+    def test_higher_rank_empty_batch_rejected(self):
+        import numpy as np
+
+        with pytest.raises(DimensionError):
+            indexing.normalize_index_batch(np.empty((0, 2, 2)), (9, 9))
+
+    def test_flat_empty_accepted_for_any_d(self):
+        out = indexing.normalize_index_batch([], (9, 9))
+        assert out.shape == (0, 2)
+
+    def test_right_arity_empty_accepted(self):
+        import numpy as np
+
+        out = indexing.normalize_index_batch(
+            np.empty((0, 2), dtype=np.intp), (9, 9)
+        )
+        assert out.shape == (0, 2)
+
+
+class TestNormalizeUpdateBatch:
+    def test_valid_batch_roundtrip(self):
+        import numpy as np
+
+        idx, deltas = indexing.normalize_update_batch(
+            [[1, 2], [3, 4]], [5, -6], (9, 9)
+        )
+        assert idx.shape == (2, 2) and idx.dtype == np.intp
+        assert list(deltas) == [5, -6]
+
+    def test_scalar_delta_broadcast(self):
+        idx, deltas = indexing.normalize_update_batch(
+            [[0, 0], [1, 1], [2, 2]], 7, (9, 9)
+        )
+        assert len(deltas) == 3 and all(d == 7 for d in deltas)
+
+    def test_misaligned_deltas_rejected(self):
+        with pytest.raises(DimensionError):
+            indexing.normalize_update_batch([[1, 2], [3, 4]], [5], (9, 9))
+
+    def test_matrix_deltas_rejected(self):
+        with pytest.raises(DimensionError):
+            indexing.normalize_update_batch([[1, 2]], [[5, 6]], (9, 9))
+
+    def test_non_numeric_deltas_rejected(self):
+        with pytest.raises(TypeError):
+            indexing.normalize_update_batch([[1, 2]], ["x"], (9, 9))
+
+    def test_out_of_bounds_index_rejected(self):
+        with pytest.raises(RangeError):
+            indexing.normalize_update_batch([[9, 0]], [1], (9, 9))
+
+    def test_misshaped_empty_batch_rejected(self):
+        import numpy as np
+
+        with pytest.raises(DimensionError):
+            indexing.normalize_update_batch(np.empty((0, 3)), [], (9, 9))
+
+
 class TestRangeVolume:
     def test_point(self):
         assert indexing.range_volume((3, 3), (3, 3)) == 1

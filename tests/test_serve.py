@@ -134,6 +134,86 @@ class TestBasics:
             assert stats["read_latency"]["p95_s"] >= 0.0
 
 
+class TestWriterDeath:
+    def test_submit_after_writer_death_raises(self):
+        """A dead writer must fail fast at submit time — before the fix,
+        submits kept enqueueing into a queue nothing would ever drain."""
+        svc = CubeService(PrefixSumCube, np.zeros((4, 4), dtype=np.int64))
+        # poison group: the out-of-bounds cell kills the writer thread
+        svc.submit_batch([((9, 9), 1)])
+        with pytest.raises(ServiceClosedError):
+            svc.flush(timeout=10)
+        with pytest.raises(ServiceClosedError):
+            svc.submit_delta((0, 0), 1)
+        with pytest.raises(ServiceClosedError):
+            svc.submit_batch([((0, 0), 1)])
+        with pytest.raises(ServiceClosedError):
+            svc.close()
+
+    def test_reads_after_writer_death_raise(self):
+        svc = CubeService(PrefixSumCube, np.zeros((4, 4), dtype=np.int64))
+        svc.submit_batch([((9, 9), 1)])
+        with pytest.raises(ServiceClosedError):
+            svc.flush(timeout=10)
+        with pytest.raises(ServiceClosedError):
+            svc.total()
+
+
+class TestStatsConsistency:
+    def test_version_never_ahead_of_groups_applied(self):
+        """The writer publishes the snapshot and the applied-group count
+        atomically; before the fix, stats() polled between the two could
+        observe ``version > groups_applied``."""
+        array = np.zeros((16, 16), dtype=np.int64)
+        violations = []
+        stop = threading.Event()
+
+        def poll(svc):
+            while not stop.is_set():
+                stats = svc.stats()
+                if stats["version"] > stats["groups_applied"]:
+                    violations.append(
+                        (stats["version"], stats["groups_applied"])
+                    )
+                    return
+
+        def read(svc):
+            # keeps readers pinned to retiring snapshots, widening the
+            # window between publish and the retired buffer's catch-up
+            while not stop.is_set():
+                svc.total()
+
+        with CubeService(RelativePrefixSumCube, array) as svc:
+            threads = [
+                threading.Thread(target=poll, args=(svc,), daemon=True),
+                threading.Thread(target=read, args=(svc,), daemon=True),
+            ]
+            for thread in threads:
+                thread.start()
+            for i in range(200):
+                svc.submit_delta((i % 16, (i * 7) % 16), 1)
+            svc.flush()
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10)
+                assert not thread.is_alive()
+        assert not violations, (
+            f"stats reported version {violations[0][0]} with only "
+            f"{violations[0][1]} groups applied"
+        )
+
+    def test_stats_after_flush_account_every_group(self):
+        array = np.zeros((8, 8), dtype=np.int64)
+        with CubeService(PrefixSumCube, array) as svc:
+            for i in range(5):
+                svc.submit_delta((i, i), 1)
+            svc.flush()
+            stats = svc.stats()
+            assert stats["version"] == stats["groups_applied"] == 5
+            assert stats["groups_pending"] == 0
+            assert stats["updates_applied"] + stats["updates_coalesced"] == 5
+
+
 @pytest.mark.slow
 class TestConcurrentStress:
     """N reader threads during continuous writer batches: every observed
