@@ -56,8 +56,9 @@ from repro.cube import (
     execute_query,
     parse_query,
 )
-from repro.errors import ReproError
+from repro.errors import ReproError, ServiceOverloadedError, StorageError
 from repro.extensions import HierarchicalRPSCube
+from repro.faults import FaultPlan, InjectedFault
 from repro.persistence import (
     load_engine,
     load_method,
@@ -67,7 +68,13 @@ from repro.persistence import (
     save_schema,
 )
 from repro.metrics import AccessCounter, LatencyRecorder, ServiceMetrics
-from repro.serve import CubeService, ServiceClosedError
+from repro.serve import (
+    CubeService,
+    DurabilityPolicy,
+    ServiceClosedError,
+    WriteAheadLog,
+    call_with_retries,
+)
 from repro.storage import BoxAlignedLayout, PagedRPSCube, RowMajorLayout
 
 __version__ = "1.0.0"
@@ -85,8 +92,11 @@ __all__ = [
     "DataCubeEngine",
     "DateEncoder",
     "Dimension",
+    "DurabilityPolicy",
     "FactTable",
+    "FaultPlan",
     "FenwickCube",
+    "InjectedFault",
     "HierarchicalRPSCube",
     "IdentityEncoder",
     "IntegerEncoder",
@@ -103,6 +113,10 @@ __all__ = [
     "ReproError",
     "ServiceClosedError",
     "ServiceMetrics",
+    "ServiceOverloadedError",
+    "StorageError",
+    "WriteAheadLog",
+    "call_with_retries",
     "GroupOperator",
     "GroupPrefixCube",
     "GroupRelativePrefixCube",

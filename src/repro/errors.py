@@ -39,3 +39,26 @@ class StorageError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload specification is invalid."""
+
+
+class WALError(StorageError):
+    """A write-ahead-log operation failed (bad sequence, failed log...)."""
+
+
+class WALCorruptionError(WALError):
+    """A WAL segment holds corrupt records *before* its tail.
+
+    A torn tail — a partial final record after a crash — is expected and
+    silently truncated; corruption in the committed body of the log is
+    not, and replay refuses to guess past it.
+    """
+
+
+class RecoveryError(StorageError):
+    """Crash recovery cannot restore a usable state from a durability
+    directory (no valid checkpoint, conflicting sequences...)."""
+
+
+class ServiceOverloadedError(ReproError):
+    """The service's bounded submission queue stayed full past the
+    caller's timeout; back off and retry (see :mod:`repro.serve.retry`)."""

@@ -1,0 +1,236 @@
+"""Deterministic fault injection for chaos and recovery testing.
+
+Production storage engines are judged by how they fail, not only by how
+fast they run. This module provides one seeded, reproducible description
+of "what goes wrong and when" — a :class:`FaultPlan` — that the layers
+with failure modes consult at their natural injection points:
+
+* :class:`~repro.storage.disk.SimulatedDisk` asks the plan on every page
+  read and write (read corruption, write failures, latency spikes),
+* the WAL file layer (:mod:`repro.serve.wal`) asks it on every record
+  append (fail-nth-write, torn writes that leave a partial record on
+  disk exactly as a mid-``write(2)`` power loss would),
+* the :class:`~repro.serve.CubeService` writer loop asks it before
+  applying each update group (thread crash at a chosen group, apply
+  latency spikes).
+
+Every injection site counts ordinals independently and deterministically
+— the same plan against the same workload injects the same faults — so
+a chaos run that finds a bug is replayable from its seed alone. Injected
+failures raise :class:`InjectedFault` so tests can distinguish planned
+chaos from genuine bugs.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ReproError
+
+Ordinals = Union[None, int, Sequence[int]]
+
+
+class InjectedFault(ReproError):
+    """An artificial failure raised by a :class:`FaultPlan` injection."""
+
+
+def _normalize(ordinals: Ordinals) -> Tuple[int, ...]:
+    """Accept ``None``, one ordinal, or a sequence of ordinals (1-based)."""
+    if ordinals is None:
+        return ()
+    if isinstance(ordinals, (int, np.integer)):
+        ordinals = (int(ordinals),)
+    out = tuple(sorted(int(n) for n in ordinals))
+    if out and out[0] < 1:
+        raise ValueError(f"fault ordinals are 1-based, got {out[0]}")
+    return out
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of injected failures.
+
+    Args:
+        seed: drives every random choice the plan makes (which cell a
+            corrupted read flips, jittered latency) — two plans with the
+            same seed and schedule behave identically.
+        fail_write_at: 1-based write ordinals (disk page writes and WAL
+            appends share the schedule but count separately per site)
+            that raise :class:`InjectedFault` *before* any bytes move.
+        torn_write_at: 1-based WAL-append ordinals that persist only a
+            prefix of the record and then raise — the on-disk image is a
+            torn tail, exactly what a crash mid-append leaves behind.
+        torn_fraction: fraction of the record's bytes a torn write
+            persists (clamped to leave at least one byte missing).
+        corrupt_read_at: 1-based read ordinals whose returned buffer has
+            one cell perturbed (the medium lied; on-disk state intact).
+        latency_at: 1-based ordinals (per site) that incur
+            ``latency_seconds`` of modeled or real delay.
+        latency_seconds: magnitude of each injected latency spike.
+        crash_at_group: update-group sequence number at which the
+            serving writer thread raises before applying — simulating a
+            writer crash at a chosen point in the update stream.
+
+    The plan is thread-safe: the serving layer consults it from reader,
+    writer, and submitter threads concurrently.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        fail_write_at: Ordinals = None,
+        torn_write_at: Ordinals = None,
+        torn_fraction: float = 0.5,
+        corrupt_read_at: Ordinals = None,
+        latency_at: Ordinals = None,
+        latency_seconds: float = 0.0,
+        crash_at_group: Optional[int] = None,
+    ) -> None:
+        if not 0.0 <= float(torn_fraction) <= 1.0:
+            raise ValueError(
+                f"torn_fraction must be in [0, 1], got {torn_fraction}"
+            )
+        self.seed = int(seed)
+        self.fail_write_at = _normalize(fail_write_at)
+        self.torn_write_at = _normalize(torn_write_at)
+        self.torn_fraction = float(torn_fraction)
+        self.corrupt_read_at = _normalize(corrupt_read_at)
+        self.latency_at = _normalize(latency_at)
+        self.latency_seconds = float(latency_seconds)
+        self.crash_at_group = (
+            None if crash_at_group is None else int(crash_at_group)
+        )
+        self._rng = np.random.default_rng(self.seed)
+        self._lock = threading.Lock()
+        self._ordinals: Dict[str, int] = {}
+        self._injected: Dict[str, int] = {}
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _tick(self, site: str) -> int:
+        """Advance and return the 1-based ordinal for one injection site."""
+        self._ordinals[site] = self._ordinals.get(site, 0) + 1
+        return self._ordinals[site]
+
+    def _count(self, kind: str) -> None:
+        self._injected[kind] = self._injected.get(kind, 0) + 1
+
+    def stats(self) -> Dict[str, int]:
+        """Injected-fault tallies by kind (empty until something fires)."""
+        with self._lock:
+            return dict(self._injected)
+
+    # -- injection points ----------------------------------------------------
+
+    def on_disk_write(self, site: str = "disk") -> float:
+        """Consult before a page write; returns extra modeled latency.
+
+        Raises :class:`InjectedFault` on a scheduled write failure —
+        before the write mutates anything, like an I/O error surfaced by
+        the controller.
+        """
+        with self._lock:
+            n = self._tick(f"{site}.write")
+            extra = self._latency(f"{site}.write.latency")
+            if n in self.fail_write_at:
+                self._count("write_failures")
+                raise InjectedFault(
+                    f"injected write failure at {site} write #{n}"
+                )
+        return extra
+
+    def on_disk_read(self, site: str = "disk") -> Tuple[bool, float]:
+        """Consult before a page read.
+
+        Returns ``(corrupt, extra_latency)``: when ``corrupt`` is true
+        the caller must perturb the buffer it hands back (the plan's rng
+        decides where via :meth:`corruption_offset`).
+        """
+        with self._lock:
+            n = self._tick(f"{site}.read")
+            extra = self._latency(f"{site}.read.latency")
+            corrupt = n in self.corrupt_read_at
+            if corrupt:
+                self._count("read_corruptions")
+        return corrupt, extra
+
+    def corruption_offset(self, size: int) -> int:
+        """Seeded choice of which cell/byte a corrupted read perturbs."""
+        with self._lock:
+            return int(self._rng.integers(0, max(1, int(size))))
+
+    def on_wal_append(
+        self, record_bytes: int
+    ) -> Tuple[str, int]:
+        """Consult before appending one WAL record.
+
+        Returns ``(action, nbytes)`` where action is ``"ok"`` (append
+        normally), ``"fail"`` (raise without writing), or ``"torn"``
+        (write only ``nbytes`` of the record, then raise — the torn
+        image stays on disk).
+        """
+        with self._lock:
+            n = self._tick("wal.append")
+            if n in self.fail_write_at:
+                self._count("wal_write_failures")
+                return "fail", 0
+            if n in self.torn_write_at:
+                self._count("wal_torn_writes")
+                keep = int(record_bytes * self.torn_fraction)
+                keep = min(max(keep, 1), record_bytes - 1)
+                return "torn", keep
+        return "ok", int(record_bytes)
+
+    def on_apply_group(self, seq: int) -> float:
+        """Consult from the writer loop before applying group ``seq``.
+
+        Raises :class:`InjectedFault` at the planned crash group (once);
+        otherwise returns real seconds of injected apply latency.
+        """
+        with self._lock:
+            self._tick("writer.group")
+            extra = 0.0
+            if self.latency_seconds and seq in self.latency_at:
+                self._count("latency_spikes")
+                extra = self.latency_seconds * (
+                    0.5 + float(self._rng.random())
+                )
+            if self.crash_at_group is not None and seq == self.crash_at_group:
+                self._count("writer_crashes")
+                raise InjectedFault(
+                    f"injected writer crash at group {seq}"
+                )
+        return extra
+
+    def _latency(self, kind: str) -> float:
+        """Latency contribution for the site whose ordinal just ticked.
+
+        Must be called with the lock held, immediately after
+        :meth:`_tick` on the matching base site.
+        """
+        site = kind.rsplit(".latency", 1)[0]
+        if (
+            self.latency_seconds
+            and self._ordinals.get(site, 0) in self.latency_at
+        ):
+            self._count("latency_spikes")
+            return self.latency_seconds * (0.5 + float(self._rng.random()))
+        return 0.0
+
+    def __repr__(self) -> str:
+        parts = [f"seed={self.seed}"]
+        for name in (
+            "fail_write_at",
+            "torn_write_at",
+            "corrupt_read_at",
+            "latency_at",
+        ):
+            value = getattr(self, name)
+            if value:
+                parts.append(f"{name}={value}")
+        if self.crash_at_group is not None:
+            parts.append(f"crash_at_group={self.crash_at_group}")
+        return f"FaultPlan({', '.join(parts)})"

@@ -98,6 +98,17 @@ class ServiceMetrics:
         self.updates_coalesced = 0
         self.batches_applied = 0
         self.swaps = 0
+        # failure visibility: each counter names a distinct bad day
+        self.reader_retries = 0
+        self.writer_errors = 0
+        self.groups_quarantined = 0
+        self.rebuilds = 0
+        # durability path
+        self.wal_appends = 0
+        self.wal_bytes = 0
+        self.wal_fsyncs = 0
+        self.checkpoints_written = 0
+        self.recovery_replays = 0
 
     # -- recording (called by the service) ----------------------------------
 
@@ -126,6 +137,45 @@ class ServiceMetrics:
             self.swaps += 1
             self.updates_applied += int(applied)
             self.updates_coalesced += int(submitted) - int(applied)
+
+    def record_reader_retry(self) -> None:
+        """A reader lost the snapshot race in ``_acquire`` and retried."""
+        with self._lock:
+            self.reader_retries += 1
+
+    def record_writer_error(self) -> None:
+        """The writer caught an exception (supervised or fatal)."""
+        with self._lock:
+            self.writer_errors += 1
+
+    def record_quarantine(self, groups: int = 1) -> None:
+        """``groups`` poisoned update groups were skipped, not applied."""
+        with self._lock:
+            self.groups_quarantined += int(groups)
+
+    def record_rebuild(self) -> None:
+        """A buffer pair was rebuilt from scratch (supervision or
+        ``self_check`` repair)."""
+        with self._lock:
+            self.rebuilds += 1
+
+    def record_wal_append(self, nbytes: int, fsynced: bool) -> None:
+        """One WAL record hit the disk (``fsynced`` if it was synced)."""
+        with self._lock:
+            self.wal_appends += 1
+            self.wal_bytes += int(nbytes)
+            if fsynced:
+                self.wal_fsyncs += 1
+
+    def record_checkpoint(self) -> None:
+        """One checkpoint snapshot was written."""
+        with self._lock:
+            self.checkpoints_written += 1
+
+    def record_recovery_replay(self, groups: int) -> None:
+        """``groups`` committed WAL groups were replayed at recovery."""
+        with self._lock:
+            self.recovery_replays += int(groups)
 
     def record_apply_latency(
         self, seconds: float, swap_wait_seconds: float
@@ -159,6 +209,15 @@ class ServiceMetrics:
                 "updates_coalesced": self.updates_coalesced,
                 "batches_applied": self.batches_applied,
                 "swaps": self.swaps,
+                "reader_retries": self.reader_retries,
+                "writer_errors": self.writer_errors,
+                "groups_quarantined": self.groups_quarantined,
+                "rebuilds": self.rebuilds,
+                "wal_appends": self.wal_appends,
+                "wal_bytes": self.wal_bytes,
+                "wal_fsyncs": self.wal_fsyncs,
+                "checkpoints_written": self.checkpoints_written,
+                "recovery_replays": self.recovery_replays,
             }
         counts["read_latency"] = self.read_latency.summary()
         counts["apply_latency"] = self.apply_latency.summary()

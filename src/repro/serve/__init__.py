@@ -3,9 +3,32 @@
 See :mod:`repro.serve.service` for the design; the short version is
 double buffering — readers pin an immutable snapshot, a single writer
 thread coalesces queued deltas into ``apply_batch`` on the back buffer
-and atomically swaps it in.
+and atomically swaps it in. :mod:`repro.serve.wal` adds the durability
+layer (write-ahead log + checkpoints + crash recovery) and
+:mod:`repro.serve.retry` the client-side backoff for overloaded
+services.
 """
 
+from repro.errors import ServiceOverloadedError
+from repro.serve.retry import ExponentialBackoff, call_with_retries
 from repro.serve.service import CubeService, ServiceClosedError
+from repro.serve.wal import (
+    DurabilityPolicy,
+    RecoveredState,
+    WriteAheadLog,
+    recover_state,
+    replay,
+)
 
-__all__ = ["CubeService", "ServiceClosedError"]
+__all__ = [
+    "CubeService",
+    "DurabilityPolicy",
+    "ExponentialBackoff",
+    "RecoveredState",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
+    "WriteAheadLog",
+    "call_with_retries",
+    "recover_state",
+    "replay",
+]

@@ -1,0 +1,123 @@
+"""Exponential backoff with jitter for overloaded-service callers.
+
+When a :class:`~repro.serve.CubeService` runs with a bounded submission
+queue, a saturated writer surfaces as
+:class:`~repro.errors.ServiceOverloadedError` at submit time. The
+textbook client response is capped exponential backoff with jitter —
+retrying immediately synchronizes the herd; jitter de-correlates it.
+This module provides the policy as a reusable iterator
+(:class:`ExponentialBackoff`) and the loop most callers want
+(:func:`call_with_retries`), both deterministic under a seed so tests
+and chaos runs replay exactly.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Iterator, Optional, Tuple, Type
+
+from repro.errors import ServiceOverloadedError
+
+
+class ExponentialBackoff:
+    """Iterator of capped, jittered exponential delays (seconds).
+
+    Delay ``i`` (0-based) is drawn uniformly from
+    ``[(1 - jitter) * d_i, d_i]`` where
+    ``d_i = min(base_delay * multiplier**i, max_delay)`` — "equal jitter
+    lite": the upper envelope stays exponential, the floor keeps a
+    minimum spacing so retries never stampede.
+
+    Args:
+        base_delay: first delay's upper bound.
+        multiplier: growth factor per attempt.
+        max_delay: cap on the undithered delay.
+        jitter: fraction of each delay randomized away (0 = none).
+        seed: seeds the jitter stream; ``None`` uses entropy.
+    """
+
+    def __init__(
+        self,
+        base_delay: float = 0.01,
+        multiplier: float = 2.0,
+        max_delay: float = 1.0,
+        jitter: float = 0.5,
+        seed: Optional[int] = None,
+    ) -> None:
+        if base_delay < 0 or max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {multiplier}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+        self.base_delay = float(base_delay)
+        self.multiplier = float(multiplier)
+        self.max_delay = float(max_delay)
+        self.jitter = float(jitter)
+        self._rng = random.Random(seed)
+        self._attempt = 0
+
+    def __iter__(self) -> Iterator[float]:
+        return self
+
+    def __next__(self) -> float:
+        delay = min(
+            self.base_delay * self.multiplier**self._attempt, self.max_delay
+        )
+        self._attempt += 1
+        if self.jitter:
+            delay -= delay * self.jitter * self._rng.random()
+        return delay
+
+
+def call_with_retries(
+    fn: Callable,
+    *,
+    attempts: int = 5,
+    retry_on: Tuple[Type[BaseException], ...] = (ServiceOverloadedError,),
+    base_delay: float = 0.01,
+    multiplier: float = 2.0,
+    max_delay: float = 1.0,
+    jitter: float = 0.5,
+    seed: Optional[int] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+):
+    """Call ``fn()`` with capped exponential backoff on overload.
+
+    Args:
+        fn: zero-argument callable (wrap arguments in a lambda or
+            ``functools.partial``).
+        attempts: total tries including the first; the final failure is
+            re-raised unchanged.
+        retry_on: exception types worth retrying — anything else
+            propagates immediately.
+        base_delay / multiplier / max_delay / jitter / seed: backoff
+            shape, see :class:`ExponentialBackoff`.
+        sleep: injectable clock for tests.
+        on_retry: optional observer called as
+            ``on_retry(attempt_number, error, delay_seconds)`` before
+            each sleep.
+
+    Returns whatever ``fn`` returns on the first success.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    backoff = ExponentialBackoff(
+        base_delay=base_delay,
+        multiplier=multiplier,
+        max_delay=max_delay,
+        jitter=jitter,
+        seed=seed,
+    )
+    for attempt in range(1, attempts + 1):
+        try:
+            return fn()
+        except retry_on as error:
+            if attempt == attempts:
+                raise
+            delay = next(backoff)
+            if on_retry is not None:
+                on_retry(attempt, error, delay)
+            sleep(delay)

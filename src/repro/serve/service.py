@@ -1,4 +1,4 @@
-"""Snapshot-isolated concurrent serving of a range-sum method.
+"""Snapshot-isolated, durable, fault-tolerant serving of a range-sum method.
 
 The paper's structures are single-writer by construction: an update
 cascades through shared arrays, so a reader that interleaves with it can
@@ -24,8 +24,29 @@ periodic batched writes — safe:
 Consistency contract: every read observes the state after some prefix
 of the submitted update groups — never a partially applied group. Each
 ``submit_*`` call is one atomic group; the snapshot ``version`` equals
-the number of groups applied, so ``query_many`` callers can correlate
+the number of groups processed, so ``query_many`` callers can correlate
 results with an exact logical state.
+
+On top of that, this layer makes the service *production-shaped*:
+
+* **Durability** (:class:`~repro.serve.wal.DurabilityPolicy`): each
+  submitted group is appended to a checksummed write-ahead log — and
+  fsynced — *before* the submit call returns, checkpoints bound replay,
+  and :meth:`CubeService.recover` restores the committed prefix after a
+  crash (torn WAL tails are truncated, corrupt checkpoints fall back).
+* **Overload control**: ``max_pending_groups`` bounds the submission
+  backlog; a full queue raises
+  :class:`~repro.errors.ServiceOverloadedError` after the caller's
+  ``timeout`` instead of buffering without limit (pair with
+  :mod:`repro.serve.retry` for jittered backoff).
+* **Supervision**: a group whose ``apply_batch`` raises no longer kills
+  the writer — the poisoned group is quarantined, the back buffer is
+  rebuilt from the last published state, and serving continues.
+  :meth:`self_check` verifies snapshot integrity on demand and rebuilds
+  both buffers on a mismatch.
+* **Fault injection** (:class:`~repro.faults.FaultPlan`): deterministic
+  torn writes, write failures, latency spikes, and writer crashes for
+  reproducible chaos tests.
 """
 
 from __future__ import annotations
@@ -33,17 +54,37 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.base import RangeSumMethod
-from repro.errors import ReproError
+from repro.errors import (
+    RecoveryError,
+    ReproError,
+    ServiceOverloadedError,
+)
 from repro.metrics.service import ServiceMetrics
+from repro.serve import wal as wal_mod
+from repro.serve.wal import DurabilityPolicy, WriteAheadLog
 
 
 class ServiceClosedError(ReproError):
     """Raised when submitting to or querying a closed service."""
+
+
+#: queue sentinel: wakes the writer immediately at close/abandon time
+_CLOSE = object()
+
+
+class _Rebuild:
+    """Queue token asking the writer to rebuild both buffers in place."""
+
+    __slots__ = ("event", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.error: Optional[BaseException] = None
 
 
 class _Snapshot:
@@ -71,9 +112,24 @@ class CubeService:
             subclass; two instances are built (front and back buffer).
         array: the initial dense cube.
         method_kwargs: forwarded to both constructions (box sizes etc.).
-        poll_seconds: writer wake-up interval while the queue is idle.
+        poll_seconds: writer heartbeat while idle. The writer blocks on
+            the queue (submits and ``close()`` wake it immediately via
+            the queue itself), so this only bounds how often an idle
+            writer re-checks lifecycle state — it is not a busy-wait.
         max_groups_per_cycle: most queued groups merged into one
             ``apply_batch`` cycle (bounds swap latency under a firehose).
+        durability: optional
+            :class:`~repro.serve.wal.DurabilityPolicy`; when set, every
+            submitted group is WAL-logged before it is acknowledged and
+            checkpoints are written every ``checkpoint_every`` groups.
+            Recover a crashed service's directory with :meth:`recover`.
+        max_pending_groups: bound on submitted-but-unapplied groups;
+            ``submit_batch`` blocks up to its ``timeout`` for space and
+            then raises :class:`~repro.errors.ServiceOverloadedError`.
+            ``None`` (default) keeps the queue unbounded.
+        fault_plan: optional :class:`~repro.faults.FaultPlan` consulted
+            by the WAL layer and the writer loop — deterministic chaos
+            for tests.
 
     Use as a context manager, or call :meth:`close` explicitly — the
     writer is a daemon thread, but an orderly close drains the queue::
@@ -90,28 +146,80 @@ class CubeService:
         array: np.ndarray,
         *,
         method_kwargs: Optional[Dict] = None,
-        poll_seconds: float = 0.002,
+        poll_seconds: float = 0.25,
         max_groups_per_cycle: int = 1024,
+        durability: Optional[DurabilityPolicy] = None,
+        max_pending_groups: Optional[int] = None,
+        fault_plan=None,
+        _initial_version: int = 0,
     ) -> None:
         kwargs = dict(method_kwargs or {})
         source = np.asarray(array)
-        self._front = _Snapshot(method_cls(source, **kwargs), version=0)
+        self._method_cls = method_cls
+        self._method_kwargs = kwargs
+        initial = int(_initial_version)
+        self._front = _Snapshot(method_cls(source, **kwargs), version=initial)
         self._back = method_cls(source, **kwargs)
         self.shape = self._front.method.shape
         self.metrics = ServiceMetrics()
         self._poll_seconds = float(poll_seconds)
         self._max_groups = int(max_groups_per_cycle)
+        self._max_pending = (
+            None if max_pending_groups is None else int(max_pending_groups)
+        )
+        if self._max_pending is not None and self._max_pending < 1:
+            raise ValueError(
+                f"max_pending_groups must be >= 1, got {self._max_pending}"
+            )
+        self._faults = fault_plan
         self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
         self._state_lock = threading.Condition(threading.Lock())
-        self._submitted_groups = 0
-        self._applied_groups = 0
-        self._completed_groups = 0
+        self._submitted_groups = initial
+        self._applied_groups = initial
+        self._completed_groups = initial
         self._closed = False
+        self._abandoned = False
         self._writer_error: Optional[BaseException] = None
+        self._quarantined: List[Tuple[int, str]] = []
+        self._durability = durability
+        self._wal: Optional[WriteAheadLog] = None
+        self._last_checkpoint_seq = initial
+        if durability is not None:
+            self._open_durability(initial)
         self._writer = threading.Thread(
             target=self._writer_loop, name="cube-service-writer", daemon=True
         )
         self._writer.start()
+
+    def _open_durability(self, initial: int) -> None:
+        """Open the WAL, refuse stale directories, seed a checkpoint."""
+        policy = self._durability
+        self._wal = WriteAheadLog(
+            policy.dir,
+            segment_max_bytes=policy.segment_max_bytes,
+            sync=policy.fsync,
+            faults=self._faults,
+            metrics=self.metrics,
+        )
+        on_disk = self._wal.next_seq - 1
+        checkpoints = wal_mod.list_checkpoints(policy.dir)
+        if checkpoints:
+            on_disk = max(on_disk, checkpoints[-1][0])
+        if on_disk > initial:
+            self._wal.close()
+            raise RecoveryError(
+                f"{policy.dir!s} already holds state up to group {on_disk}; "
+                f"opening a fresh service at version {initial} would orphan "
+                f"it — use CubeService.recover() instead"
+            )
+        if not wal_mod.checkpoint_path(policy.dir, initial).exists():
+            wal_mod.write_checkpoint(
+                self._front.method, policy.dir, initial
+            )
+            self.metrics.record_checkpoint()
+        self._last_checkpoint_seq = initial
+        wal_mod.prune_checkpoints(policy.dir, policy.keep_checkpoints)
+        wal_mod.prune_wal(policy.dir, self._wal, policy.keep_checkpoints)
 
     # -- reader API ----------------------------------------------------------
 
@@ -130,6 +238,7 @@ class CubeService:
             if snap is self._front:
                 return snap
             self._release(snap)
+            self.metrics.record_reader_retry()
 
     def _release(self, snap: _Snapshot) -> None:
         with snap.cond:
@@ -210,37 +319,83 @@ class CubeService:
 
     # -- writer API ----------------------------------------------------------
 
-    def submit_delta(self, index: Sequence[int], delta) -> int:
+    def submit_delta(
+        self, index: Sequence[int], delta, *, timeout: Optional[float] = None
+    ) -> int:
         """Queue one cell delta as its own atomic group; returns the
         group's sequence number (compare with :attr:`version`)."""
-        return self.submit_batch([(index, delta)])
+        return self.submit_batch([(index, delta)], timeout=timeout)
 
     def submit_batch(
-        self, updates: Iterable[Tuple[Sequence[int], object]]
+        self,
+        updates: Iterable[Tuple[Sequence[int], object]],
+        *,
+        timeout: Optional[float] = None,
     ) -> int:
         """Queue one atomic group of ``(index, delta)`` updates.
 
         The group is applied in a single ``apply_batch`` cycle — readers
         either see all of it or none of it. Returns the group's sequence
         number: once :attr:`version` reaches it, every read reflects it.
+
+        With durability configured, the group is appended to the WAL
+        (and fsynced, per the policy) *before* this method returns — a
+        sequence number in hand means the group survives a crash.
+
+        Args:
+            updates: the ``(index, delta)`` pairs of the group.
+            timeout: with a bounded queue (``max_pending_groups``), how
+                long to wait for backlog space before raising
+                :class:`~repro.errors.ServiceOverloadedError`; ``None``
+                waits indefinitely.
         """
-        group = [
+        pairs = [
             (tuple(int(c) for c in index), delta) for index, delta in updates
         ]
+        # one conversion serves the WAL append AND the writer's apply —
+        # the durability path must not re-pay the per-update Python loop
+        if pairs:
+            indices = np.asarray([cell for cell, _ in pairs], dtype=np.intp)
+            deltas = np.asarray([delta for _, delta in pairs])
+        else:
+            indices = np.empty((0, len(self.shape)), dtype=np.intp)
+            deltas = np.empty(0, dtype=np.int64)
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
         with self._state_lock:
-            if self._writer_error is not None:
-                # Nothing enqueued now can ever be applied; failing the
-                # submit is the only honest answer.
-                raise ServiceClosedError(
-                    "service writer died"
-                ) from self._writer_error
-            if self._closed:
-                raise ServiceClosedError("service is closed to new updates")
-            self._submitted_groups += 1
-            seq = self._submitted_groups
+            while True:
+                if self._writer_error is not None:
+                    # Nothing enqueued now can ever be applied; failing
+                    # the submit is the only honest answer.
+                    raise ServiceClosedError(
+                        "service writer died"
+                    ) from self._writer_error
+                if self._closed:
+                    raise ServiceClosedError(
+                        "service is closed to new updates"
+                    )
+                pending = self._submitted_groups - self._completed_groups
+                if self._max_pending is None or pending < self._max_pending:
+                    break
+                remaining = (
+                    None if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise ServiceOverloadedError(
+                        f"submission queue full ({pending} groups pending, "
+                        f"limit {self._max_pending}); back off and retry"
+                    )
+                self._state_lock.wait(remaining)
+            seq = self._submitted_groups + 1
+            if self._wal is not None:
+                # the commit point: on disk before the ack, or not at all
+                self._wal.append(seq, indices, deltas)
+            self._submitted_groups = seq
             # enqueue under the lock so queue order == sequence order
-            self._queue.put((seq, group))
-        self.metrics.record_submit(len(group))
+            self._queue.put((seq, indices, deltas))
+        self.metrics.record_submit(len(pairs))
         return seq
 
     def flush(self, timeout: Optional[float] = None) -> int:
@@ -272,21 +427,114 @@ class CubeService:
                 self._state_lock.wait(remaining)
             return self._applied_groups
 
+    # -- health --------------------------------------------------------------
+
+    def quarantined_groups(self) -> Tuple[Tuple[int, str], ...]:
+        """Poisoned groups skipped by supervision: ``(seq, error)``."""
+        with self._state_lock:
+            return tuple(self._quarantined)
+
+    def self_check(
+        self,
+        probes: int = 16,
+        seed: int = 0,
+        repair: bool = True,
+    ) -> Dict:
+        """Verify the published snapshot; optionally repair a bad one.
+
+        Samples ``probes`` random range sums on the current snapshot and
+        checks them against its own reconstructed array (the method's
+        :meth:`~repro.core.base.RangeSumMethod.verify` invariant). On a
+        mismatch with ``repair=True``, the writer rebuilds both buffers
+        from the reconstructed array and the check runs again.
+
+        Returns a report dict: ``ok`` (final verdict), ``version``,
+        ``repaired``, and ``error`` (the first failure message, if any).
+        For the stronger guarantee — rebuilding from the durable log
+        instead of the in-memory state — stop the service and use
+        :meth:`recover`.
+        """
+        report = {"ok": True, "version": 0, "repaired": False, "error": None}
+
+        def check() -> bool:
+            values, version, _ = self._read(
+                lambda m: m.verify(probes=probes, seed=seed)
+            )
+            report["version"] = version
+            return True
+
+        try:
+            check()
+            return report
+        except ServiceClosedError:
+            raise
+        except ReproError as err:
+            report["ok"] = False
+            report["error"] = str(err)
+        if not repair:
+            return report
+        with self._state_lock:
+            if self._closed or self._writer_error is not None:
+                return report
+        token = _Rebuild()
+        self._queue.put(token)
+        if not token.event.wait(timeout=300.0):
+            raise TimeoutError("snapshot rebuild did not complete")
+        if token.error is not None:
+            return report
+        try:
+            check()
+            report["ok"] = True
+            report["repaired"] = True
+        except ReproError as err:
+            report["error"] = str(err)
+        return report
+
     # -- lifecycle -----------------------------------------------------------
 
     def close(self, timeout: Optional[float] = 30.0) -> None:
-        """Stop accepting updates, drain the queue, stop the writer."""
+        """Stop accepting updates, drain the queue, stop the writer.
+
+        With durability configured, a final checkpoint is written and
+        the WAL pruned, so the next open replays nothing.
+        """
         with self._state_lock:
-            if self._closed:
-                return
+            already = self._closed
             self._closed = True
+        if not already:
+            self._queue.put(_CLOSE)  # wake the writer immediately
         self._writer.join(timeout)
         if self._writer.is_alive():
             raise TimeoutError("service writer did not stop in time")
         if self._writer_error is not None:
+            if self._wal is not None:
+                self._wal.close()
             raise ServiceClosedError(
                 "service writer died"
             ) from self._writer_error
+        if self._wal is not None and not self._abandoned:
+            with self._state_lock:
+                completed = self._completed_groups
+            if completed > self._last_checkpoint_seq:
+                self._write_checkpoint(self._back, completed)
+            self._wal.close()
+
+    def abandon(self) -> None:
+        """Crash-simulation hook: stop serving *without* draining.
+
+        Queued groups are discarded, no final checkpoint is written, and
+        the WAL handle is closed without a sync — the durability
+        directory is left exactly as a power loss would leave it, which
+        is what :meth:`recover` and the chaos tests need. The in-memory
+        service is unusable afterwards.
+        """
+        with self._state_lock:
+            self._closed = True
+            self._abandoned = True
+        self._queue.put(_CLOSE)
+        self._writer.join(timeout=10.0)
+        if self._wal is not None:
+            self._wal.close(sync=False)
 
     def __enter__(self) -> "CubeService":
         return self
@@ -295,7 +543,7 @@ class CubeService:
         self.close()
 
     def stats(self) -> Dict:
-        """Operational snapshot: version, backlog, and metrics.
+        """Operational snapshot: version, backlog, health, and metrics.
 
         Version and group counters are read in one ``_state_lock``
         acquisition (the lock is not reentrant, so this reads
@@ -308,14 +556,80 @@ class CubeService:
             version = self._front.version
             submitted = self._submitted_groups
             applied = self._applied_groups
+            quarantined = len(self._quarantined)
         report = self.metrics.snapshot()
         report.update(
             version=version,
             groups_submitted=submitted,
             groups_applied=applied,
             groups_pending=submitted - applied,
+            quarantined_groups=quarantined,
+            wal_enabled=self._wal is not None,
+            wal_failed=self._wal.failed if self._wal is not None else False,
+            last_checkpoint_seq=(
+                self._last_checkpoint_seq if self._wal is not None else None
+            ),
         )
         return report
+
+    # -- recovery ------------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        directory,
+        method_cls=None,
+        *,
+        method_kwargs: Optional[Dict] = None,
+        durability: Optional[DurabilityPolicy] = None,
+        **service_kwargs,
+    ) -> "CubeService":
+        """Restore a service from a durability directory after a crash.
+
+        Loads the newest valid checkpoint (a corrupt one falls back to
+        the previous), truncates any torn WAL tail, replays every
+        committed group past the checkpoint through ``apply_batch``, and
+        resumes serving at the recovered ``version`` — appending new
+        groups to the same log. The recovered state is always the state
+        after some prefix of the acknowledged groups: never a torn
+        group, never a lost acked-and-fsynced one.
+
+        Args:
+            directory: the durability directory of the dead service.
+            method_cls: optionally rebuild under a different method
+                class than the checkpoint recorded.
+            method_kwargs: forwarded to method construction (defaults to
+                the persisted box sizes, when the method has them).
+            durability: policy for the resumed service (defaults to
+                ``DurabilityPolicy(dir=directory)``).
+            **service_kwargs: forwarded to the constructor
+                (``max_pending_groups``, ``fault_plan``...).
+        """
+        state = wal_mod.recover_state(
+            directory, method_cls, method_kwargs=method_kwargs
+        )
+        method = state.method
+        kwargs = method_kwargs
+        if kwargs is None:
+            box_sizes = getattr(method, "box_sizes", None)
+            kwargs = {"box_size": box_sizes} if box_sizes is not None else {}
+        if durability is None:
+            durability = DurabilityPolicy(dir=directory)
+        service = cls(
+            type(method),
+            method.to_array(),
+            method_kwargs=kwargs,
+            durability=durability,
+            _initial_version=state.version,
+            **service_kwargs,
+        )
+        service.metrics.record_recovery_replay(state.replayed_groups)
+        if state.quarantined:
+            service.metrics.record_quarantine(len(state.quarantined))
+            with service._state_lock:
+                service._quarantined.extend(state.quarantined)
+        service.last_recovery = state
+        return service
 
     # -- the writer ----------------------------------------------------------
 
@@ -333,49 +647,93 @@ class CubeService:
                         ):
                             return
                     continue
+                if self._abandoned:
+                    return
+                if first is _CLOSE:
+                    with self._state_lock:
+                        if (
+                            self._applied_groups == self._submitted_groups
+                        ):
+                            return
+                    continue
+                if isinstance(first, _Rebuild):
+                    self._handle_rebuild(first)
+                    continue
                 groups = [first]
+                deferred = None
                 while len(groups) < self._max_groups:
                     try:
-                        groups.append(self._queue.get_nowait())
+                        item = self._queue.get_nowait()
                     except queue.Empty:
                         break
+                    if item is _CLOSE or isinstance(item, _Rebuild):
+                        deferred = item
+                        break
+                    groups.append(item)
                 self._apply_groups(groups)
+                self._maybe_checkpoint()
+                if deferred is not None:
+                    if isinstance(deferred, _Rebuild):
+                        self._handle_rebuild(deferred)
+                    else:
+                        # consumed the close sentinel early: re-queue it
+                        # behind any groups still waiting
+                        self._queue.put(_CLOSE)
         except BaseException as error:  # surface to readers/flushers
+            self.metrics.record_writer_error()
             with self._state_lock:
                 self._writer_error = error
                 self._state_lock.notify_all()
 
+    @staticmethod
+    def _coalesce(
+        idx: np.ndarray, deltas: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Merge per-cell deltas in one array pass: sort-unique the index
+        rows, segment-sum the deltas onto their unique row, and drop
+        cells whose deltas cancelled."""
+        if not len(idx):
+            return idx, deltas
+        unique, inverse = np.unique(idx, axis=0, return_inverse=True)
+        summed = np.zeros(len(unique), dtype=deltas.dtype)
+        # reshape(-1): inverse is (m, 1) on some numpy versions
+        np.add.at(summed, inverse.reshape(-1), deltas)
+        live = summed != 0
+        return unique[live], summed[live]
+
     def _apply_groups(self, groups) -> None:
-        """One double-buffered write cycle over whole submitted groups."""
+        """One double-buffered write cycle over whole submitted groups.
+
+        Supervised: an ``apply_batch`` failure quarantines the poisoned
+        group(s) and rebuilds the buffers instead of killing the writer.
+        """
+        if self._faults is not None:
+            extra = 0.0
+            for seq, _, _ in groups:
+                # an injected writer crash propagates — that is the point
+                extra += self._faults.on_apply_group(seq)
+            if extra:
+                time.sleep(extra)
         start = time.perf_counter()
-        cells = []
-        raw = []
-        for _, group in groups:
-            for cell, delta in group:
-                cells.append(cell)
-                raw.append(delta)
-        submitted = len(cells)
-        # Coalesce per cell in one array pass: sort-unique the index
-        # rows, segment-sum the deltas onto their unique row, and drop
-        # cells whose deltas cancelled.
-        if cells:
-            idx = np.asarray(cells, dtype=np.intp)
-            deltas = np.asarray(raw)
-            unique, inverse = np.unique(idx, axis=0, return_inverse=True)
-            summed = np.zeros(len(unique), dtype=deltas.dtype)
-            # reshape(-1): inverse is (m, 1) on some numpy versions
-            np.add.at(summed, inverse.reshape(-1), deltas)
-            live = summed != 0
-            indices = unique[live]
-            deltas = summed[live]
-        else:
-            indices = np.empty((0, len(self.shape)), dtype=np.intp)
-            deltas = np.empty(0)
+        merged_idx = np.concatenate([idx for _, idx, _ in groups])
+        merged_deltas = np.concatenate([d for _, _, d in groups])
+        submitted = len(merged_idx)
+        indices, deltas = self._coalesce(merged_idx, merged_deltas)
         applied = len(indices)
         retired = self._front
-        if applied:
-            self._back.apply_batch_array(indices, deltas)
-        fresh = _Snapshot(self._back, retired.version + len(groups))
+        rebuilt = False
+        try:
+            if applied:
+                self._back.apply_batch_array(indices, deltas)
+            fresh_method = self._back
+        except Exception:
+            # the back buffer may be mid-cascade: discard it, rebuild
+            # from the last published state, and skip only the groups
+            # that actually fail on their own
+            self.metrics.record_writer_error()
+            fresh_method = self._rebuild_with_quarantine(groups)
+            rebuilt = True
+        fresh = _Snapshot(fresh_method, retired.version + len(groups))
         # Publish the snapshot and the applied-group counter in one
         # critical section so stats()/flush() never observe a version
         # ahead of groups_applied (or vice versa).
@@ -390,12 +748,91 @@ class CubeService:
             while retired.active:
                 retired.cond.wait()
         swap_wait = time.perf_counter() - wait_start
-        if applied:
-            retired.method.apply_batch_array(indices, deltas)
-        self._back = retired.method
+        if rebuilt:
+            # the retired buffer cannot replay a quarantined group
+            # either; rebuild it from the freshly published state
+            self._back = self._method_cls(
+                fresh_method.to_array(), **self._method_kwargs
+            )
+        else:
+            if applied:
+                retired.method.apply_batch_array(indices, deltas)
+            self._back = retired.method
         self.metrics.record_apply_latency(
             time.perf_counter() - start, swap_wait
         )
         with self._state_lock:
             self._completed_groups = groups[-1][0]
             self._state_lock.notify_all()
+
+    def _rebuild_with_quarantine(self, groups) -> RangeSumMethod:
+        """Re-apply a failed cycle group-by-group on a fresh buffer.
+
+        The last published snapshot is the rollback point: its array is
+        rebuilt into a new method instance, each group is applied alone,
+        and a group that still fails is quarantined — recorded, counted,
+        and skipped — so one poisoned group cannot take the service
+        down. Mirrors the replay-side quarantine in
+        :func:`repro.serve.wal.recover_state`.
+        """
+        base = self._front.method.to_array()
+        method = self._method_cls(base, **self._method_kwargs)
+        self.metrics.record_rebuild()
+        for seq, indices, deltas in groups:
+            if not len(indices):
+                continue
+            try:
+                method.apply_batch_array(indices, deltas)
+            except Exception as error:
+                with self._state_lock:
+                    self._quarantined.append((seq, repr(error)))
+                self.metrics.record_quarantine()
+        return method
+
+    def _handle_rebuild(self, token: _Rebuild) -> None:
+        """Rebuild both buffers from the published snapshot's array."""
+        try:
+            retired = self._front
+            array = retired.method.to_array()
+            fresh = _Snapshot(
+                self._method_cls(array, **self._method_kwargs),
+                retired.version,
+            )
+            self.metrics.record_rebuild()
+            with self._state_lock:
+                self._front = fresh
+            with retired.cond:
+                while retired.active:
+                    retired.cond.wait()
+            self._back = self._method_cls(array, **self._method_kwargs)
+        except BaseException as error:
+            token.error = error
+            self.metrics.record_writer_error()
+        finally:
+            token.event.set()
+
+    def _maybe_checkpoint(self) -> None:
+        """Periodic checkpoint from the caught-up back buffer."""
+        if self._wal is None:
+            return
+        every = self._durability.checkpoint_every
+        if every <= 0:
+            return
+        with self._state_lock:
+            completed = self._completed_groups
+        if completed - self._last_checkpoint_seq < every:
+            return
+        self._write_checkpoint(self._back, completed)
+
+    def _write_checkpoint(self, method: RangeSumMethod, seq: int) -> None:
+        """Best-effort checkpoint + prune; failures degrade, not kill —
+        the WAL still holds everything since the last good checkpoint."""
+        policy = self._durability
+        try:
+            wal_mod.write_checkpoint(method, policy.dir, seq)
+            self._last_checkpoint_seq = seq
+            self.metrics.record_checkpoint()
+            wal_mod.prune_checkpoints(policy.dir, policy.keep_checkpoints)
+            wal_mod.prune_wal(policy.dir, self._wal, policy.keep_checkpoints)
+        except Exception:
+            self.metrics.record_writer_error()

@@ -63,6 +63,13 @@ class SimulatedDisk:
         dtype: cell dtype for all pages.
         latency: optional :class:`LatencyModel`; by default all service
             times are zero and only counts accumulate.
+        faults: optional :class:`~repro.faults.FaultPlan`; when set, the
+            plan's scheduled disk faults fire here — write failures
+            raise :class:`~repro.faults.InjectedFault`, read corruption
+            flips one cell of the returned copy (caught by
+            ``verify_checksums``, silent otherwise — exactly the hazard
+            checksums exist for), and latency spikes are charged to
+            ``stats.elapsed``.
     """
 
     def __init__(
@@ -71,6 +78,7 @@ class SimulatedDisk:
         dtype=np.float64,
         latency: LatencyModel = None,
         verify_checksums: bool = False,
+        faults=None,
     ) -> None:
         if page_size < 1:
             raise StorageError(f"page size must be >= 1, got {page_size}")
@@ -78,6 +86,7 @@ class SimulatedDisk:
         self.dtype = np.dtype(dtype)
         self.latency = latency if latency is not None else LatencyModel()
         self.verify_checksums = bool(verify_checksums)
+        self.faults = faults
         self._pages: list = []
         self._checksums: list = []
         self._last_page: int = -2  # nothing is adjacent to the first access
@@ -120,7 +129,13 @@ class SimulatedDisk:
         self._check(page_id)
         self.stats.pages_read += 1
         self._charge(page_id)
-        page = self._pages[page_id]
+        page = self._pages[page_id].copy()
+        if self.faults is not None:
+            corrupt, extra = self.faults.on_disk_read(site="disk")
+            self.stats.elapsed += extra
+            if corrupt:
+                cell = self.faults.corruption_offset(self.page_size)
+                page[cell] += 1
         if self.verify_checksums and (
             self._checksum(page) != self._checksums[page_id]
         ):
@@ -128,7 +143,7 @@ class SimulatedDisk:
                 f"checksum mismatch reading page {page_id}: "
                 f"on-disk contents are corrupt"
             )
-        return page.copy()
+        return page
 
     def write_page(self, page_id: int, data: np.ndarray) -> None:
         """Overwrite one page; charges one page write."""
@@ -139,6 +154,10 @@ class SimulatedDisk:
                 f"page data must have shape ({self.page_size},), "
                 f"got {buf.shape}"
             )
+        if self.faults is not None:
+            # an injected failure leaves the page untouched — the write
+            # never happened, as with a failed block write
+            self.stats.elapsed += self.faults.on_disk_write(site="disk")
         self._pages[page_id] = buf.copy()
         self._checksums[page_id] = self._checksum(buf)
         self.stats.pages_written += 1

@@ -1,0 +1,163 @@
+"""Graceful degradation: the service bends where it used to break.
+
+Three failure modes, three softer outcomes: a poisoned update group is
+quarantined instead of killing the writer; a saturated submission queue
+rejects with :class:`ServiceOverloadedError` instead of buffering
+without bound (and :func:`call_with_retries` rides it out); a corrupted
+snapshot is caught by :meth:`self_check` and repaired by rebuild.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CubeService,
+    FaultPlan,
+    RelativePrefixSumCube,
+    ServiceOverloadedError,
+    call_with_retries,
+)
+
+
+def _service(shape=(6, 6), **kwargs):
+    return CubeService(
+        RelativePrefixSumCube, np.zeros(shape, dtype=np.int64), **kwargs
+    )
+
+
+class TestQuarantine:
+    def test_poisoned_group_skipped_service_survives(self):
+        with _service((4, 4)) as svc:
+            svc.submit_batch([((1, 1), 5)])
+            svc.submit_batch([((9, 9), 1)])  # out of bounds: poison
+            svc.submit_batch([((0, 0), 2)])
+            svc.flush()
+            # version counts the quarantined group (as a no-op) so the
+            # sequence numbering stays monotone
+            assert svc.version == 3
+            quarantined = svc.quarantined_groups()
+            assert [seq for seq, _ in quarantined] == [2]
+            assert quarantined[0][1]  # the offending error is recorded
+            # the healthy groups on either side of the poison applied
+            assert svc.cell_value((1, 1)) == 5
+            assert svc.cell_value((0, 0)) == 2
+            stats = svc.stats()
+            assert stats["groups_quarantined"] == 1
+            assert stats["rebuilds"] >= 1
+            assert stats["writer_errors"] >= 1
+
+    def test_only_poisoned_groups_skipped_in_mixed_cycle(self):
+        """Several groups can share one writer cycle; supervision must
+        isolate exactly the bad ones, not discard the cycle."""
+        svc = _service((4, 4), poll_seconds=0.05)
+        oracle = np.zeros((4, 4), dtype=np.int64)
+        rng = np.random.default_rng(0)
+        for i in range(20):
+            if i % 7 == 3:
+                svc.submit_batch([((50, 50), 1)])  # poison
+            else:
+                cell = (int(rng.integers(0, 4)), int(rng.integers(0, 4)))
+                svc.submit_batch([(cell, i + 1)])
+                oracle[cell] += i + 1
+        svc.flush()
+        arr, _, _ = svc._read(lambda m: m.to_array())
+        assert np.array_equal(arr, oracle)
+        assert len(svc.quarantined_groups()) == 3  # i = 3, 10, 17
+        svc.close()
+
+    def test_reads_keep_flowing_during_quarantine(self):
+        with _service((4, 4)) as svc:
+            svc.submit_batch([((9, 9), 1)])
+            svc.flush()
+            assert svc.total() == 0  # quarantined group is a no-op
+            assert svc.version == 1
+
+
+class TestOverload:
+    def test_full_queue_raises_after_timeout(self):
+        plan = FaultPlan(
+            seed=0, latency_at=tuple(range(1, 50)), latency_seconds=0.3
+        )
+        svc = _service(max_pending_groups=2, fault_plan=plan)
+        try:
+            with pytest.raises(ServiceOverloadedError, match="full"):
+                # the slowed writer can't drain 2 pending in 50 ms
+                for _ in range(8):
+                    svc.submit_batch([((0, 0), 1)], timeout=0.05)
+        finally:
+            svc.close()
+
+    def test_retry_helper_rides_out_the_backlog(self):
+        plan = FaultPlan(
+            seed=1, latency_at=tuple(range(1, 20)), latency_seconds=0.1
+        )
+        svc = _service(max_pending_groups=2, fault_plan=plan)
+        rejections = []
+        try:
+            for _ in range(6):
+                call_with_retries(
+                    lambda: svc.submit_batch([((1, 1), 1)], timeout=0.02),
+                    attempts=50,
+                    base_delay=0.02,
+                    seed=0,
+                    on_retry=lambda n, err, d: rejections.append(n),
+                )
+            svc.flush()
+            assert svc.version == 6
+            assert svc.cell_value((1, 1)) == 6
+        finally:
+            svc.close()
+        assert rejections, "the bounded queue never pushed back"
+
+    def test_unbounded_by_default(self):
+        with _service() as svc:
+            for _ in range(64):
+                svc.submit_batch([((2, 2), 1)], timeout=0.001)
+            svc.flush()
+            assert svc.cell_value((2, 2)) == 64
+
+    def test_max_pending_validated(self):
+        with pytest.raises(ValueError, match="max_pending_groups"):
+            _service(max_pending_groups=0)
+
+
+class TestSelfCheck:
+    def test_healthy_service_passes(self):
+        with _service() as svc:
+            svc.submit_batch([((3, 3), 9)])
+            svc.flush()
+            report = svc.self_check()
+            assert report == {
+                "ok": True,
+                "version": 1,
+                "repaired": False,
+                "error": None,
+            }
+
+    def test_detects_and_repairs_corrupted_snapshot(self):
+        with _service((8, 8)) as svc:
+            svc.submit_batch([((4, 4), 7)])
+            svc.flush()
+            # corrupt the published structure's overlay: range sums go
+            # wrong while to_array() (rebuilt from RP alone) stays right
+            method = svc._front.method
+            mask = next(iter(method.overlay._values))
+            method.overlay._values[mask][...] += 1000
+            report = svc.self_check(probes=32)
+            assert report["ok"] and report["repaired"]
+            assert svc.stats()["rebuilds"] >= 1
+            # the repaired snapshot serves correct sums again
+            assert svc.cell_value((4, 4)) == 7
+            svc.submit_batch([((0, 0), 1)])
+            svc.flush()
+            assert svc.total() == 8
+
+    def test_detect_without_repair(self):
+        with _service((8, 8)) as svc:
+            svc.flush()
+            method = svc._front.method
+            mask = next(iter(method.overlay._values))
+            method.overlay._values[mask][...] += 1000
+            report = svc.self_check(probes=32, repair=False)
+            assert not report["ok"] and not report["repaired"]
+            assert report["error"]

@@ -143,3 +143,36 @@ class TestChecksums:
         paged.rp_pages.disk.corrupt_page(5)
         with pytest.raises(StorageError, match="checksum"):
             paged.range_sum((0, 0), (7, 7))
+
+
+class TestFaultInjection:
+    """The disk consults a FaultPlan at its natural injection points;
+    the plan's own semantics are covered in tests/test_faults.py."""
+
+    def test_scheduled_write_failure_is_atomic(self):
+        from repro.faults import FaultPlan, InjectedFault
+
+        disk = SimulatedDisk(
+            page_size=4, dtype=np.int64, faults=FaultPlan(fail_write_at=2)
+        )
+        disk.allocate(1)
+        disk.write_page(0, np.array([1, 2, 3, 4]))
+        with pytest.raises(InjectedFault):
+            disk.write_page(0, np.array([9, 9, 9, 9]))
+        # the failed write left the previous contents in place
+        assert disk.read_page(0).tolist() == [1, 2, 3, 4]
+
+    def test_paged_rps_rides_injected_read_corruption(self):
+        """End to end through the paged structure: an injected read
+        corruption trips the same checksum guard media rot would."""
+        from repro.faults import FaultPlan
+        from repro.storage.paged_rps import PagedRPSCube
+
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 9, size=(16, 16))
+        paged = PagedRPSCube(a, box_size=4, buffer_capacity=2)
+        paged.rp_pages.disk.verify_checksums = True
+        paged.rp_pages.disk.faults = FaultPlan(seed=1, corrupt_read_at=1)
+        paged.rp_pages.pool.drop()
+        with pytest.raises(StorageError, match="checksum"):
+            paged.range_sum((0, 0), (15, 15))

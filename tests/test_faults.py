@@ -1,0 +1,120 @@
+"""The fault plan itself: deterministic, per-site, replayable chaos.
+
+A chaos test is only as good as its reproducibility — these tests pin
+the plan's scheduling semantics (1-based ordinals, independent sites,
+seeded randomness) and its wiring into :class:`SimulatedDisk`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.faults import FaultPlan, InjectedFault
+from repro.storage import SimulatedDisk
+
+
+class TestScheduling:
+    def test_ordinals_are_one_based_and_validated(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FaultPlan(fail_write_at=0)
+        plan = FaultPlan(fail_write_at=2)
+        plan.on_disk_write()  # write #1 passes
+        with pytest.raises(InjectedFault, match="write #2"):
+            plan.on_disk_write()
+
+    def test_single_ordinal_and_sequence_accepted(self):
+        assert FaultPlan(fail_write_at=3).fail_write_at == (3,)
+        assert FaultPlan(fail_write_at=[5, 2]).fail_write_at == (2, 5)
+
+    def test_sites_count_independently(self):
+        """Disk writes and WAL appends share the schedule but each site
+        keeps its own ordinal counter."""
+        plan = FaultPlan(fail_write_at=1)
+        with pytest.raises(InjectedFault):
+            plan.on_disk_write()
+        action, _ = plan.on_wal_append(64)  # wal.append ordinal is also 1
+        assert action == "fail"
+
+    def test_deterministic_under_seed(self):
+        def run(plan):
+            events = []
+            for _ in range(6):
+                corrupt, extra = plan.on_disk_read()
+                events.append((corrupt, round(extra, 9)))
+            events.append(plan.corruption_offset(100))
+            return events
+
+        a = run(FaultPlan(seed=7, corrupt_read_at=(2, 5), latency_at=3,
+                          latency_seconds=0.25))
+        b = run(FaultPlan(seed=7, corrupt_read_at=(2, 5), latency_at=3,
+                          latency_seconds=0.25))
+        assert a == b
+
+    def test_torn_write_keeps_a_strict_prefix(self):
+        plan = FaultPlan(torn_write_at=1, torn_fraction=0.99)
+        action, keep = plan.on_wal_append(10)
+        assert action == "torn"
+        assert 1 <= keep <= 9  # never zero bytes, never the whole record
+        # fraction 0 still persists at least one byte (a real torn write
+        # moved *something*)
+        plan = FaultPlan(torn_write_at=1, torn_fraction=0.0)
+        assert plan.on_wal_append(10)[1] == 1
+
+    def test_crash_at_group_matches_sequence_not_ordinal(self):
+        plan = FaultPlan(crash_at_group=5)
+        assert plan.on_apply_group(4) == 0.0
+        with pytest.raises(InjectedFault, match="group 5"):
+            plan.on_apply_group(5)
+        assert plan.stats() == {"writer_crashes": 1}
+
+    def test_stats_tally_by_kind(self):
+        plan = FaultPlan(corrupt_read_at=(1, 2), torn_write_at=1)
+        plan.on_disk_read()
+        plan.on_disk_read()
+        plan.on_wal_append(32)
+        assert plan.stats() == {
+            "read_corruptions": 2,
+            "wal_torn_writes": 1,
+        }
+
+
+class TestDiskWiring:
+    def _disk(self, plan, verify=False):
+        disk = SimulatedDisk(
+            page_size=8, dtype=np.int64, verify_checksums=verify, faults=plan
+        )
+        disk.allocate(2)
+        disk.write_page(0, np.arange(8))
+        return disk
+
+    def test_injected_write_failure_leaves_page_intact(self):
+        plan = FaultPlan(fail_write_at=2)
+        disk = self._disk(plan)  # write #1 succeeded
+        with pytest.raises(InjectedFault):
+            disk.write_page(0, np.zeros(8))
+        assert np.array_equal(disk.read_page(0), np.arange(8))
+        assert disk.stats.pages_written == 1  # the failed write never counted
+
+    def test_read_corruption_is_caught_by_checksums(self):
+        plan = FaultPlan(seed=3, corrupt_read_at=1)
+        disk = self._disk(plan, verify=True)
+        with pytest.raises(StorageError, match="checksum mismatch"):
+            disk.read_page(0)
+        assert plan.stats()["read_corruptions"] == 1
+
+    def test_read_corruption_is_silent_without_checksums(self):
+        """The hazard checksums exist for: without them the corrupted
+        buffer is returned as if nothing happened."""
+        plan = FaultPlan(seed=3, corrupt_read_at=1)
+        disk = self._disk(plan, verify=False)
+        page = disk.read_page(0)
+        assert not np.array_equal(page, np.arange(8))
+        # the medium lied once; on-disk state was never touched
+        assert np.array_equal(disk.read_page(0), np.arange(8))
+
+    def test_latency_spike_charges_elapsed(self):
+        plan = FaultPlan(latency_at=1, latency_seconds=2.0)
+        disk = self._disk(plan)
+        before = disk.stats.elapsed
+        disk.read_page(0)
+        assert disk.stats.elapsed - before >= 1.0  # 2.0 * [0.5, 1.5) jitter

@@ -1,0 +1,97 @@
+"""Backoff policy and the retry loop around overloaded submits."""
+
+import pytest
+
+from repro.errors import ServiceOverloadedError
+from repro.serve.retry import ExponentialBackoff, call_with_retries
+
+
+class TestExponentialBackoff:
+    def test_undithered_envelope_doubles_then_caps(self):
+        backoff = ExponentialBackoff(0.1, 2.0, 0.35, jitter=0.0, seed=0)
+        delays = [next(backoff) for _ in range(4)]
+        assert delays == pytest.approx([0.1, 0.2, 0.35, 0.35])
+
+    def test_jitter_stays_inside_the_band(self):
+        backoff = ExponentialBackoff(0.1, 2.0, 10.0, jitter=0.5, seed=1)
+        for i, delay in zip(range(6), backoff):
+            ceiling = min(0.1 * 2.0**i, 10.0)
+            assert ceiling * 0.5 <= delay <= ceiling
+
+    def test_deterministic_under_seed(self):
+        first = ExponentialBackoff(seed=42)
+        second = ExponentialBackoff(seed=42)
+        assert [next(first) for _ in range(5)] == [
+            next(second) for _ in range(5)
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialBackoff(base_delay=-1)
+        with pytest.raises(ValueError):
+            ExponentialBackoff(multiplier=0.5)
+        with pytest.raises(ValueError):
+            ExponentialBackoff(jitter=1.5)
+
+
+class TestCallWithRetries:
+    def test_succeeds_after_transient_overload(self):
+        calls = {"n": 0}
+        sleeps = []
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ServiceOverloadedError("full")
+            return "done"
+
+        result = call_with_retries(
+            flaky, attempts=5, seed=0, sleep=sleeps.append
+        )
+        assert result == "done"
+        assert calls["n"] == 3
+        assert len(sleeps) == 2  # slept before each retry, not after success
+        assert all(s >= 0 for s in sleeps)
+
+    def test_final_failure_reraised_unchanged(self):
+        error = ServiceOverloadedError("still full")
+
+        def always():
+            raise error
+
+        with pytest.raises(ServiceOverloadedError) as exc_info:
+            call_with_retries(always, attempts=3, seed=0, sleep=lambda s: None)
+        assert exc_info.value is error
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        calls = {"n": 0}
+
+        def broken():
+            calls["n"] += 1
+            raise KeyError("not an overload")
+
+        with pytest.raises(KeyError):
+            call_with_retries(broken, attempts=5, sleep=lambda s: None)
+        assert calls["n"] == 1
+
+    def test_on_retry_observer_sees_each_attempt(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise ServiceOverloadedError("full")
+            return 1
+
+        call_with_retries(
+            flaky,
+            attempts=5,
+            seed=0,
+            sleep=lambda s: None,
+            on_retry=lambda n, err, delay: seen.append((n, type(err), delay)),
+        )
+        assert [n for n, _, _ in seen] == [1, 2]
+        assert all(t is ServiceOverloadedError for _, t, _ in seen)
+
+    def test_attempts_validation(self):
+        with pytest.raises(ValueError):
+            call_with_retries(lambda: 1, attempts=0)

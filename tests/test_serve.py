@@ -135,12 +135,25 @@ class TestBasics:
 
 
 class TestWriterDeath:
+    """Genuine writer death (an injected crash — supervision quarantines
+    mere poison groups, so killing the writer now takes a fault plan)."""
+
+    @staticmethod
+    def _dead_service():
+        from repro.faults import FaultPlan
+
+        svc = CubeService(
+            PrefixSumCube,
+            np.zeros((4, 4), dtype=np.int64),
+            fault_plan=FaultPlan(seed=0, crash_at_group=1),
+        )
+        svc.submit_batch([((0, 0), 1)])
+        return svc
+
     def test_submit_after_writer_death_raises(self):
         """A dead writer must fail fast at submit time — before the fix,
         submits kept enqueueing into a queue nothing would ever drain."""
-        svc = CubeService(PrefixSumCube, np.zeros((4, 4), dtype=np.int64))
-        # poison group: the out-of-bounds cell kills the writer thread
-        svc.submit_batch([((9, 9), 1)])
+        svc = self._dead_service()
         with pytest.raises(ServiceClosedError):
             svc.flush(timeout=10)
         with pytest.raises(ServiceClosedError):
@@ -151,12 +164,17 @@ class TestWriterDeath:
             svc.close()
 
     def test_reads_after_writer_death_raise(self):
-        svc = CubeService(PrefixSumCube, np.zeros((4, 4), dtype=np.int64))
-        svc.submit_batch([((9, 9), 1)])
+        svc = self._dead_service()
         with pytest.raises(ServiceClosedError):
             svc.flush(timeout=10)
         with pytest.raises(ServiceClosedError):
             svc.total()
+
+    def test_writer_death_counted(self):
+        svc = self._dead_service()
+        with pytest.raises(ServiceClosedError):
+            svc.flush(timeout=10)
+        assert svc.stats()["writer_errors"] == 1
 
 
 class TestStatsConsistency:

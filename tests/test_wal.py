@@ -1,0 +1,234 @@
+"""The write-ahead log: framing, checksums, torn tails, checkpoints.
+
+The WAL's one job is to make "acknowledged" mean "on disk, verifiable,
+replayable". These tests pin the on-disk contract directly — encode /
+scan roundtrips, both checksum algorithms, segment rotation, torn-tail
+truncation versus mid-log corruption, sequence discipline, and the
+checkpoint retention rules that bound replay.
+"""
+
+import numpy as np
+import pytest
+
+from repro import RelativePrefixSumCube
+from repro.errors import WALCorruptionError, WALError
+from repro.persistence import load_method
+from repro.serve import wal as wal_mod
+from repro.serve.wal import (
+    ALGO_CRC32,
+    ALGO_CRC32C,
+    WriteAheadLog,
+    crc32c,
+    encode_record,
+    replay,
+)
+
+
+def _groups(n, d=2, seed=0):
+    """n deterministic (indices, deltas) groups of varied size."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(n):
+        m = int(rng.integers(1, 5))
+        indices = rng.integers(0, 8, size=(m, d)).astype(np.intp)
+        deltas = rng.integers(-9, 10, size=m).astype(np.int64)
+        out.append((indices, deltas))
+    return out
+
+
+class TestChecksum:
+    def test_crc32c_check_value(self):
+        """RFC 3720's CRC32C check value for the classic test vector."""
+        assert crc32c(b"123456789") == 0xE3069283
+
+    def test_crc32c_empty_and_incremental(self):
+        assert crc32c(b"") == 0
+        whole = crc32c(b"hello world")
+        assert crc32c(b" world", crc32c(b"hello")) == whole
+
+
+class TestRecordFraming:
+    def test_roundtrip_both_algorithms(self, tmp_path):
+        for algo, name in ((ALGO_CRC32, "crc32"), (ALGO_CRC32C, "crc32c")):
+            d = tmp_path / name
+            log = WriteAheadLog(d, checksum=name)
+            groups = _groups(5)
+            for seq, (indices, deltas) in enumerate(groups, start=1):
+                log.append(seq, indices, deltas)
+            log.close()
+            records, torn = replay(d)
+            assert torn is None
+            assert [r.seq for r in records] == [1, 2, 3, 4, 5]
+            for record, (indices, deltas) in zip(records, groups):
+                assert np.array_equal(record.indices, indices)
+                assert np.array_equal(record.deltas, deltas)
+                assert record.deltas.dtype == np.int64
+
+    def test_cross_algorithm_read(self, tmp_path):
+        """The segment header names its checksum — a crc32c-written log
+        reads back through the default reader and vice versa."""
+        log = WriteAheadLog(tmp_path, checksum="crc32c")
+        indices, deltas = _groups(1)[0]
+        log.append(1, indices, deltas)
+        log.close()
+        # reopening with the *other* configured checksum still replays
+        # (reads honor the per-segment algorithm byte)
+        reopened = WriteAheadLog(tmp_path, checksum="crc32")
+        assert reopened.next_seq == 2
+        reopened.close()
+
+    def test_float_deltas_roundtrip(self, tmp_path):
+        log = WriteAheadLog(tmp_path)
+        indices = np.array([[1, 2], [3, 4]], dtype=np.intp)
+        deltas = np.array([0.5, -2.25])
+        log.append(1, indices, deltas)
+        log.close()
+        records, _ = replay(tmp_path)
+        assert records[0].deltas.dtype == np.float64
+        assert np.array_equal(records[0].deltas, deltas)
+
+    def test_empty_group_roundtrip(self, tmp_path):
+        log = WriteAheadLog(tmp_path)
+        log.append(1, np.empty((0, 2), dtype=np.intp), np.empty(0))
+        log.close()
+        records, _ = replay(tmp_path)
+        assert records[0].seq == 1
+        assert records[0].indices.shape == (0, 2)
+
+
+class TestSequenceDiscipline:
+    def test_out_of_order_append_rejected(self, tmp_path):
+        log = WriteAheadLog(tmp_path)
+        indices, deltas = _groups(1)[0]
+        log.append(1, indices, deltas)
+        with pytest.raises(WALError, match="seq"):
+            log.append(3, indices, deltas)
+        log.close()
+
+    def test_reopen_resumes_sequence(self, tmp_path):
+        log = WriteAheadLog(tmp_path)
+        for seq, (indices, deltas) in enumerate(_groups(3), start=1):
+            log.append(seq, indices, deltas)
+        log.close()
+        reopened = WriteAheadLog(tmp_path)
+        assert reopened.next_seq == 4
+        indices, deltas = _groups(1, seed=9)[0]
+        reopened.append(4, indices, deltas)
+        reopened.close()
+        records, _ = replay(tmp_path)
+        assert [r.seq for r in records] == [1, 2, 3, 4]
+
+
+class TestSegments:
+    def test_rotation_spreads_records(self, tmp_path):
+        log = WriteAheadLog(tmp_path, segment_max_bytes=128)
+        for seq, (indices, deltas) in enumerate(_groups(10), start=1):
+            log.append(seq, indices, deltas)
+        log.close()
+        segments = sorted(tmp_path.glob("wal-*.seg"))
+        assert len(segments) > 1
+        records, torn = replay(tmp_path)
+        assert torn is None
+        assert [r.seq for r in records] == list(range(1, 11))
+
+    def test_prune_upto_keeps_active_segment(self, tmp_path):
+        log = WriteAheadLog(tmp_path, segment_max_bytes=128)
+        for seq, (indices, deltas) in enumerate(_groups(10), start=1):
+            log.append(seq, indices, deltas)
+        total = len(list(tmp_path.glob("wal-*.seg")))
+        removed = log.prune_upto(10)
+        assert removed == total - 1  # the active segment always survives
+        records, _ = replay(tmp_path)
+        assert records[-1].seq == 10
+        log.close()
+
+
+class TestTornTailVersusCorruption:
+    def _write(self, directory, n=4):
+        log = WriteAheadLog(directory)
+        for seq, (indices, deltas) in enumerate(_groups(n), start=1):
+            log.append(seq, indices, deltas)
+        log.close()
+        return sorted(directory.glob("wal-*.seg"))[-1]
+
+    def test_truncated_final_record_is_torn_tail(self, tmp_path):
+        segment = self._write(tmp_path)
+        blob = segment.read_bytes()
+        segment.write_bytes(blob[:-7])  # tear the last record mid-payload
+        records, torn = replay(tmp_path)
+        assert [r.seq for r in records] == [1, 2, 3]
+        assert torn is not None and torn.size > 0
+
+    def test_garbage_tail_is_torn_tail(self, tmp_path):
+        segment = self._write(tmp_path)
+        with segment.open("ab") as handle:
+            handle.write(b"\x13\x37" * 5)  # a crash mid-append
+        records, torn = replay(tmp_path)
+        assert [r.seq for r in records] == [1, 2, 3, 4]
+        assert torn is not None
+
+    def test_mid_log_corruption_raises(self, tmp_path):
+        """A bad checksum *followed by committed data* is corruption, not
+        a torn tail — replay must refuse rather than skip silently."""
+        segment = self._write(tmp_path)
+        blob = bytearray(segment.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF  # flip a bit well before the tail
+        segment.write_bytes(bytes(blob))
+        with pytest.raises(WALCorruptionError):
+            replay(tmp_path)
+
+    def test_open_repairs_torn_tail(self, tmp_path):
+        segment = self._write(tmp_path)
+        good = len(segment.read_bytes())
+        with segment.open("ab") as handle:
+            handle.write(b"partial")
+        log = WriteAheadLog(tmp_path)  # repair=True truncates
+        assert len(segment.read_bytes()) == good
+        assert log.next_seq == 5
+        log.close()
+
+    def test_open_without_repair_refuses_torn_tail(self, tmp_path):
+        segment = self._write(tmp_path)
+        with segment.open("ab") as handle:
+            handle.write(b"partial")
+        # a torn tail is an expected crash artifact, not corruption — so
+        # the refusal is a plain WALError pointing at repair=True
+        with pytest.raises(WALError, match="repair"):
+            WriteAheadLog(tmp_path, repair=False)
+
+
+class TestCheckpoints:
+    def _method(self, seed=0):
+        rng = np.random.default_rng(seed)
+        return RelativePrefixSumCube(rng.integers(0, 50, (9, 9)))
+
+    def test_write_list_load_roundtrip(self, tmp_path):
+        method = self._method()
+        path = wal_mod.write_checkpoint(method, tmp_path, 7)
+        assert wal_mod.list_checkpoints(tmp_path) == [(7, path)]
+        loaded = load_method(path)
+        assert np.array_equal(loaded.to_array(), method.to_array())
+
+    def test_prune_checkpoints_keeps_newest(self, tmp_path):
+        method = self._method()
+        for seq in (3, 6, 9, 12):
+            wal_mod.write_checkpoint(method, tmp_path, seq)
+        removed = wal_mod.prune_checkpoints(tmp_path, keep=2)
+        assert removed == 2
+        assert [s for s, _ in wal_mod.list_checkpoints(tmp_path)] == [9, 12]
+
+    def test_prune_wal_respects_oldest_retained_checkpoint(self, tmp_path):
+        """Fallback to the older checkpoint must still be able to replay
+        to tip — segments at or above its sequence stay."""
+        log = WriteAheadLog(tmp_path, segment_max_bytes=64)
+        method = self._method()
+        for seq, (indices, deltas) in enumerate(_groups(12), start=1):
+            log.append(seq, indices, deltas)
+            if seq in (4, 8):
+                wal_mod.write_checkpoint(method, tmp_path, seq)
+        wal_mod.prune_wal(tmp_path, log, keep_checkpoints=2)
+        records, _ = replay(tmp_path)
+        # every group the *oldest* retained checkpoint (4) needs is there
+        assert records[0].seq <= 5
+        assert records[-1].seq == 12
+        log.close()

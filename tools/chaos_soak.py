@@ -1,0 +1,204 @@
+"""Seeded fault-injection soak for the durability layer.
+
+Runs crash/recover rounds against a brute-force oracle until a time
+budget expires, cycling three scenarios per seed:
+
+* **crash** — feed a durable :class:`~repro.serve.CubeService` random
+  update groups, kill it at a random point (``abandon()`` leaves the
+  exact power-loss disk image), recover, and assert the recovered cube
+  equals an oracle that applied exactly the acknowledged prefix.
+* **torn-tail** — a :class:`~repro.faults.FaultPlan` tears a WAL append
+  mid-record; the torn group was never acked, so recovery must surface
+  exactly the groups before it and the resumed service must append
+  cleanly after truncation.
+* **bad-checkpoint** — flip a byte in the newest checkpoint; recovery
+  must fall back to the previous one and still reach the oracle state
+  via WAL replay.
+
+Every round is deterministic in ``(seed, round_index)``. On failure the
+round's WAL/checkpoint directory is preserved under ``--artifact-dir``
+(CI uploads it) together with a ``round.json`` describing the exact
+parameters, and the process exits nonzero.
+
+Usage::
+
+    PYTHONPATH=src python tools/chaos_soak.py --seeds 0 1 2 \
+        --time-budget 60 --artifact-dir chaos-artifacts
+"""
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+import traceback
+from pathlib import Path
+
+import numpy as np
+
+from repro import CubeService, DurabilityPolicy, FaultPlan
+from repro.core.rps import RelativePrefixSumCube
+from repro.faults import InjectedFault
+from repro.serve import recover_state
+from repro.testing import assert_recovery_correct
+
+SHAPES = [(23,), (11, 9), (6, 5, 4)]
+
+
+def _round_params(seed, round_index):
+    rng = np.random.default_rng([seed, round_index])
+    return rng, {
+        "seed": seed,
+        "round": round_index,
+        "scenario": ("crash", "torn-tail", "bad-checkpoint")[round_index % 3],
+        "shape": SHAPES[int(rng.integers(len(SHAPES)))],
+        "groups": int(rng.integers(8, 30)),
+        "checkpoint_every": int(rng.integers(1, 8)),
+    }
+
+
+def _run_crash(rng, params, state_dir):
+    crash_after = int(rng.integers(0, params["groups"] + 1))
+    params["crash_after"] = crash_after if crash_after < params["groups"] else None
+    assert_recovery_correct(
+        RelativePrefixSumCube,
+        state_dir,
+        shape=params["shape"],
+        groups=params["groups"],
+        crash_after=params["crash_after"],
+        checkpoint_every=params["checkpoint_every"],
+        seed=int(rng.integers(2**31)),
+    )
+
+
+def _feed(service, oracle, rng, count, shape):
+    for _ in range(count):
+        cell = tuple(int(rng.integers(0, n)) for n in shape)
+        delta = int(rng.integers(-9, 10)) or 1
+        service.submit_batch([(cell, delta)])
+        oracle[cell] += delta
+
+
+def _run_torn_tail(rng, params, state_dir):
+    shape = params["shape"]
+    tear_at = int(rng.integers(2, params["groups"]))
+    params["torn_write_at"] = tear_at
+    oracle = np.zeros(shape, dtype=np.int64)
+    service = CubeService(
+        RelativePrefixSumCube,
+        oracle.copy(),
+        durability=DurabilityPolicy(
+            dir=state_dir, checkpoint_every=params["checkpoint_every"]
+        ),
+        fault_plan=FaultPlan(seed=params["seed"], torn_write_at=tear_at),
+    )
+    try:
+        _feed(service, oracle, rng, tear_at - 1, shape)
+        try:
+            service.submit_batch([(tuple(0 for _ in shape), 1)])
+        except InjectedFault:
+            pass  # the torn group was never acknowledged
+        else:
+            raise AssertionError("torn write was not injected")
+    finally:
+        service.abandon()
+    state = recover_state(state_dir)
+    assert state.version == tear_at - 1, (state.version, tear_at)
+    assert np.array_equal(state.method.to_array(), oracle)
+    # the resumed service truncates the tear and appends cleanly
+    resumed = CubeService.recover(state_dir)
+    try:
+        _feed(resumed, oracle, rng, 2, shape)
+        resumed.flush()
+        arr, _, _ = resumed._read(lambda m: m.to_array())
+        assert np.array_equal(arr, oracle)
+    finally:
+        resumed.close()
+
+
+def _run_bad_checkpoint(rng, params, state_dir):
+    shape = params["shape"]
+    # checkpoint every cycle, and flush twice so at least two non-seed
+    # checkpoints exist — corrupting the newest must leave a fallback
+    params["checkpoint_every"] = 1
+    oracle = np.zeros(shape, dtype=np.int64)
+    service = CubeService(
+        RelativePrefixSumCube,
+        oracle.copy(),
+        durability=DurabilityPolicy(
+            dir=state_dir, checkpoint_every=1, keep_checkpoints=2
+        ),
+    )
+    try:
+        half = max(1, params["groups"] // 2)
+        _feed(service, oracle, rng, half, shape)
+        service.flush()
+        _feed(service, oracle, rng, params["groups"] - half, shape)
+        service.flush()
+    finally:
+        service.abandon()
+    checkpoints = sorted(Path(state_dir).glob("ckpt-*.npz"))
+    assert len(checkpoints) >= 2, [p.name for p in checkpoints]
+    target = checkpoints[-1]
+    blob = bytearray(target.read_bytes())
+    blob[int(rng.integers(len(blob)))] ^= 0xFF
+    target.write_bytes(bytes(blob))
+    params["corrupted_checkpoint"] = target.name
+    state = recover_state(state_dir)
+    assert np.array_equal(state.method.to_array(), oracle)
+
+
+SCENARIOS = {
+    "crash": _run_crash,
+    "torn-tail": _run_torn_tail,
+    "bad-checkpoint": _run_bad_checkpoint,
+}
+
+
+def soak(seeds, time_budget, artifact_dir):
+    start = time.monotonic()
+    rounds = 0
+    round_index = 0
+    while time.monotonic() - start < time_budget:
+        for seed in seeds:
+            rng, params = _round_params(seed, round_index)
+            with tempfile.TemporaryDirectory(prefix="chaos-") as tmp:
+                state_dir = Path(tmp) / "state"
+                state_dir.mkdir()
+                try:
+                    SCENARIOS[params["scenario"]](rng, params, state_dir)
+                except Exception:
+                    artifact_dir.mkdir(parents=True, exist_ok=True)
+                    dest = artifact_dir / f"seed{seed}-round{round_index}"
+                    shutil.copytree(state_dir, dest / "state")
+                    params["traceback"] = traceback.format_exc()
+                    (dest / "round.json").write_text(
+                        json.dumps(params, indent=2, default=str) + "\n"
+                    )
+                    print(f"FAIL {params['scenario']} seed={seed} "
+                          f"round={round_index}; state kept in {dest}")
+                    print(params["traceback"])
+                    return 1
+            rounds += 1
+        round_index += 1
+    elapsed = time.monotonic() - start
+    print(f"chaos soak passed: {rounds} rounds, seeds {list(seeds)}, "
+          f"{elapsed:.1f}s")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    parser.add_argument("--time-budget", type=float, default=60.0,
+                        help="stop starting new rounds after this many seconds")
+    parser.add_argument("--artifact-dir", type=Path,
+                        default=Path("chaos-artifacts"),
+                        help="failed rounds keep their WAL/checkpoint dir here")
+    args = parser.parse_args(argv)
+    return soak(args.seeds, args.time_budget, args.artifact_dir)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
