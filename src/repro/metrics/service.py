@@ -107,6 +107,7 @@ class ServiceMetrics:
         self.wal_appends = 0
         self.wal_bytes = 0
         self.wal_fsyncs = 0
+        self.wal_failures = 0
         self.checkpoints_written = 0
         self.recovery_replays = 0
 
@@ -167,6 +168,16 @@ class ServiceMetrics:
             if fsynced:
                 self.wal_fsyncs += 1
 
+    def record_wal_fsync(self) -> None:
+        """One group-commit fsync made pending WAL records durable."""
+        with self._lock:
+            self.wal_fsyncs += 1
+
+    def record_wal_failure(self) -> None:
+        """The WAL was poisoned (injected fault or real I/O error)."""
+        with self._lock:
+            self.wal_failures += 1
+
     def record_checkpoint(self) -> None:
         """One checkpoint snapshot was written."""
         with self._lock:
@@ -216,6 +227,7 @@ class ServiceMetrics:
                 "wal_appends": self.wal_appends,
                 "wal_bytes": self.wal_bytes,
                 "wal_fsyncs": self.wal_fsyncs,
+                "wal_failures": self.wal_failures,
                 "checkpoints_written": self.checkpoints_written,
                 "recovery_replays": self.recovery_replays,
             }

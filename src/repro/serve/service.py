@@ -212,11 +212,14 @@ class CubeService:
                 f"opening a fresh service at version {initial} would orphan "
                 f"it — use CubeService.recover() instead"
             )
-        if not wal_mod.checkpoint_path(policy.dir, initial).exists():
-            wal_mod.write_checkpoint(
-                self._front.method, policy.dir, initial
-            )
-            self.metrics.record_checkpoint()
+        # Always (re)write the seed checkpoint, even when a file with
+        # this sequence already exists: a leftover ckpt-<initial> from
+        # an earlier, unrelated run (e.g. a ckpt-0 of a different
+        # dataset) would otherwise be trusted and a later recovery
+        # would silently restore foreign state. save_method's
+        # write-temp-then-os.replace makes the overwrite crash-safe.
+        wal_mod.write_checkpoint(self._front.method, policy.dir, initial)
+        self.metrics.record_checkpoint()
         self._last_checkpoint_seq = initial
         wal_mod.prune_checkpoints(policy.dir, policy.keep_checkpoints)
         wal_mod.prune_wal(policy.dir, self._wal, policy.keep_checkpoints)
@@ -390,11 +393,23 @@ class CubeService:
                 self._state_lock.wait(remaining)
             seq = self._submitted_groups + 1
             if self._wal is not None:
-                # the commit point: on disk before the ack, or not at all
-                self._wal.append(seq, indices, deltas)
+                # Written (buffered) under the lock so append order ==
+                # sequence order == queue order. The expensive fsync
+                # happens below, outside the lock — the commit point is
+                # still before the ack, but readers, stats(), and the
+                # writer's publish path never serialize behind the disk.
+                self._wal.append(seq, indices, deltas, sync=False)
             self._submitted_groups = seq
             # enqueue under the lock so queue order == sequence order
             self._queue.put((seq, indices, deltas))
+        if self._wal is not None:
+            # Group commit: concurrent submitters share one fsync. On
+            # an fsync failure this raises — the group is not acked and
+            # the poisoned log refuses further appends (read-only
+            # degradation), though the unacknowledged group may still
+            # be applied in memory; either surviving or vanishing at
+            # recovery respects the acked-prefix contract.
+            self._wal.sync_upto(seq)
         self.metrics.record_submit(len(pairs))
         return seq
 
@@ -714,6 +729,17 @@ class CubeService:
                 extra += self._faults.on_apply_group(seq)
             if extra:
                 time.sleep(extra)
+        if self._wal is not None:
+            # Publish-durability barrier: submitters enqueue before they
+            # fsync (group commit), so make the batch durable before any
+            # reader can observe it — a crash must never lose a state
+            # some read already saw. On a poisoned log the submitter
+            # already got the failure; apply the unacked tail
+            # best-effort and keep serving.
+            try:
+                self._wal.sync_upto(groups[-1][0])
+            except ReproError:
+                pass
         start = time.perf_counter()
         merged_idx = np.concatenate([idx for _, idx, _ in groups])
         merged_deltas = np.concatenate([d for _, _, d in groups])

@@ -15,14 +15,21 @@ This module provides the two halves of the classic durability contract
 Commit point and crash anatomy
 ------------------------------
 
-A group is *committed* the moment its WAL record is fully on disk. A
-crash can therefore leave exactly one interesting artifact: a **torn
-tail** — a partial final record from an append that never finished. That
-is expected, not an error: replay detects it (short record or checksum
-mismatch at end-of-log), truncates it, and recovers the committed
-prefix. A checksum mismatch *before* the tail means real corruption and
-raises :class:`~repro.errors.WALCorruptionError` — replay never guesses
-past damaged committed data.
+A group is *committed* the moment its WAL record is fully on disk, and
+*durable* once that record is fsynced — the service acknowledges only
+after both (appends are buffered under the admission lock, then
+group-committed to disk via :meth:`WriteAheadLog.sync_upto`, so
+concurrent submitters share one fsync). A crash can therefore leave two
+kinds of artifact: a **torn tail** — a partial final record from an
+append that never finished — and a **headerless final segment** — a
+rotation that died before the 8-byte header hit the disk. Both are
+expected, not errors: replay detects a torn tail (short record or
+checksum mismatch at end-of-log), truncates it, and recovers the
+committed prefix; reopening the log discards a headerless final segment
+(it holds no records by construction) and rotates into a fresh one. A
+checksum mismatch *before* the tail means real corruption and raises
+:class:`~repro.errors.WALCorruptionError` — replay never guesses past
+damaged committed data.
 
 On-disk format
 --------------
@@ -342,13 +349,16 @@ class WriteAheadLog:
         self._faults = faults
         self._metrics = metrics
         self._lock = threading.RLock()
+        self._sync_lock = threading.Lock()
         self._handle = None
         self._failed: Optional[str] = None
         self._segment_last_seq: Dict[Path, int] = {}
         self._open_existing(repair)
+        self._durable_seq = self._next_seq - 1
 
     def _open_existing(self, repair: bool) -> None:
         segments = _list_segments(self.directory)
+        header_size = len(SEGMENT_MAGIC) + 1
         last_seq = 0
         for position, (start, path) in enumerate(segments):
             records, good, torn_bytes, _ = _scan_segment(path)
@@ -371,13 +381,28 @@ class WriteAheadLog:
             else:
                 self._segment_last_seq[path] = start - 1
         self._next_seq = last_seq + 1 if segments else 1
+        self._current_path = None
         if segments:
-            # keep appending to the final segment (post-repair)
             path = segments[-1][1]
-            self._current_path = path
-            self._handle = open(path, "ab")
-        else:
-            self._current_path = None
+            if path.stat().st_size < header_size:
+                # A crash during rotation — or the torn-header truncation
+                # above — left the final segment without a complete
+                # RPWAL1 header. Appending to it would produce a
+                # headerless file that replay can never read, so discard
+                # the empty shell; the next append rotates into a fresh,
+                # properly-headered segment. Nothing committed is lost:
+                # a segment without a header holds no records.
+                if not repair:
+                    raise WALError(
+                        f"{os.fspath(path)!r} has no complete segment "
+                        f"header; open with repair=True to discard it"
+                    )
+                path.unlink()
+                self._segment_last_seq.pop(path, None)
+            else:
+                # keep appending to the final segment (post-repair)
+                self._current_path = path
+                self._handle = open(path, "ab")
 
     # -- properties ----------------------------------------------------------
 
@@ -393,12 +418,26 @@ class WriteAheadLog:
         with self._lock:
             return self._failed is not None
 
+    @property
+    def durable_seq(self) -> int:
+        """Highest sequence number known to be fsynced to disk."""
+        with self._lock:
+            return self._durable_seq
+
     # -- appending -----------------------------------------------------------
+
+    def _poison(self, reason: str) -> None:
+        """Mark the log failed (caller holds ``_lock``) and count it."""
+        self._failed = reason
+        if self._metrics is not None:
+            self._metrics.record_wal_failure()
 
     def _rotate(self) -> None:
         if self._handle is not None:
             self._handle.flush()
             os.fsync(self._handle.fileno())
+            # everything written so far lives in the segment just synced
+            self._durable_seq = self._next_seq - 1
             self._handle.close()
         path = self.directory / f"wal-{self._next_seq:020d}.seg"
         self._handle = open(path, "ab")
@@ -409,13 +448,21 @@ class WriteAheadLog:
         self._current_path = path
         self._segment_last_seq[path] = self._next_seq - 1
 
-    def append(self, seq: int, indices, deltas) -> int:
-        """Durably log update group ``seq``; returns bytes written.
+    def append(self, seq: int, indices, deltas, *, sync=None) -> int:
+        """Log update group ``seq``; returns bytes written.
 
-        The record is on disk (and fsynced, when ``sync``) before this
-        returns — the caller may acknowledge the group afterwards. On
-        any failure nothing is acknowledged and the log refuses further
-        appends until reopened.
+        With ``sync`` left at ``None`` the log's own ``sync`` setting
+        decides: the record is on disk — fsynced — before this returns,
+        and the caller may acknowledge the group afterwards. Passing
+        ``sync=False`` writes the record (buffered, flushed to the OS)
+        but defers durability to a later :meth:`sync_upto` — the
+        group-commit path :class:`~repro.serve.CubeService` uses so
+        concurrent submitters share one fsync.
+
+        On any failure — injected or a real ``OSError`` from the write
+        or fsync (disk full, I/O error) — nothing is acknowledged, the
+        tail may hold a partial record, and the log refuses further
+        appends until reopened (the service degrades to read-only).
         """
         with self._lock:
             if self._failed is not None:
@@ -433,33 +480,100 @@ class WriteAheadLog:
             if self._faults is not None:
                 action, keep = self._faults.on_wal_append(len(record))
             if action == "fail":
-                self._failed = f"injected write failure at seq {seq}"
+                self._poison(f"injected write failure at seq {seq}")
                 from repro.faults import InjectedFault
 
                 raise InjectedFault(self._failed)
-            if (
-                self._handle is None
-                or self._handle.tell() >= self.segment_max_bytes
-            ):
-                self._rotate()
-            if action == "torn":
-                # persist the partial record — the crash image — then fail
-                self._handle.write(record[:keep])
+            do_sync = self.sync if sync is None else bool(sync)
+            try:
+                if (
+                    self._handle is None
+                    or self._handle.tell() >= self.segment_max_bytes
+                ):
+                    self._rotate()
+                if action == "torn":
+                    # persist the partial record — the crash image —
+                    # then fail
+                    self._handle.write(record[:keep])
+                    self._handle.flush()
+                    os.fsync(self._handle.fileno())
+                    self._poison(f"injected torn write at seq {seq}")
+                    from repro.faults import InjectedFault
+
+                    raise InjectedFault(self._failed)
+                self._handle.write(record)
                 self._handle.flush()
-                os.fsync(self._handle.fileno())
-                self._failed = f"injected torn write at seq {seq}"
-                from repro.faults import InjectedFault
-
-                raise InjectedFault(self._failed)
-            self._handle.write(record)
-            self._handle.flush()
-            if self.sync:
-                os.fsync(self._handle.fileno())
+                if do_sync:
+                    os.fsync(self._handle.fileno())
+            except BaseException as err:
+                # A real I/O failure leaves the same artifact as an
+                # injected torn write: an unknown amount of the record
+                # on disk. Appending after it would bury garbage inside
+                # the committed body, so the log is poisoned either way.
+                if self._failed is None:
+                    self._poison(f"append of seq {seq} failed: {err!r}")
+                raise
             self._next_seq = seq + 1
+            if do_sync:
+                self._durable_seq = seq
             self._segment_last_seq[self._current_path] = seq
             if self._metrics is not None:
-                self._metrics.record_wal_append(len(record), self.sync)
+                self._metrics.record_wal_append(len(record), do_sync)
             return len(record)
+
+    def sync_upto(self, seq: int) -> None:
+        """Block until record ``seq`` is durable (fsynced); group commit.
+
+        Safe to call from many threads: callers serialize on a dedicated
+        sync lock, and one fsync covers every record written before it,
+        so concurrent submitters share a single disk flush instead of
+        paying one each. A no-op when the log was opened with
+        ``sync=False`` (durability disabled by policy) or when ``seq``
+        is already durable. An fsync failure poisons the log exactly
+        like a failed append.
+        """
+        if not self.sync:
+            return
+        with self._sync_lock:
+            with self._lock:
+                if self._durable_seq >= seq:
+                    return
+                if self._failed is not None:
+                    raise WALError(
+                        f"write-ahead log has failed ({self._failed}); "
+                        f"durability of seq {seq} cannot be guaranteed"
+                    )
+                if seq >= self._next_seq:
+                    raise WALError(
+                        f"sync_upto({seq}): only {self._next_seq - 1} "
+                        f"records have been appended"
+                    )
+                handle = self._handle
+                written = self._next_seq - 1
+            if handle is None:
+                raise WALError(
+                    f"sync_upto({seq}): the log has no open segment"
+                )
+            try:
+                # outside ``_lock`` on purpose: appenders keep writing
+                # (buffered) while the flush runs, and the service's
+                # admission lock never waits behind the disk
+                os.fsync(handle.fileno())
+            except (OSError, ValueError) as err:
+                with self._lock:
+                    # a concurrent rotation fsyncs-and-closes the handle
+                    # under us — re-check before declaring failure
+                    if self._durable_seq >= seq:
+                        return
+                    self._poison(f"fsync of seq {seq} failed: {err!r}")
+                raise WALError(
+                    f"write-ahead log fsync failed: {err!r}"
+                ) from err
+            with self._lock:
+                if self._durable_seq < written:
+                    self._durable_seq = written
+            if self._metrics is not None:
+                self._metrics.record_wal_fsync()
 
     # -- maintenance ---------------------------------------------------------
 
@@ -492,6 +606,7 @@ class WriteAheadLog:
                     self._handle.flush()
                     if sync:
                         os.fsync(self._handle.fileno())
+                        self._durable_seq = self._next_seq - 1
                 finally:
                     self._handle.close()
                     self._handle = None
@@ -687,8 +802,14 @@ class DurabilityPolicy:
         checkpoint_every: write a checkpoint after this many applied
             groups (bounds replay length). ``0`` disables periodic
             checkpoints (one is still written at open and close).
-        fsync: fsync the WAL on every append — the strict reading of
-            "acked means durable". Disable for throughput experiments.
+        fsync: fsync the WAL before every ack — the strict reading of
+            "acked means durable". The flush is *group-committed*: the
+            record is written (buffered) under the service's admission
+            lock to pin the sequence order, but the fsync itself runs
+            outside it via :meth:`WriteAheadLog.sync_upto`, so
+            concurrent submitters share one disk flush and readers,
+            ``stats()``, and the writer's publish path never serialize
+            behind the disk. Disable for throughput experiments.
         segment_max_bytes: WAL segment rotation threshold.
         keep_checkpoints: checkpoints retained for corruption fallback;
             WAL segments below the oldest retained one are pruned.

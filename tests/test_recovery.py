@@ -209,6 +209,54 @@ class TestCorruptCheckpointFixture:
             recover_state(tmp_path)
 
 
+class TestSeedCheckpoint:
+    def test_fresh_open_overwrites_foreign_seed_checkpoint(self, tmp_path):
+        """A directory holding a ckpt-0 of a *different* dataset (and no
+        WAL records) passes the staleness guard — version 0 equals
+        version 0 — so the seed checkpoint must be rewritten at open,
+        or recovery would silently restore the foreign array."""
+        foreign = np.full((4, 4), 9, dtype=np.int64)
+        CubeService(
+            RelativePrefixSumCube,
+            foreign,
+            durability=DurabilityPolicy(dir=tmp_path),
+        ).close()  # leaves ckpt-0 of `foreign`, zero WAL records
+
+        fresh = np.arange(16, dtype=np.int64).reshape(4, 4)
+        svc = CubeService(
+            RelativePrefixSumCube,
+            fresh,
+            durability=DurabilityPolicy(dir=tmp_path),
+        )
+        svc.submit_batch([((1, 1), 5)])
+        svc.flush()
+        svc.abandon()
+
+        state = recover_state(tmp_path)
+        expected = fresh.copy()
+        expected[1, 1] += 5
+        assert np.array_equal(state.method.to_array(), expected)
+
+    def test_nonempty_directory_still_refused(self, tmp_path):
+        """The staleness guard is about *newer* on-disk state: once the
+        directory holds acked groups, a fresh open must still refuse."""
+        base = np.zeros((4, 4), dtype=np.int64)
+        svc = CubeService(
+            RelativePrefixSumCube,
+            base,
+            durability=DurabilityPolicy(dir=tmp_path),
+        )
+        svc.submit_batch([((0, 0), 1)])
+        svc.flush()
+        svc.abandon()
+        with pytest.raises(RecoveryError, match="recover"):
+            CubeService(
+                RelativePrefixSumCube,
+                base,
+                durability=DurabilityPolicy(dir=tmp_path),
+            )
+
+
 class TestRecoverClassmethod:
     def test_method_conversion_at_recovery(self, tmp_path):
         """Recover under a different backend: the checkpoint stores the

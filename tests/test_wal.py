@@ -197,6 +197,132 @@ class TestTornTailVersusCorruption:
             WriteAheadLog(tmp_path, repair=False)
 
 
+class TestHeaderlessSegmentRepair:
+    """A crash during rotation can leave the final segment with a
+    partial 8-byte header, or none at all. Reopening must not append
+    records into a headerless file — that would make every later acked
+    group unreadable ('bad magic') at recovery."""
+
+    def _seed(self, directory, n=3):
+        log = WriteAheadLog(directory)
+        for seq, (indices, deltas) in enumerate(_groups(n), start=1):
+            log.append(seq, indices, deltas)
+        log.close()
+
+    @pytest.mark.parametrize(
+        "stub", [b"", b"RPW"], ids=["empty", "partial-header"]
+    )
+    def test_headerless_final_segment_discarded(self, tmp_path, stub):
+        self._seed(tmp_path)
+        (tmp_path / f"wal-{4:020d}.seg").write_bytes(stub)
+        log = WriteAheadLog(tmp_path)  # repair discards the shell
+        assert log.next_seq == 4
+        indices, deltas = _groups(1, seed=7)[0]
+        log.append(4, indices, deltas)
+        log.close()
+        # the fresh segment carries a proper header: replay is clean
+        records, torn = replay(tmp_path)
+        assert torn is None
+        assert [r.seq for r in records] == [1, 2, 3, 4]
+
+    def test_headerless_only_segment_discarded(self, tmp_path):
+        (tmp_path / f"wal-{1:020d}.seg").write_bytes(b"")
+        log = WriteAheadLog(tmp_path)
+        assert log.next_seq == 1
+        indices, deltas = _groups(1)[0]
+        log.append(1, indices, deltas)
+        log.close()
+        records, torn = replay(tmp_path)
+        assert torn is None and [r.seq for r in records] == [1]
+
+    def test_empty_final_segment_refused_without_repair(self, tmp_path):
+        self._seed(tmp_path)
+        (tmp_path / f"wal-{4:020d}.seg").write_bytes(b"")
+        with pytest.raises(WALError, match="header"):
+            WriteAheadLog(tmp_path, repair=False)
+
+
+class TestRealWriteFailures:
+    """Un-injected I/O failures (disk full, EIO) must poison the log
+    exactly like injected torn writes — never leave it appendable with
+    a partial record on disk."""
+
+    def test_fsync_failure_in_append_poisons_log(
+        self, tmp_path, monkeypatch
+    ):
+        log = WriteAheadLog(tmp_path)
+        indices, deltas = _groups(1)[0]
+        log.append(1, indices, deltas)
+
+        def broken_fsync(fd):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(wal_mod.os, "fsync", broken_fsync)
+        with pytest.raises(OSError):
+            log.append(2, indices, deltas)
+        assert log.failed
+        monkeypatch.undo()
+        # the disk came back, but the tail state is unknown: still refuse
+        with pytest.raises(WALError, match="failed"):
+            log.append(2, indices, deltas)
+        log.close(sync=False)
+
+    def test_sync_upto_failure_poisons_log(self, tmp_path, monkeypatch):
+        log = WriteAheadLog(tmp_path)
+        indices, deltas = _groups(1)[0]
+        log.append(1, indices, deltas, sync=False)
+
+        def broken_fsync(fd):
+            raise OSError(5, "Input/output error")
+
+        monkeypatch.setattr(wal_mod.os, "fsync", broken_fsync)
+        with pytest.raises(WALError, match="fsync"):
+            log.sync_upto(1)
+        assert log.failed
+        log.close(sync=False)
+
+
+class TestGroupCommit:
+    def test_sync_upto_covers_all_written_records(
+        self, tmp_path, monkeypatch
+    ):
+        log = WriteAheadLog(tmp_path)
+        for seq, (indices, deltas) in enumerate(_groups(3), start=1):
+            log.append(seq, indices, deltas, sync=False)
+        assert log.durable_seq == 0
+        calls = []
+        real_fsync = wal_mod.os.fsync
+        monkeypatch.setattr(
+            wal_mod.os,
+            "fsync",
+            lambda fd: (calls.append(fd), real_fsync(fd))[1],
+        )
+        log.sync_upto(3)
+        assert log.durable_seq == 3
+        assert len(calls) == 1  # one flush commits the whole batch
+        log.sync_upto(2)  # already durable: no extra disk traffic
+        assert len(calls) == 1
+        log.close()
+        records, torn = replay(tmp_path)
+        assert torn is None
+        assert [r.seq for r in records] == [1, 2, 3]
+
+    def test_synced_append_advances_durable_seq(self, tmp_path):
+        log = WriteAheadLog(tmp_path)
+        indices, deltas = _groups(1)[0]
+        log.append(1, indices, deltas)
+        assert log.durable_seq == 1
+        log.close()
+
+    def test_sync_upto_beyond_written_rejected(self, tmp_path):
+        log = WriteAheadLog(tmp_path)
+        indices, deltas = _groups(1)[0]
+        log.append(1, indices, deltas, sync=False)
+        with pytest.raises(WALError, match="sync_upto"):
+            log.sync_upto(5)
+        log.close()
+
+
 class TestCheckpoints:
     def _method(self, seed=0):
         rng = np.random.default_rng(seed)
