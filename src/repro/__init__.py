@@ -39,6 +39,13 @@ from repro.core import (
     default_box_size,
     default_box_sizes,
 )
+from repro.cluster import (
+    BreakerPolicy,
+    ClusterUnavailableError,
+    CubeCluster,
+    HedgePolicy,
+    ShardMap,
+)
 from repro.cube import (
     BandHierarchy,
     BinningEncoder,
@@ -56,7 +63,13 @@ from repro.cube import (
     execute_query,
     parse_query,
 )
-from repro.errors import ReproError, ServiceOverloadedError, StorageError
+from repro.deadline import Deadline
+from repro.errors import (
+    DeadlineExceededError,
+    ReproError,
+    ServiceOverloadedError,
+    StorageError,
+)
 from repro.extensions import HierarchicalRPSCube
 from repro.faults import FaultPlan, InjectedFault
 from repro.persistence import (
@@ -84,11 +97,16 @@ __all__ = [
     "AggregateCube",
     "BandHierarchy",
     "BinningEncoder",
+    "BreakerPolicy",
     "CalendarHierarchy",
     "BoxAlignedLayout",
     "CategoricalEncoder",
+    "ClusterUnavailableError",
+    "CubeCluster",
     "CubeSchema",
     "CubeService",
+    "Deadline",
+    "DeadlineExceededError",
     "DataCubeEngine",
     "DateEncoder",
     "Dimension",
@@ -96,6 +114,7 @@ __all__ = [
     "FactTable",
     "FaultPlan",
     "FenwickCube",
+    "HedgePolicy",
     "InjectedFault",
     "HierarchicalRPSCube",
     "IdentityEncoder",
@@ -112,6 +131,7 @@ __all__ = [
     "RelativePrefixSumCube",
     "ReproError",
     "ServiceClosedError",
+    "ShardMap",
     "ServiceMetrics",
     "ServiceOverloadedError",
     "StorageError",

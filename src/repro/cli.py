@@ -8,6 +8,8 @@ Subcommands:
 * ``demo`` — the paper's worked example end-to-end on the 9x9 cube.
 * ``workload [scenario]`` — run a named workload scenario across methods.
 * ``profile`` — measure methods' empirical cost spec sheets.
+* ``cluster`` — drive a replicated, sharded serving cluster (optionally
+  killing a primary mid-run) and print its operational stats.
 
 ``run``/``all`` accept ``--csv DIR`` to also write each table as
 ``DIR/<id>.csv``.
@@ -185,6 +187,79 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_cluster(args) -> int:
+    import json
+    import tempfile
+
+    import numpy as np
+
+    from repro.cluster import BreakerPolicy, CubeCluster
+    from repro.faults import FaultPlan
+    from repro.workloads import ClusterWorkloadRunner
+
+    rng = np.random.default_rng(args.seed)
+    shape = (args.n, args.n)
+    cube = rng.integers(0, 100, shape).astype(np.int64)
+    plan = FaultPlan(seed=args.seed)
+    print(
+        f"cluster: {args.shards} shards x {args.replicas} replicas on a "
+        f"{args.n}x{args.n} cube, {args.ops} ops, seed {args.seed}"
+        + (", killing one primary mid-run" if args.kill_primary else "")
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-cluster-") as tmp:
+        with CubeCluster(
+            RelativePrefixSumCube,
+            cube,
+            data_dir=tmp,
+            num_shards=args.shards,
+            replication_factor=args.replicas,
+            fault_plan=plan,
+            breaker=BreakerPolicy(failure_threshold=2, cooldown_s=30.0),
+            seed=args.seed,
+        ) as cluster:
+            runner = ClusterWorkloadRunner(cluster, cube.astype(np.float64))
+
+            def traffic(count):
+                queries, groups = [], []
+                for _ in range(count):
+                    low, high = [], []
+                    for n in shape:
+                        a, b = sorted(
+                            int(x) for x in rng.integers(0, n, size=2)
+                        )
+                        low.append(a)
+                        high.append(b)
+                    queries.append((tuple(low), tuple(high)))
+                    groups.append([
+                        (
+                            tuple(int(rng.integers(0, n)) for n in shape),
+                            float(rng.integers(-9, 10) or 1),
+                        )
+                        for _ in range(4)
+                    ])
+                return queries, groups
+
+            half = max(1, args.ops // 2)
+            result = runner.run(*traffic(half))
+            if args.kill_primary:
+                cluster.kill_node("s0.n0")
+                for _ in range(3):
+                    cluster.monitor.tick()
+            late = runner.run(*traffic(args.ops - half))
+            result.queries += late.queries
+            result.updates += late.updates
+            result.mismatches += late.mismatches
+            result.unavailable += late.unavailable
+            cluster.scrubber.scrub_once()
+            stats = cluster.stats()
+    print(
+        f"\n{result.queries} queries, {result.updates} update groups, "
+        f"{result.mismatches} mismatches, {result.unavailable} unavailable"
+    )
+    print(json.dumps(stats["metrics"], indent=2, default=str))
+    return 1 if result.mismatches else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro-bench argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -276,6 +351,26 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--ops", type=int, default=100)
     trace_parser.add_argument("--seed", type=int, default=0)
     trace_parser.set_defaults(func=_cmd_trace)
+
+    cluster_parser = sub.add_parser(
+        "cluster",
+        help="drive a replicated sharded cluster and print its stats",
+    )
+    cluster_parser.add_argument(
+        "--shards", type=int, default=2, help="number of shards (default 2)"
+    )
+    cluster_parser.add_argument(
+        "--replicas", type=int, default=2,
+        help="replicas per shard including the primary (default 2)",
+    )
+    cluster_parser.add_argument("--n", type=int, default=64)
+    cluster_parser.add_argument("--ops", type=int, default=40)
+    cluster_parser.add_argument("--seed", type=int, default=0)
+    cluster_parser.add_argument(
+        "--kill-primary", action="store_true",
+        help="kill shard 0's primary halfway through and fail over",
+    )
+    cluster_parser.set_defaults(func=_cmd_cluster)
     return parser
 
 

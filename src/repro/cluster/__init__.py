@@ -1,0 +1,62 @@
+"""Replicated, sharded serving cluster for dynamic data cubes.
+
+This package scales :class:`~repro.serve.CubeService` past one node
+while keeping the library's core promise — every answer exact:
+
+* :class:`ShardMap` slices the cube into leading-dimension slabs and
+  splits query boxes across them (partials sum exactly);
+* :class:`~repro.cluster.node.ClusterNode` wraps one service with a
+  fault-injection surface (kills, partitions, latency spikes from a
+  shared :class:`~repro.faults.FaultPlan`);
+* :class:`ReplicaSet` gives each shard a durable primary plus replicas:
+  hedged reads, forwarded writes, and WAL-recovering failover with zero
+  acked-group loss;
+* :class:`CircuitBreaker` / :class:`HealthMonitor` detect dead nodes
+  and trigger promotion; :class:`AntiEntropyScrubber` digest-compares
+  replicas and repairs silent divergence;
+* :class:`CubeCluster` is the facade clients talk to, with
+  :class:`~repro.deadline.Deadline`-bounded calls throughout.
+
+Quick start::
+
+    from repro import RelativePrefixSumCube
+    from repro.cluster import CubeCluster
+
+    with CubeCluster(RelativePrefixSumCube, cube, data_dir=path,
+                     num_shards=2, replication_factor=2) as cluster:
+        cluster.submit_batch([((3, 4), +10.0)])
+        cluster.flush()
+        value = cluster.range_sum((0, 0), (9, 9))
+"""
+
+from repro.cluster.cluster import CubeCluster
+from repro.cluster.health import BreakerPolicy, CircuitBreaker, HealthMonitor
+from repro.cluster.node import NODE_FAILURES, ClusterNode
+from repro.cluster.replicaset import HedgePolicy, ReplicaSet
+from repro.cluster.scrub import AntiEntropyScrubber
+from repro.cluster.shardmap import ShardMap
+from repro.deadline import Deadline
+from repro.errors import (
+    ClusterError,
+    ClusterUnavailableError,
+    DeadlineExceededError,
+    NodeUnavailableError,
+)
+
+__all__ = [
+    "AntiEntropyScrubber",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "ClusterError",
+    "ClusterNode",
+    "ClusterUnavailableError",
+    "CubeCluster",
+    "Deadline",
+    "DeadlineExceededError",
+    "HealthMonitor",
+    "HedgePolicy",
+    "NODE_FAILURES",
+    "NodeUnavailableError",
+    "ReplicaSet",
+    "ShardMap",
+]

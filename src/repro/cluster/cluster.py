@@ -1,0 +1,421 @@
+"""The cluster facade: one cube, many shards, replicated serving.
+
+:class:`CubeCluster` composes the pieces of :mod:`repro.cluster` into
+the object a client talks to:
+
+* a :class:`~repro.cluster.shardmap.ShardMap` slices the cube along its
+  leading dimension into one slab per shard;
+* each shard is served by a
+  :class:`~repro.cluster.replicaset.ReplicaSet` — a durable primary
+  (WAL-acked writes, its own ``shard-<s>/`` directory under
+  ``data_dir``) plus ``replication_factor - 1`` in-memory replicas fed
+  by forwarding;
+* a :class:`~repro.cluster.health.HealthMonitor` probes every node and
+  trips per-node circuit breakers; an
+  :class:`~repro.cluster.scrub.AntiEntropyScrubber` digest-compares
+  replicas against their primary and repairs divergence.
+
+Client calls take an optional :class:`~repro.deadline.Deadline`; shard
+reads are hedged per :class:`~repro.cluster.replicaset.HedgePolicy`.
+Failure handling is exact, never approximate: a query that cannot reach
+every shard it spans raises
+:class:`~repro.errors.ClusterUnavailableError` (a write additionally
+reports which shards *did* ack in ``.acked``) rather than returning a
+partial sum.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.health import (
+    BreakerPolicy,
+    CircuitBreaker,
+    HealthMonitor,
+)
+from repro.cluster.node import NODE_FAILURES, ClusterNode
+from repro.cluster.replicaset import HedgePolicy, ReplicaSet
+from repro.cluster.scrub import AntiEntropyScrubber
+from repro.cluster.shardmap import ShardMap
+from repro.deadline import Deadline
+from repro.errors import (
+    ClusterError,
+    ClusterUnavailableError,
+    DeadlineExceededError,
+)
+from repro.metrics.cluster import ClusterMetrics
+from repro.serve.service import CubeService
+from repro.serve.wal import DurabilityPolicy
+
+
+class CubeCluster:
+    """A replicated, sharded serving cluster for one data cube.
+
+    Args:
+        method_cls: :class:`~repro.core.base.RangeSumMethod` subclass
+            every node serves its slab with.
+        array: the full initial cube; sliced into per-shard slabs.
+        data_dir: root directory for per-shard durability
+            (``data_dir/shard-<s>/`` holds shard ``s``'s WAL and
+            checkpoints). Required — primaries ack only after the WAL
+            says so.
+        num_shards: slabs along the leading dimension.
+        replication_factor: nodes per shard (1 primary + the rest
+            replicas).
+        method_kwargs: forwarded to every node's method construction.
+        checkpoint_every: per-primary checkpoint cadence (see
+            :class:`~repro.serve.wal.DurabilityPolicy`).
+        fsync: whether primary acks wait for the WAL fsync.
+        seed: seeds the health monitor's probe order and the scrubber's
+            shard order.
+        fault_plan: shared :class:`~repro.faults.FaultPlan` consulted on
+            every node-level operation (kills, partitions, read latency
+            spikes) — the cluster's chaos surface.
+        node_fault_plans: per-node plans handed to that node's
+            *service* (WAL faults, ``crash_at_group``); keyed by node
+            id, e.g. ``{"s0.n0": FaultPlan(crash_at_group=3)}``. A node
+            promoted by failover deliberately does not inherit the dead
+            primary's plan.
+        hedge: hedged-read policy shared by every shard.
+        breaker: circuit-breaker policy shared by every node.
+        max_pending_groups: per-node submission-queue bound.
+
+    Use as a context manager or call :meth:`close`::
+
+        with CubeCluster(RelativePrefixSumCube, cube, data_dir=tmp,
+                         num_shards=2, replication_factor=2) as cluster:
+            cluster.submit_batch([((3, 4), +10.0)])
+            cluster.flush()
+            total = cluster.range_sum((0, 0), (7, 7))
+    """
+
+    def __init__(
+        self,
+        method_cls,
+        array: np.ndarray,
+        *,
+        data_dir,
+        num_shards: int = 2,
+        replication_factor: int = 2,
+        method_kwargs: Optional[Dict] = None,
+        checkpoint_every: int = 64,
+        fsync: bool = True,
+        seed: int = 0,
+        fault_plan=None,
+        node_fault_plans: Optional[Dict[str, object]] = None,
+        hedge: Optional[HedgePolicy] = None,
+        breaker: Optional[BreakerPolicy] = None,
+        max_pending_groups: Optional[int] = None,
+    ) -> None:
+        if replication_factor < 1:
+            raise ClusterError(
+                f"replication_factor must be >= 1, got {replication_factor}"
+            )
+        array = np.asarray(array)
+        self.shardmap = ShardMap(array.shape, num_shards)
+        self.metrics = ClusterMetrics()
+        self.faults = fault_plan
+        self._method_kwargs = dict(method_kwargs or {})
+        self._data_dir = os.fspath(data_dir)
+        self._breaker_policy = breaker or BreakerPolicy()
+        node_plans = dict(node_fault_plans or {})
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(
+                4, 2 * self.shardmap.num_shards * replication_factor
+            ),
+            thread_name_prefix="cube-cluster",
+        )
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self.replica_sets: List[ReplicaSet] = []
+        self._closed = False
+        try:
+            for shard in range(self.shardmap.num_shards):
+                slab = self.shardmap.subarray(array, shard)
+                members: List[ClusterNode] = []
+                for i in range(replication_factor):
+                    node_id = f"s{shard}.n{i}"
+                    if i == 0:
+                        directory = os.path.join(
+                            self._data_dir, f"shard-{shard}"
+                        )
+                        os.makedirs(directory, exist_ok=True)
+                        service = CubeService(
+                            method_cls,
+                            slab,
+                            method_kwargs=self._method_kwargs,
+                            durability=DurabilityPolicy(
+                                dir=directory,
+                                checkpoint_every=checkpoint_every,
+                                fsync=fsync,
+                            ),
+                            max_pending_groups=max_pending_groups,
+                            fault_plan=node_plans.get(node_id),
+                        )
+                    else:
+                        directory = None
+                        service = CubeService(
+                            method_cls,
+                            slab,
+                            method_kwargs=self._method_kwargs,
+                            max_pending_groups=max_pending_groups,
+                            fault_plan=node_plans.get(node_id),
+                        )
+                    node = ClusterNode(
+                        node_id,
+                        shard,
+                        service,
+                        durability_dir=directory,
+                        faults=fault_plan,
+                    )
+                    members.append(node)
+                    self._breakers[node_id] = CircuitBreaker(
+                        node_id,
+                        self._breaker_policy,
+                        metrics=self.metrics,
+                    )
+                self.replica_sets.append(
+                    ReplicaSet(
+                        shard,
+                        members,
+                        metrics=self.metrics,
+                        executor=self._executor,
+                        breakers=self._breakers,
+                        hedge=hedge,
+                    )
+                )
+        except BaseException:
+            self.close()
+            raise
+        self.monitor = HealthMonitor(self, seed=seed)
+        self.scrubber = AntiEntropyScrubber(self, seed=seed)
+
+    # -- topology ------------------------------------------------------------
+
+    def nodes(self) -> List[ClusterNode]:
+        """Every member node across every shard."""
+        return [n for rs in self.replica_sets for n in rs.nodes]
+
+    def node(self, node_id: str) -> ClusterNode:
+        for candidate in self.nodes():
+            if candidate.node_id == node_id:
+                return candidate
+        raise ClusterError(f"no such node: {node_id!r}")
+
+    def breaker(self, node_id: str) -> CircuitBreaker:
+        return self._breakers[node_id]
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.shardmap.shape
+
+    # -- reads ---------------------------------------------------------------
+
+    def range_sum_many(
+        self,
+        lows: Sequence[Sequence[int]],
+        highs: Sequence[Sequence[int]],
+        *,
+        deadline: Optional[Deadline] = None,
+    ) -> np.ndarray:
+        """Batched exact range sums across shards (hedged per shard).
+
+        Every query box is split along shard boundaries; each involved
+        shard answers its sub-boxes in one hedged batched read, and the
+        partials are summed — exactly, because the slabs partition the
+        cube. Raises :class:`ClusterUnavailableError` if any involved
+        shard has no reachable replica (never a partial sum) and
+        :class:`~repro.errors.DeadlineExceededError` when the budget
+        runs out first.
+        """
+        lows = list(lows)
+        highs = list(highs)
+        if len(lows) != len(highs):
+            raise ClusterError(
+                f"{len(lows)} lows vs {len(highs)} highs"
+            )
+        # route: shard -> (query indices, local boxes)
+        per_shard: Dict[int, Tuple[List[int], List, List]] = {}
+        for i, (low, high) in enumerate(zip(lows, highs)):
+            for shard, local_low, local_high in self.shardmap.split_box(
+                low, high
+            ):
+                idx, slo, shi = per_shard.setdefault(shard, ([], [], []))
+                idx.append(i)
+                slo.append(local_low)
+                shi.append(local_high)
+        self.metrics.record_query(len(per_shard))
+        out: Optional[np.ndarray] = None
+        for shard in sorted(per_shard):
+            idx, slo, shi = per_shard[shard]
+            try:
+                values, _version = self.replica_sets[shard].range_sum_many(
+                    slo, shi, deadline
+                )
+            except ClusterUnavailableError:
+                self.metrics.record_unavailable()
+                raise
+            except DeadlineExceededError:
+                raise
+            values = np.asarray(values)
+            if out is None:
+                out = np.zeros(
+                    len(lows), dtype=np.result_type(values.dtype)
+                )
+            np.add.at(out, np.asarray(idx, dtype=np.intp), values)
+        if out is None:
+            out = np.zeros(len(lows))
+        return out
+
+    def range_sum(
+        self,
+        low: Sequence[int],
+        high: Sequence[int],
+        *,
+        deadline: Optional[Deadline] = None,
+    ):
+        """One exact range sum across whichever shards the box spans."""
+        return self.range_sum_many([low], [high], deadline=deadline)[0]
+
+    def total(self, *, deadline: Optional[Deadline] = None):
+        """Sum of the whole cube."""
+        low = (0,) * self.shardmap.ndim
+        high = tuple(n - 1 for n in self.shape)
+        return self.range_sum(low, high, deadline=deadline)
+
+    # -- writes --------------------------------------------------------------
+
+    def submit_batch(
+        self,
+        updates: Iterable[Tuple[Sequence[int], object]],
+        *,
+        timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> Dict[int, int]:
+        """Route one group of ``(cell, delta)`` updates to its shards.
+
+        Each involved shard receives its cells as one atomic local group
+        (durably acked by that shard's primary before the next shard is
+        touched). Returns ``{shard: acked sequence number}``. On a shard
+        failure the call raises :class:`ClusterUnavailableError` whose
+        ``acked`` attribute carries the shards that *did* commit — a
+        cross-shard group is atomic per shard, not globally, and the
+        error hands the caller exactly what it needs to reconcile.
+        """
+        grouped = self.shardmap.split_updates(list(updates))
+        acked: Dict[int, int] = {}
+        for shard in sorted(grouped):
+            try:
+                acked[shard] = self.replica_sets[shard].submit(
+                    grouped[shard], timeout=timeout, deadline=deadline
+                )
+            except DeadlineExceededError as error:
+                self.metrics.record_deadline_exceeded()
+                raise ClusterUnavailableError(
+                    f"deadline expired before shard {shard} acked: {error}",
+                    acked=acked,
+                ) from error
+            except ClusterUnavailableError as error:
+                self.metrics.record_unavailable()
+                raise ClusterUnavailableError(
+                    str(error), acked=acked
+                ) from error
+        return acked
+
+    def flush(self, timeout: Optional[float] = None) -> Dict[int, int]:
+        """Drain every shard; returns ``{shard: applied version}``."""
+        return {
+            rs.shard_id: rs.flush(timeout=timeout)
+            for rs in self.replica_sets
+        }
+
+    # -- chaos hooks ---------------------------------------------------------
+
+    def kill_node(self, node_id: str) -> None:
+        """Chaos hook: make ``node_id`` fail every operation from now on.
+
+        Requires a cluster-level fault plan (the kill is injected, so a
+        later :meth:`~repro.faults.FaultPlan.revive` can resurrect the
+        node for heal rounds).
+        """
+        if self.faults is None:
+            raise ClusterError(
+                "kill_node needs a cluster-level fault_plan"
+            )
+        self.node(node_id)  # validate the id
+        self.faults.kill(node_id)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(
+        self,
+        probe_interval_s: float = 0.25,
+        scrub_interval_s: Optional[float] = None,
+    ) -> "CubeCluster":
+        """Start the background monitor (and scrubber, when given an
+        interval); tests usually drive ``monitor.tick()`` /
+        ``scrubber.scrub_once()`` synchronously instead."""
+        self.monitor.start(probe_interval_s)
+        if scrub_interval_s is not None:
+            self.scrubber.start(scrub_interval_s)
+        return self
+
+    def stats(self) -> Dict:
+        """Cluster-wide operational snapshot (one plain dict)."""
+        nodes = {}
+        for node in self.nodes():
+            nodes[node.node_id] = {
+                "shard": node.shard_id,
+                "role": "primary" if node.is_primary else "replica",
+                "state": (
+                    "dead"
+                    if node.dead
+                    else ("lagging" if node.lagging else "ok")
+                ),
+                "breaker": self._breakers[node.node_id].state,
+                "version": (
+                    None if node.dead else node.service.version
+                ),
+            }
+        return {
+            "shardmap": self.shardmap.describe(),
+            "nodes": nodes,
+            "metrics": self.metrics.snapshot(),
+            "monitor_ticks": self.monitor.ticks,
+        }
+
+    def close(self) -> None:
+        """Stop background threads, close every node, free the pool."""
+        if self._closed:
+            return
+        self._closed = True
+        monitor = getattr(self, "monitor", None)
+        if monitor is not None:
+            monitor.stop()
+        scrubber = getattr(self, "scrubber", None)
+        if scrubber is not None:
+            scrubber.stop()
+        for replica_set in getattr(self, "replica_sets", []):
+            for node in replica_set.nodes:
+                if node.dead:
+                    continue
+                try:
+                    node.close()
+                except NODE_FAILURES:
+                    node.dead = True
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "CubeCluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"CubeCluster(shards={self.shardmap.num_shards}, "
+            f"nodes={len(self.nodes())}, shape={self.shape})"
+        )

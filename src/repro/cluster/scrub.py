@@ -1,0 +1,160 @@
+"""Anti-entropy: find silently diverged replicas and repair them.
+
+Replication by forwarding is fast but trusting: a replica that applies a
+group incorrectly (bit flip, bug, partial apply) still reports the right
+sequence number, and reads hedged onto it would return wrong sums
+forever. The scrubber closes that gap the way Dynamo-style stores do —
+periodically compare replica state digests against the primary and
+rebuild whatever disagrees — except that with whole-slab SHA-256 digests
+over the reconstructed dense array the comparison is *exact*, not
+probabilistic.
+
+Repair escalates through the two mechanisms the system already trusts:
+
+1. :meth:`CubeService.self_check(repair=True)
+   <repro.serve.service.CubeService.self_check>` — the node rebuilds its
+   own buffers from its reconstructed array (fixes internal
+   overlay/RPA inconsistency);
+2. :meth:`ReplicaSet.resync <repro.cluster.replicaset.ReplicaSet.resync>`
+   — the replica is rebuilt from the primary's durable log (fixes
+   divergence from the authoritative state).
+
+A primary that fails its own ``self_check`` is repaired in place too —
+the log, not any replica, is authoritative, so the scrubber never
+"repairs" a primary from replica memory.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Dict, Optional
+
+from repro.cluster.node import NODE_FAILURES
+
+
+class AntiEntropyScrubber:
+    """Background digest comparison and repair across every shard.
+
+    Args:
+        cluster: the owning :class:`~repro.cluster.cluster.CubeCluster`.
+        seed: seeds the shard visit order per round (deterministic
+            tests; no shard is systematically scrubbed last).
+        probes: sample size forwarded to ``self_check``.
+        quiesce: flush each shard before digesting so version skew from
+            in-flight groups is not mistaken for divergence.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        *,
+        seed: int = 0,
+        probes: int = 16,
+        quiesce: bool = True,
+    ) -> None:
+        self._cluster = cluster
+        self._rng = random.Random(seed)
+        self.probes = int(probes)
+        self.quiesce = bool(quiesce)
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    def scrub_once(self) -> Dict:
+        """One full anti-entropy round; returns a report dict.
+
+        Per shard: optionally flush (primary and caught-up replicas to
+        the same version), digest the primary, digest each replica, and
+        repair any mismatch — ``self_check`` first, resync from the
+        primary's log if the digest still disagrees. Lagging replicas
+        are resynced outright (they are already known-stale; no digest
+        needed to convict them).
+        """
+        report = {
+            "shards": 0,
+            "checks": 0,
+            "divergences": 0,
+            "repairs": 0,
+            "resyncs": 0,
+            "skipped": [],
+        }
+        metrics = self._cluster.metrics
+        replica_sets = list(self._cluster.replica_sets)
+        self._rng.shuffle(replica_sets)
+        for replica_set in replica_sets:
+            report["shards"] += 1
+            try:
+                if self.quiesce:
+                    replica_set.flush()
+                primary = replica_set.primary
+                primary_version, primary_digest = primary.snapshot_digest()
+            except NODE_FAILURES as error:
+                report["skipped"].append(
+                    f"shard {replica_set.shard_id}: {error}"
+                )
+                continue
+            for node in list(replica_set.nodes):
+                if node.is_primary or node.dead:
+                    continue
+                if node.lagging:
+                    replica_set.resync(node)
+                    report["resyncs"] += 1
+                    continue
+                try:
+                    version, digest = node.snapshot_digest()
+                except NODE_FAILURES:
+                    node.lagging = True
+                    metrics.record_replica_lag(node.node_id)
+                    continue
+                report["checks"] += 1
+                if version == primary_version and digest == primary_digest:
+                    continue
+                report["divergences"] += 1
+                metrics.record_scrub_divergence()
+                repaired = False
+                try:
+                    check = node.self_check(
+                        probes=self.probes, repair=True
+                    )
+                    if check["ok"]:
+                        version, digest = node.snapshot_digest()
+                        repaired = (
+                            version == primary_version
+                            and digest == primary_digest
+                        )
+                except NODE_FAILURES:
+                    repaired = False
+                if not repaired:
+                    # self-consistency was not the problem (or not
+                    # enough): rebuild from the authoritative log
+                    replica_set.resync(node)
+                    report["resyncs"] += 1
+                report["repairs"] += 1
+                metrics.record_scrub_repair()
+        metrics.record_scrub_round(report["checks"])
+        return report
+
+    def start(self, interval_s: float = 1.0) -> None:
+        """Run :meth:`scrub_once` on a daemon thread every ``interval_s``."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.wait(interval_s):
+                try:
+                    self.scrub_once()
+                except Exception:  # noqa: BLE001 - scrubber must survive
+                    pass
+
+        self._thread = threading.Thread(
+            target=loop, name="cluster-scrubber", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=10.0)
+        self._thread = None

@@ -1,0 +1,99 @@
+"""Time budgets threaded through client calls.
+
+A production read path is judged by its tail: the caller of a fan-out
+query cares about *its own* total budget, not about each hop's private
+timeout. :class:`Deadline` is the one object every layer shares — the
+cluster client creates one per call, each hop bounds its own waits with
+:meth:`Deadline.bound`, sub-operations get narrower per-hop budgets via
+:meth:`Deadline.sub`, and :func:`repro.serve.retry.call_with_retries`
+stops retrying the moment the budget is gone instead of running out its
+attempt count.
+
+The module is deliberately dependency-free (both :mod:`repro.serve` and
+:mod:`repro.cluster` import it), and the clock is injectable so tests
+can drive deadlines deterministically without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.errors import DeadlineExceededError
+
+
+class Deadline:
+    """An absolute point on a monotonic clock that work must finish by.
+
+    Build one with :meth:`after` (relative seconds) and pass it down the
+    call chain; every layer reads the *same* remaining budget, so N
+    retries or M fan-out hops can never stretch the caller's wait beyond
+    the budget it chose.
+
+    Args:
+        expires_at: absolute expiry on ``clock``'s timeline.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    __slots__ = ("expires_at", "_clock")
+
+    def __init__(
+        self,
+        expires_at: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.expires_at = float(expires_at)
+        self._clock = clock
+
+    @classmethod
+    def after(
+        cls,
+        seconds: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "Deadline":
+        """A deadline ``seconds`` from now on ``clock``."""
+        if seconds < 0:
+            raise ValueError(f"deadline seconds must be >= 0, got {seconds}")
+        return cls(clock() + float(seconds), clock)
+
+    def remaining(self) -> float:
+        """Seconds left in the budget, floored at zero."""
+        return max(0.0, self.expires_at - self._clock())
+
+    @property
+    def expired(self) -> bool:
+        """True once the budget is spent."""
+        return self._clock() >= self.expires_at
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`~repro.errors.DeadlineExceededError` if expired."""
+        if self.expired:
+            raise DeadlineExceededError(
+                f"{what} exceeded its deadline"
+            )
+
+    def bound(self, timeout: Optional[float] = None) -> float:
+        """Clamp a layer's own ``timeout`` to the remaining budget.
+
+        With ``timeout=None`` (the layer would wait forever) the result
+        is simply the remaining budget — a deadline-carrying call never
+        blocks unboundedly.
+        """
+        remaining = self.remaining()
+        if timeout is None:
+            return remaining
+        return min(float(timeout), remaining)
+
+    def sub(self, seconds: float) -> "Deadline":
+        """A per-hop budget: at most ``seconds``, never past the parent.
+
+        Lets a fan-out layer give each hop a slice of the budget while
+        guaranteeing no hop outlives the caller's deadline.
+        """
+        return Deadline(
+            min(self.expires_at, self._clock() + float(seconds)),
+            self._clock,
+        )
+
+    def __repr__(self) -> str:
+        return f"Deadline(remaining={self.remaining():.3f}s)"

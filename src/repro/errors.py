@@ -62,3 +62,32 @@ class RecoveryError(StorageError):
 class ServiceOverloadedError(ReproError):
     """The service's bounded submission queue stayed full past the
     caller's timeout; back off and retry (see :mod:`repro.serve.retry`)."""
+
+
+class DeadlineExceededError(ReproError):
+    """The caller's time budget (:class:`repro.deadline.Deadline`) ran
+    out before the operation completed."""
+
+
+class ClusterError(ReproError):
+    """Base class for errors raised by the :mod:`repro.cluster` layer."""
+
+
+class ClusterUnavailableError(ClusterError):
+    """A query or write could not reach every shard it needs.
+
+    Failure handling in the cluster is exact, never approximate: rather
+    than returning a partial sum (or silently dropping a shard's
+    updates), the call fails. ``acked`` carries the per-shard sequence
+    numbers of any sub-groups that *were* acknowledged before the
+    failure, so a writer can reconcile a partially routed group.
+    """
+
+    def __init__(self, message: str, acked=None):
+        super().__init__(message)
+        self.acked = dict(acked or {})
+
+
+class NodeUnavailableError(ClusterError):
+    """A single serving node could not be reached (dead, partitioned,
+    or circuit-broken); the caller should try another replica."""

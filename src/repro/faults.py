@@ -12,7 +12,11 @@ with failure modes consult at their natural injection points:
   disk exactly as a mid-``write(2)`` power loss would),
 * the :class:`~repro.serve.CubeService` writer loop asks it before
   applying each update group (thread crash at a chosen group, apply
-  latency spikes).
+  latency spikes),
+* the cluster layer (:mod:`repro.cluster`) asks it before every
+  node-level read/submit/probe (query-path latency spikes for hedged
+  reads, node kills, and stateful network partitions driven by
+  :meth:`FaultPlan.partition` / :meth:`FaultPlan.heal`).
 
 Every injection site counts ordinals independently and deterministically
 — the same plan against the same workload injects the same faults — so
@@ -35,6 +39,14 @@ Ordinals = Union[None, int, Sequence[int]]
 
 class InjectedFault(ReproError):
     """An artificial failure raised by a :class:`FaultPlan` injection."""
+
+
+class NodePartitioned(InjectedFault):
+    """A simulated network partition made the target node unreachable."""
+
+
+class NodeKilled(InjectedFault):
+    """A node-kill plan took the target node down mid-operation."""
 
 
 def _normalize(ordinals: Ordinals) -> Tuple[int, ...]:
@@ -72,6 +84,26 @@ class FaultPlan:
         crash_at_group: update-group sequence number at which the
             serving writer thread raises before applying — simulating a
             writer crash at a chosen point in the update stream.
+        read_latency_at: 1-based ordinals of *node-level read/query
+            operations* (per node, counted by :meth:`on_node_op`) that
+            incur ``read_latency_seconds`` of real delay. This is the
+            query-path complement of ``latency_at`` (which covers
+            disk/WAL sites) and is what makes hedged reads testable
+            deterministically: spike one replica, watch the hedge win.
+        read_latency_nodes: restrict ``read_latency_at`` to these node
+            ids; ``None`` applies the schedule to every node.
+        read_latency_seconds: magnitude of each injected read spike.
+        kill_node_at: mapping ``node_id -> 1-based operation ordinal``;
+            once the node's operation counter reaches the ordinal, every
+            operation on it raises :class:`NodeKilled` until
+            :meth:`revive` — a permanent node death, unlike the
+            transient unreachability of a partition.
+
+    Partitions are *stateful*, not scheduled: a chaos driver calls
+    :meth:`partition` / :meth:`heal` around the window it wants, and
+    every node-level operation in between raises
+    :class:`NodePartitioned`. That keeps kill/partition/heal rounds
+    deterministic without encoding wall-clock windows in the plan.
 
     The plan is thread-safe: the serving layer consults it from reader,
     writer, and submitter threads concurrently.
@@ -88,6 +120,10 @@ class FaultPlan:
         latency_at: Ordinals = None,
         latency_seconds: float = 0.0,
         crash_at_group: Optional[int] = None,
+        read_latency_at: Ordinals = None,
+        read_latency_nodes: Optional[Sequence[str]] = None,
+        read_latency_seconds: float = 0.0,
+        kill_node_at: Optional[Dict[str, int]] = None,
     ) -> None:
         if not 0.0 <= float(torn_fraction) <= 1.0:
             raise ValueError(
@@ -103,10 +139,29 @@ class FaultPlan:
         self.crash_at_group = (
             None if crash_at_group is None else int(crash_at_group)
         )
+        self.read_latency_at = _normalize(read_latency_at)
+        self.read_latency_nodes = (
+            None
+            if read_latency_nodes is None
+            else frozenset(str(node) for node in read_latency_nodes)
+        )
+        self.read_latency_seconds = float(read_latency_seconds)
+        self.kill_node_at = {
+            str(node): int(ordinal)
+            for node, ordinal in (kill_node_at or {}).items()
+        }
+        for node, ordinal in self.kill_node_at.items():
+            if ordinal < 1:
+                raise ValueError(
+                    f"kill_node_at ordinals are 1-based, got {ordinal} "
+                    f"for node {node!r}"
+                )
         self._rng = np.random.default_rng(self.seed)
         self._lock = threading.Lock()
         self._ordinals: Dict[str, int] = {}
         self._injected: Dict[str, int] = {}
+        self._partitioned: set = set()
+        self._killed: set = set()
 
     # -- bookkeeping ---------------------------------------------------------
 
@@ -205,6 +260,97 @@ class FaultPlan:
                 )
         return extra
 
+    # -- cluster-level injection points --------------------------------------
+
+    def partition(self, *node_ids: str) -> None:
+        """Make ``node_ids`` unreachable until :meth:`heal`.
+
+        Every subsequent node-level operation on them raises
+        :class:`NodePartitioned`; the nodes themselves stay healthy —
+        exactly a network partition, not a crash.
+        """
+        with self._lock:
+            for node in node_ids:
+                self._partitioned.add(str(node))
+            self._count("partitions")
+
+    def heal(self, *node_ids: str) -> None:
+        """End the partition for ``node_ids`` (all of them when empty)."""
+        with self._lock:
+            if node_ids:
+                for node in node_ids:
+                    self._partitioned.discard(str(node))
+            else:
+                self._partitioned.clear()
+
+    def is_partitioned(self, node_id: str) -> bool:
+        """Whether ``node_id`` is currently behind the partition."""
+        with self._lock:
+            return str(node_id) in self._partitioned
+
+    def kill(self, node_id: str) -> None:
+        """Kill ``node_id`` now (no ordinal needed) until :meth:`revive`.
+
+        The chaos driver's imperative complement to ``kill_node_at``:
+        every subsequent operation on the node raises
+        :class:`NodeKilled`.
+        """
+        with self._lock:
+            if str(node_id) not in self._killed:
+                self._killed.add(str(node_id))
+                self._count("node_kills")
+
+    def revive(self, node_id: str) -> None:
+        """Undo a :class:`NodeKilled` verdict for ``node_id`` (the chaos
+        driver restarted the node)."""
+        with self._lock:
+            self._killed.discard(str(node_id))
+
+    def on_node_op(self, node_id: str, kind: str = "read") -> float:
+        """Consult before one cluster-level operation against a node.
+
+        ``kind`` is ``"read"``, ``"submit"``, or ``"probe"``. Raises
+        :class:`NodeKilled` once the node's kill ordinal is reached (and
+        forever after, until :meth:`revive`), :class:`NodePartitioned`
+        while the node is behind a partition, and otherwise returns real
+        seconds of injected read latency (``read_latency_at`` schedule,
+        ``kind == "read"`` only).
+        """
+        node_id = str(node_id)
+        with self._lock:
+            ops = self._tick(f"node.{node_id}.op")
+            n = self._tick(f"node.{node_id}.{kind}")
+            kill_at = self.kill_node_at.get(node_id)
+            if node_id in self._killed or (
+                kill_at is not None and ops >= kill_at
+            ):
+                if node_id not in self._killed:
+                    self._killed.add(node_id)
+                    self._count("node_kills")
+                raise NodeKilled(
+                    f"injected node kill: {node_id} died at op #{ops}"
+                )
+            if node_id in self._partitioned:
+                self._count("partition_drops")
+                raise NodePartitioned(
+                    f"injected partition: {node_id} is unreachable"
+                )
+            extra = 0.0
+            if (
+                kind == "read"
+                and self.read_latency_seconds
+                and n in self.read_latency_at
+                and (
+                    self.read_latency_nodes is None
+                    or node_id in self.read_latency_nodes
+                )
+            ):
+                self._count("read_latency_spikes")
+                extra = self.read_latency_seconds * (
+                    0.5 + float(self._rng.random())
+                )
+        return extra
+
     def _latency(self, kind: str) -> float:
         """Latency contribution for the site whose ordinal just ticked.
 
@@ -227,10 +373,13 @@ class FaultPlan:
             "torn_write_at",
             "corrupt_read_at",
             "latency_at",
+            "read_latency_at",
         ):
             value = getattr(self, name)
             if value:
                 parts.append(f"{name}={value}")
         if self.crash_at_group is not None:
             parts.append(f"crash_at_group={self.crash_at_group}")
+        if self.kill_node_at:
+            parts.append(f"kill_node_at={self.kill_node_at}")
         return f"FaultPlan({', '.join(parts)})"

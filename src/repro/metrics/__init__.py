@@ -1,11 +1,13 @@
 """Cost instrumentation and the paper's analytic complexity models."""
 
+from repro.metrics.cluster import ClusterMetrics
 from repro.metrics.counters import AccessCounter, CounterSnapshot, measured
 from repro.metrics.profile import characterize, render_profile
 from repro.metrics.service import LatencyRecorder, ServiceMetrics
 
 __all__ = [
     "AccessCounter",
+    "ClusterMetrics",
     "CounterSnapshot",
     "LatencyRecorder",
     "ServiceMetrics",

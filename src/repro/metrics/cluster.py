@@ -1,0 +1,195 @@
+"""Operational counters for a replicated, sharded serving cluster.
+
+One :class:`ClusterMetrics` instance per :class:`repro.cluster.CubeCluster`
+tallies what the single-service :class:`~repro.metrics.service.ServiceMetrics`
+cannot see: routing fan-out, failovers, circuit-breaker trips, hedged
+reads and their wins, probe outcomes, and anti-entropy scrub activity —
+per node and per shard, because "which replica is sick" is the first
+question an operator asks. Everything is thread-safe (probes, hedged
+reads, and the scrubber all run concurrently with client traffic) and
+lands in one plain-dict :meth:`ClusterMetrics.snapshot` for dashboards.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+from repro.metrics.service import LatencyRecorder
+
+
+class ClusterMetrics:
+    """Counters for one cluster: routing, failover, hedging, scrubbing.
+
+    Attributes:
+        read_latency: per *routed shard read* durations — the winning
+            arm of a hedged read, which is what the hedge-delay
+            percentile must be computed from.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.read_latency = LatencyRecorder()
+        # routing
+        self.queries_routed = 0
+        self.query_shard_reads = 0
+        self.updates_routed = 0
+        self.shard_queries: Dict[int, int] = {}
+        self.shard_updates: Dict[int, int] = {}
+        # health / failover
+        self.probes = 0
+        self.probe_failures: Dict[str, int] = {}
+        self.breaker_trips: Dict[str, int] = {}
+        self.breaker_resets: Dict[str, int] = {}
+        self.failovers: Dict[int, int] = {}
+        self.node_failures: Dict[str, int] = {}
+        # hedging / deadlines
+        self.hedged_reads = 0
+        self.hedge_wins = 0
+        self.deadline_exceeded = 0
+        self.unavailable_errors = 0
+        # replication / anti-entropy
+        self.replica_lags: Dict[str, int] = {}
+        self.replica_resyncs: Dict[str, int] = {}
+        self.scrub_rounds = 0
+        self.scrub_digest_checks = 0
+        self.scrub_divergences = 0
+        self.scrub_repairs = 0
+
+    @staticmethod
+    def _bump(table: Dict, key, amount: int = 1) -> None:
+        table[key] = table.get(key, 0) + amount
+
+    # -- routing -------------------------------------------------------------
+
+    def record_query(self, shards: int) -> None:
+        """One client query routed across ``shards`` shard reads."""
+        with self._lock:
+            self.queries_routed += 1
+            self.query_shard_reads += int(shards)
+
+    def record_shard_read(self, shard: int, seconds: float) -> None:
+        """One shard read answered (the winning hedge arm's duration)."""
+        with self._lock:
+            self._bump(self.shard_queries, int(shard))
+        self.read_latency.record(seconds)
+
+    def record_update(self, shard: int) -> None:
+        """One update sub-group acknowledged by ``shard``'s primary."""
+        with self._lock:
+            self.updates_routed += 1
+            self._bump(self.shard_updates, int(shard))
+
+    # -- health and failover -------------------------------------------------
+
+    def record_probe(self, node_id: str, ok: bool) -> None:
+        """One health probe against ``node_id`` succeeded or failed."""
+        with self._lock:
+            self.probes += 1
+            if not ok:
+                self._bump(self.probe_failures, str(node_id))
+
+    def record_breaker_trip(self, node_id: str) -> None:
+        """``node_id``'s circuit breaker opened."""
+        with self._lock:
+            self._bump(self.breaker_trips, str(node_id))
+
+    def record_breaker_reset(self, node_id: str) -> None:
+        """``node_id``'s circuit breaker closed again after a success."""
+        with self._lock:
+            self._bump(self.breaker_resets, str(node_id))
+
+    def record_node_failure(self, node_id: str) -> None:
+        """A read/submit against ``node_id`` failed (any cause)."""
+        with self._lock:
+            self._bump(self.node_failures, str(node_id))
+
+    def record_failover(self, shard: int) -> None:
+        """``shard`` promoted a replica to primary."""
+        with self._lock:
+            self._bump(self.failovers, int(shard))
+
+    # -- hedging and deadlines -----------------------------------------------
+
+    def record_hedge(self, won: bool) -> None:
+        """A hedge arm was launched; ``won`` if it answered first."""
+        with self._lock:
+            self.hedged_reads += 1
+            if won:
+                self.hedge_wins += 1
+
+    def record_hedge_win(self) -> None:
+        """The hedge arm recorded at launch turned out to answer first."""
+        with self._lock:
+            self.hedge_wins += 1
+
+    def record_deadline_exceeded(self) -> None:
+        """A client call ran out of its deadline budget."""
+        with self._lock:
+            self.deadline_exceeded += 1
+
+    def record_unavailable(self) -> None:
+        """A call failed exactly (ClusterUnavailableError) rather than
+        returning a partial answer."""
+        with self._lock:
+            self.unavailable_errors += 1
+
+    # -- replication and anti-entropy ----------------------------------------
+
+    def record_replica_lag(self, node_id: str) -> None:
+        """A replica missed a forwarded group and was marked lagging."""
+        with self._lock:
+            self._bump(self.replica_lags, str(node_id))
+
+    def record_resync(self, node_id: str) -> None:
+        """``node_id`` was rebuilt from the primary's durable log."""
+        with self._lock:
+            self._bump(self.replica_resyncs, str(node_id))
+
+    def record_scrub_round(self, checks: int) -> None:
+        """One anti-entropy pass compared ``checks`` replica digests."""
+        with self._lock:
+            self.scrub_rounds += 1
+            self.scrub_digest_checks += int(checks)
+
+    def record_scrub_divergence(self) -> None:
+        """A replica's digest disagreed with its primary's."""
+        with self._lock:
+            self.scrub_divergences += 1
+
+    def record_scrub_repair(self) -> None:
+        """A diverged replica was repaired (self-check rebuild or
+        resync from the primary's log)."""
+        with self._lock:
+            self.scrub_repairs += 1
+
+    # -- reporting -----------------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        """All tallies as one plain dict (per-node/per-shard sub-dicts)."""
+        with self._lock:
+            report = {
+                "queries_routed": self.queries_routed,
+                "query_shard_reads": self.query_shard_reads,
+                "updates_routed": self.updates_routed,
+                "shard_queries": dict(self.shard_queries),
+                "shard_updates": dict(self.shard_updates),
+                "probes": self.probes,
+                "probe_failures": dict(self.probe_failures),
+                "breaker_trips": dict(self.breaker_trips),
+                "breaker_resets": dict(self.breaker_resets),
+                "node_failures": dict(self.node_failures),
+                "failovers": dict(self.failovers),
+                "hedged_reads": self.hedged_reads,
+                "hedge_wins": self.hedge_wins,
+                "deadline_exceeded": self.deadline_exceeded,
+                "unavailable_errors": self.unavailable_errors,
+                "replica_lags": dict(self.replica_lags),
+                "replica_resyncs": dict(self.replica_resyncs),
+                "scrub_rounds": self.scrub_rounds,
+                "scrub_digest_checks": self.scrub_digest_checks,
+                "scrub_divergences": self.scrub_divergences,
+                "scrub_repairs": self.scrub_repairs,
+            }
+        report["read_latency"] = self.read_latency.summary()
+        return report

@@ -17,6 +17,7 @@ import random
 import time
 from typing import Callable, Iterator, Optional, Tuple, Type
 
+from repro.deadline import Deadline
 from repro.errors import ServiceOverloadedError
 
 
@@ -83,6 +84,7 @@ def call_with_retries(
     seed: Optional[int] = None,
     sleep: Callable[[float], None] = time.sleep,
     on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+    deadline: Optional[Deadline] = None,
 ):
     """Call ``fn()`` with capped exponential backoff on overload.
 
@@ -99,6 +101,12 @@ def call_with_retries(
         on_retry: optional observer called as
             ``on_retry(attempt_number, error, delay_seconds)`` before
             each sleep.
+        deadline: optional total-elapsed cap shared with the cluster
+            layer (:class:`repro.deadline.Deadline`). Retrying stops the
+            moment the budget is exhausted — the last failure is
+            re-raised instead of running out the remaining attempts —
+            and each backoff sleep is clamped to the remaining budget so
+            a retry loop can never outlive its caller's deadline.
 
     Returns whatever ``fn`` returns on the first success.
     """
@@ -117,7 +125,11 @@ def call_with_retries(
         except retry_on as error:
             if attempt == attempts:
                 raise
+            if deadline is not None and deadline.expired:
+                raise
             delay = next(backoff)
+            if deadline is not None:
+                delay = deadline.bound(delay)
             if on_retry is not None:
                 on_retry(attempt, error, delay)
             sleep(delay)

@@ -444,6 +444,29 @@ class CubeService:
 
     # -- health --------------------------------------------------------------
 
+    def snapshot_digest(self) -> Tuple[int, str]:
+        """``(version, sha256)`` of the published snapshot's dense array.
+
+        The digest covers the reconstructed values plus shape and dtype,
+        so two services hold identical logical state *iff* their digests
+        match at equal versions. This is the anti-entropy hook the
+        cluster scrubber compares across replicas; it reads through the
+        normal snapshot pin, so it is safe against concurrent writes.
+        """
+        import hashlib
+
+        def digest(method: RangeSumMethod) -> str:
+            array = np.ascontiguousarray(method.to_array())
+            h = hashlib.sha256()
+            h.update(str(array.shape).encode())
+            h.update(str(array.dtype).encode())
+            h.update(array.tobytes())
+            return h.hexdigest()
+
+        value, version, seconds = self._read(digest)
+        self.metrics.record_read(seconds, 1)
+        return version, value
+
     def quarantined_groups(self) -> Tuple[Tuple[int, str], ...]:
         """Poisoned groups skipped by supervision: ``(seq, error)``."""
         with self._state_lock:
@@ -571,6 +594,7 @@ class CubeService:
             version = self._front.version
             submitted = self._submitted_groups
             applied = self._applied_groups
+            completed = self._completed_groups
             quarantined = len(self._quarantined)
         report = self.metrics.snapshot()
         report.update(
@@ -578,6 +602,12 @@ class CubeService:
             groups_submitted=submitted,
             groups_applied=applied,
             groups_pending=submitted - applied,
+            # the true submission backlog: groups the writer has not
+            # fully cycled yet (including the retired buffer's catch-up)
+            # — what a health monitor or dashboard should alarm on,
+            # without reaching into private counters
+            queue_depth=submitted - completed,
+            wal_bytes_written=report["wal_bytes"],
             quarantined_groups=quarantined,
             wal_enabled=self._wal is not None,
             wal_failed=self._wal.failed if self._wal is not None else False,

@@ -16,7 +16,11 @@ from repro.workloads.querygen import (
     random_ranges,
     sliding_windows,
 )
-from repro.workloads.runner import WorkloadResult, WorkloadRunner
+from repro.workloads.runner import (
+    ClusterWorkloadRunner,
+    WorkloadResult,
+    WorkloadRunner,
+)
 from repro.workloads.scenarios import SCENARIOS, Scenario, get_scenario, run_scenario
 from repro.workloads.trace import Operation, Trace
 from repro.workloads.updategen import (
@@ -27,6 +31,7 @@ from repro.workloads.updategen import (
 )
 
 __all__ = [
+    "ClusterWorkloadRunner",
     "GENERATORS",
     "Operation",
     "SCENARIOS",

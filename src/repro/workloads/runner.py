@@ -16,7 +16,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 from repro.core.base import RangeSumMethod
-from repro.errors import WorkloadError
+from repro.errors import ClusterUnavailableError, WorkloadError
 from repro.workloads.querygen import QueryRange
 from repro.workloads.updategen import Update
 
@@ -37,6 +37,7 @@ class WorkloadResult:
     query_seconds: float = 0.0
     update_seconds: float = 0.0
     mismatches: int = 0
+    unavailable: int = 0  # cluster runs only: ops lost to unavailability
     answers: List = field(default_factory=list)
     query_latencies: List[float] = field(default_factory=list)
     update_latencies: List[float] = field(default_factory=list)
@@ -176,3 +177,126 @@ class WorkloadRunner:
         result.updates += 1
         if self.oracle is not None:
             self.oracle[cell] += delta
+
+
+class ClusterWorkloadRunner:
+    """Drives interleaved traffic through a :class:`CubeCluster`.
+
+    The cluster analogue of :class:`WorkloadRunner`: queries and update
+    groups alternate, the oracle applies *exactly* the acknowledged
+    updates (on a :class:`~repro.errors.ClusterUnavailableError` the
+    error's ``acked`` receipt decides, per shard, which cells the oracle
+    folds in), and every answered query is checked exactly — under
+    chaos, a dropped answer is acceptable, a wrong one never is.
+
+    Args:
+        cluster: the :class:`~repro.cluster.CubeCluster` under test.
+        oracle: dense array the updates are mirrored into; must match
+            the cluster's cube shape.
+        deadline_s: optional per-operation deadline budget.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        oracle: np.ndarray,
+        *,
+        deadline_s: Optional[float] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.oracle = np.array(oracle)
+        if self.oracle.shape != cluster.shape:
+            raise WorkloadError(
+                f"oracle shape {self.oracle.shape} != cluster shape "
+                f"{cluster.shape}"
+            )
+        self.deadline_s = deadline_s
+
+    def _deadline(self):
+        from repro.deadline import Deadline
+
+        if self.deadline_s is None:
+            return None
+        return Deadline.after(self.deadline_s)
+
+    def run(
+        self,
+        queries: Iterable[QueryRange] = (),
+        update_groups: Iterable[List[Update]] = (),
+        *,
+        flush_before_query: bool = True,
+    ) -> WorkloadResult:
+        """Alternate queries and update groups; verify every answer.
+
+        With ``flush_before_query`` (default) each query waits for every
+        shard to apply what it acked, so answers are comparable to the
+        oracle exactly even though shards apply asynchronously. Queries
+        or updates lost to unavailability (a partitioned shard, an
+        expired deadline) are *not* mismatches — they are recorded in
+        the result's ``unavailable`` count and the oracle absorbs only
+        what was acked.
+        """
+        result = WorkloadResult(method="cluster")
+        query_list = list(queries)
+        group_list = [list(g) for g in update_groups]
+        ops: List[Tuple[str, object]] = []
+        qi = ui = 0
+        for i in range(len(query_list) + len(group_list)):
+            take_query = (i % 2 == 0 and qi < len(query_list)) or (
+                ui >= len(group_list)
+            )
+            if take_query:
+                ops.append(("q", query_list[qi]))
+                qi += 1
+            else:
+                ops.append(("u", group_list[ui]))
+                ui += 1
+        for kind, op in ops:
+            if kind == "q":
+                self._run_query(op, result, flush_before_query)
+            else:
+                self._run_group(op, result)
+        return result
+
+    def _run_query(
+        self, query: QueryRange, result: WorkloadResult, flush: bool
+    ) -> None:
+        low, high = query
+        start = time.perf_counter()
+        try:
+            if flush:
+                self.cluster.flush()
+            answer = self.cluster.range_sum(
+                low, high, deadline=self._deadline()
+            )
+        except ClusterUnavailableError:
+            result.unavailable += 1
+            return
+        elapsed = time.perf_counter() - start
+        result.query_seconds += elapsed
+        result.query_latencies.append(elapsed)
+        result.queries += 1
+        slices = tuple(slice(l, h + 1) for l, h in zip(low, high))
+        expected = self.oracle[slices].sum()
+        if not np.isclose(float(answer), float(expected)):
+            result.mismatches += 1
+
+    def _run_group(self, group: List[Update], result: WorkloadResult) -> None:
+        start = time.perf_counter()
+        try:
+            self.cluster.submit_batch(group, deadline=self._deadline())
+            acked_shards = None  # everything acked
+        except ClusterUnavailableError as error:
+            result.unavailable += 1
+            acked_shards = set(error.acked)
+        elapsed = time.perf_counter() - start
+        result.update_seconds += elapsed
+        result.update_latencies.append(elapsed)
+        result.updates += 1
+        shardmap = self.cluster.shardmap
+        for cell, delta in group:
+            if (
+                acked_shards is None
+                or shardmap.shard_of(cell) in acked_shards
+            ):
+                self.oracle[tuple(cell)] += delta

@@ -1,0 +1,74 @@
+"""Deadline: monotonic budgets threaded through client calls."""
+
+import pytest
+
+from repro.deadline import Deadline
+from repro.errors import DeadlineExceededError
+
+
+class FakeClock:
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_after_sets_expiry_from_clock(self):
+        clock = FakeClock()
+        deadline = Deadline.after(5.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(5.0)
+        assert not deadline.expired
+
+    def test_remaining_decreases_and_floors_at_zero(self):
+        clock = FakeClock()
+        deadline = Deadline.after(2.0, clock=clock)
+        clock.advance(1.5)
+        assert deadline.remaining() == pytest.approx(0.5)
+        clock.advance(10.0)
+        assert deadline.remaining() == 0.0
+        assert deadline.expired
+
+    def test_check_raises_once_expired(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        deadline.check("op")  # within budget: no raise
+        clock.advance(1.0)
+        with pytest.raises(DeadlineExceededError, match="op"):
+            deadline.check("op")
+
+    def test_bound_clamps_timeouts(self):
+        clock = FakeClock()
+        deadline = Deadline.after(2.0, clock=clock)
+        assert deadline.bound(5.0) == pytest.approx(2.0)
+        assert deadline.bound(0.5) == pytest.approx(0.5)
+        # None means "the whole remaining budget"
+        assert deadline.bound(None) == pytest.approx(2.0)
+        clock.advance(3.0)
+        assert deadline.bound(1.0) == 0.0
+
+    def test_sub_never_extends_the_parent(self):
+        clock = FakeClock()
+        parent = Deadline.after(1.0, clock=clock)
+        hop = parent.sub(10.0)
+        assert hop.remaining() == pytest.approx(1.0)
+        tight = parent.sub(0.25)
+        assert tight.remaining() == pytest.approx(0.25)
+        # the parent is unaffected by its children
+        assert parent.remaining() == pytest.approx(1.0)
+
+    def test_zero_budget_is_born_expired(self):
+        clock = FakeClock()
+        deadline = Deadline.after(0.0, clock=clock)
+        assert deadline.expired
+        with pytest.raises(DeadlineExceededError):
+            deadline.check("anything")
+
+    def test_real_clock_default(self):
+        deadline = Deadline.after(60.0)
+        assert 0.0 < deadline.remaining() <= 60.0
+        assert not deadline.expired

@@ -9,7 +9,12 @@ import numpy as np
 import pytest
 
 from repro.errors import StorageError
-from repro.faults import FaultPlan, InjectedFault
+from repro.faults import (
+    FaultPlan,
+    InjectedFault,
+    NodeKilled,
+    NodePartitioned,
+)
 from repro.storage import SimulatedDisk
 
 
@@ -118,3 +123,84 @@ class TestDiskWiring:
         before = disk.stats.elapsed
         disk.read_page(0)
         assert disk.stats.elapsed - before >= 1.0  # 2.0 * [0.5, 1.5) jitter
+
+
+class TestNodeOps:
+    def test_kill_ordinal_fires_at_and_after(self):
+        plan = FaultPlan(kill_node_at={"n0": 3})
+        plan.on_node_op("n0", "read")
+        plan.on_node_op("n0", "submit")
+        with pytest.raises(NodeKilled):
+            plan.on_node_op("n0", "read")  # op #3: dead
+        with pytest.raises(NodeKilled):
+            plan.on_node_op("n0", "probe")  # and stays dead
+        assert plan.stats()["node_kills"] == 1
+
+    def test_kill_ordinals_are_validated(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FaultPlan(kill_node_at={"n0": 0})
+
+    def test_nodes_count_operations_independently(self):
+        plan = FaultPlan(kill_node_at={"n0": 2})
+        plan.on_node_op("n0")
+        for _ in range(5):
+            plan.on_node_op("n1")  # n1 never dies
+        with pytest.raises(NodeKilled):
+            plan.on_node_op("n0")
+
+    def test_imperative_kill_and_revive(self):
+        plan = FaultPlan()
+        plan.on_node_op("n0")
+        plan.kill("n0")
+        with pytest.raises(NodeKilled):
+            plan.on_node_op("n0")
+        plan.revive("n0")
+        assert plan.on_node_op("n0") == 0.0
+        assert plan.stats()["node_kills"] == 1
+
+    def test_partition_is_transient_and_heals(self):
+        plan = FaultPlan()
+        plan.partition("n0", "n1")
+        assert plan.is_partitioned("n0")
+        with pytest.raises(NodePartitioned):
+            plan.on_node_op("n0")
+        plan.heal("n0")  # selective heal
+        assert plan.on_node_op("n0") == 0.0
+        with pytest.raises(NodePartitioned):
+            plan.on_node_op("n1")
+        plan.heal()  # heal everything
+        assert plan.on_node_op("n1") == 0.0
+        stats = plan.stats()
+        assert stats["partitions"] == 1
+        assert stats["partition_drops"] == 2
+
+    def test_read_latency_hits_scheduled_read_ordinals_only(self):
+        plan = FaultPlan(
+            seed=4,
+            read_latency_at=2,
+            read_latency_seconds=0.2,
+        )
+        assert plan.on_node_op("n0", "read") == 0.0
+        # submits tick their own counter: no spike for kind != read
+        assert plan.on_node_op("n0", "submit") == 0.0
+        assert plan.on_node_op("n0", "submit") == 0.0
+        extra = plan.on_node_op("n0", "read")  # read #2
+        assert 0.1 <= extra <= 0.3  # 0.2 * [0.5, 1.5) jitter
+        assert plan.stats()["read_latency_spikes"] == 1
+
+    def test_read_latency_node_filter(self):
+        plan = FaultPlan(
+            seed=4,
+            read_latency_at=1,
+            read_latency_nodes=["slow"],
+            read_latency_seconds=0.2,
+        )
+        assert plan.on_node_op("fast", "read") == 0.0
+        assert plan.on_node_op("slow", "read") > 0.0
+
+    def test_kill_takes_precedence_over_partition(self):
+        plan = FaultPlan()
+        plan.partition("n0")
+        plan.kill("n0")
+        with pytest.raises(NodeKilled):
+            plan.on_node_op("n0")

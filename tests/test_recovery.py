@@ -310,3 +310,99 @@ class TestRecoverClassmethod:
         state = recover_state(tmp_path)
         assert state.version == 3
         assert state.replayed_groups == 0
+
+
+class TestBoundaryCrashes:
+    """The two kill points the checkpoint cadence makes interesting:
+    exactly ON a ``checkpoint_every`` boundary (before and after the
+    checkpoint lands) and immediately after a quarantine verdict."""
+
+    def test_crash_while_applying_the_boundary_group(self, tmp_path):
+        """Group 5 is acked (fsynced) and *would* trigger the boundary
+        checkpoint, but the writer dies applying it: the checkpoint
+        never lands and recovery must replay through the acked tip."""
+        base = np.zeros((6, 6), dtype=np.int64)
+        svc = CubeService(
+            RelativePrefixSumCube,
+            base,
+            durability=DurabilityPolicy(dir=tmp_path, checkpoint_every=5),
+            fault_plan=FaultPlan(seed=0, crash_at_group=5),
+        )
+        from repro.serve.service import ServiceClosedError
+
+        with pytest.raises(ServiceClosedError):
+            for i in range(5):
+                svc.submit_batch([((i, i), i + 1)])
+            svc.flush(timeout=10)
+
+        state = recover_state(tmp_path)
+        assert state.version == 5  # every acked group survives
+        assert state.checkpoint_seq < 5  # the boundary checkpoint died
+        assert state.replayed_groups == 5 - state.checkpoint_seq
+        expected = base.copy()
+        for i in range(5):
+            expected[i, i] += i + 1
+        assert np.array_equal(state.method.to_array(), expected)
+
+    def test_crash_just_after_the_boundary_checkpoint(self, tmp_path):
+        """Dual kill point: exactly ``checkpoint_every`` groups, the
+        flush pins the boundary checkpoint, then a crash-stop. Recovery
+        loads the boundary checkpoint and replays nothing."""
+        base = np.zeros((6, 6), dtype=np.int64)
+        svc = CubeService(
+            RelativePrefixSumCube,
+            base,
+            durability=DurabilityPolicy(dir=tmp_path, checkpoint_every=5),
+        )
+        for i in range(5):
+            svc.submit_batch([((i, 0), 2)])
+        svc.flush()
+        svc.abandon()
+
+        state = recover_state(tmp_path)
+        assert state.version == 5
+        assert state.checkpoint_seq == 5  # loaded exactly at the boundary
+        assert state.replayed_groups == 0
+
+        svc = CubeService.recover(tmp_path)
+        try:
+            assert svc.submit_batch([((5, 5), 1)]) == 6  # seq resumes
+        finally:
+            svc.close()
+
+    def test_crash_immediately_after_quarantine(self, tmp_path):
+        """A poisoned group is quarantined, then the service crash-stops
+        before any checkpoint covers it: replay must re-quarantine the
+        same group, keep its sequence number, and resume at the acked
+        version."""
+        base = np.zeros((4, 4), dtype=np.int64)
+        svc = CubeService(
+            RelativePrefixSumCube,
+            base,
+            durability=DurabilityPolicy(dir=tmp_path, checkpoint_every=0),
+        )
+        svc.submit_batch([((1, 1), 5)])
+        svc.submit_batch([((9, 9), 1)])  # out of bounds: poison
+        svc.submit_batch([((0, 0), 2)])
+        svc.flush()
+        assert [seq for seq, _ in svc.quarantined_groups()] == [2]
+        svc.abandon()  # crash right after the quarantine verdict
+
+        state = recover_state(tmp_path)
+        assert state.version == 3  # the poison kept its seq as a no-op
+        assert [seq for seq, _ in state.quarantined] == [2]
+        expected = base.copy()
+        expected[1, 1] += 5
+        expected[0, 0] += 2
+        assert np.array_equal(state.method.to_array(), expected)
+
+        svc = CubeService.recover(tmp_path)
+        try:
+            # the replayed quarantine is visible on the live service too
+            assert [s for s, _ in svc.quarantined_groups()] == [2]
+            assert svc.stats()["groups_quarantined"] == 1
+            assert svc.submit_batch([((3, 3), 7)]) == 4
+            svc.flush()
+            assert svc.cell_value((3, 3)) == 7
+        finally:
+            svc.close()

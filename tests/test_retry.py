@@ -95,3 +95,94 @@ class TestCallWithRetries:
     def test_attempts_validation(self):
         with pytest.raises(ValueError):
             call_with_retries(lambda: 1, attempts=0)
+
+
+class TestRetryDeadlines:
+    def _clocked(self, budget):
+        """A Deadline on a fake clock plus a sleep that advances it."""
+        from repro.deadline import Deadline
+
+        state = {"now": 0.0}
+        deadline = Deadline.after(budget, clock=lambda: state["now"])
+
+        def sleep(seconds):
+            state["now"] += seconds
+
+        return deadline, state, sleep
+
+    def test_expired_deadline_stops_retrying_early(self):
+        deadline, state, sleep = self._clocked(budget=0.05)
+        calls = {"n": 0}
+
+        def always():
+            calls["n"] += 1
+            state["now"] += 0.06  # each attempt overruns the budget
+            raise ServiceOverloadedError("full")
+
+        with pytest.raises(ServiceOverloadedError):
+            call_with_retries(
+                always,
+                attempts=10,
+                seed=0,
+                sleep=sleep,
+                deadline=deadline,
+            )
+        # budget died after attempt #1; attempts 2..10 never ran
+        assert calls["n"] == 1
+
+    def test_sleeps_are_clamped_to_remaining_budget(self):
+        deadline, state, sleep = self._clocked(budget=0.5)
+        sleeps = []
+
+        def always():
+            raise ServiceOverloadedError("full")
+
+        with pytest.raises(ServiceOverloadedError):
+            call_with_retries(
+                always,
+                attempts=20,
+                base_delay=0.2,
+                max_delay=5.0,
+                jitter=0.0,
+                seed=0,
+                sleep=lambda s: (sleeps.append(s), sleep(s)),
+                deadline=deadline,
+            )
+        # backoff wanted 0.2 then 0.4; the second sleep is clamped to
+        # the 0.3 left in the budget, and retrying then stops
+        assert sleeps == pytest.approx([0.2, 0.3])
+        assert sum(sleeps) <= 0.5 + 1e-9
+
+    def test_generous_deadline_changes_nothing(self):
+        deadline, _, sleep = self._clocked(budget=1000.0)
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ServiceOverloadedError("full")
+            return "done"
+
+        assert (
+            call_with_retries(
+                flaky, attempts=5, seed=0, sleep=sleep, deadline=deadline
+            )
+            == "done"
+        )
+        assert calls["n"] == 3
+
+    def test_no_deadline_means_unbounded_retries(self):
+        sleeps = []
+
+        def flaky():
+            if len(sleeps) < 4:
+                raise ServiceOverloadedError("full")
+            return 1
+
+        assert (
+            call_with_retries(
+                flaky, attempts=6, seed=0, sleep=sleeps.append
+            )
+            == 1
+        )
+        assert len(sleeps) == 4

@@ -231,6 +231,37 @@ class TestStatsConsistency:
             assert stats["groups_pending"] == 0
             assert stats["updates_applied"] + stats["updates_coalesced"] == 5
 
+    def test_stats_expose_queue_depth_and_wal_bytes(self, tmp_path):
+        """Regression: the observability keys health monitors alarm on
+        must exist in every stats() snapshot — ``queue_depth`` (the true
+        submission backlog, including the retired buffer's catch-up) and
+        ``wal_bytes_written``."""
+        from repro.serve import DurabilityPolicy
+
+        array = np.zeros((8, 8), dtype=np.int64)
+        # no durability: the keys are still present (zeroed WAL bytes)
+        with CubeService(PrefixSumCube, array) as svc:
+            stats = svc.stats()
+            assert stats["queue_depth"] == 0
+            assert stats["wal_bytes_written"] == 0
+            assert stats["wal_enabled"] is False
+        with CubeService(
+            RelativePrefixSumCube,
+            array,
+            durability=DurabilityPolicy(dir=tmp_path),
+        ) as svc:
+            for i in range(4):
+                svc.submit_delta((i, i), 1)
+            svc.flush()
+            stats = svc.stats()
+            assert stats["queue_depth"] == 0  # drained after flush
+            assert stats["wal_bytes_written"] > 0
+            assert stats["wal_enabled"] is True
+            before = stats["wal_bytes_written"]
+            svc.submit_delta((0, 0), 2)
+            svc.flush()
+            assert svc.stats()["wal_bytes_written"] > before
+
 
 @pytest.mark.slow
 class TestConcurrentStress:

@@ -1,0 +1,130 @@
+"""ShardMap: exact leading-dimension partitioning of cubes and queries."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ShardMap
+from repro.errors import ClusterError, RangeError
+
+from .conftest import brute_range_sum, random_range
+
+
+class TestConstruction:
+    def test_bounds_cover_axis_without_overlap(self):
+        shardmap = ShardMap((10, 4), 3)
+        assert shardmap.bounds[0][0] == 0
+        assert shardmap.bounds[-1][1] == 10
+        for (_, stop), (start, _) in zip(
+            shardmap.bounds, shardmap.bounds[1:]
+        ):
+            assert stop == start
+
+    def test_near_equal_slabs(self):
+        shardmap = ShardMap((10, 4), 3)
+        sizes = [stop - start for start, stop in shardmap.bounds]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_single_shard_owns_everything(self):
+        shardmap = ShardMap((7, 3), 1)
+        assert shardmap.bounds == ((0, 7),)
+
+    @pytest.mark.parametrize("bad", [0, -1, 11])
+    def test_invalid_shard_count_rejected(self, bad):
+        with pytest.raises(ClusterError):
+            ShardMap((10, 4), bad)
+
+    def test_shard_shape_and_subarray(self, rng):
+        array = rng.integers(0, 9, (11, 5))
+        shardmap = ShardMap(array.shape, 4)
+        for shard in range(4):
+            slab = shardmap.subarray(array, shard)
+            assert slab.shape == shardmap.shard_shape(shard)
+            start, stop = shardmap.slab(shard)
+            assert np.array_equal(slab, array[start:stop])
+
+    def test_subarrays_reassemble_the_cube(self, rng):
+        array = rng.integers(0, 9, (9, 4, 3))
+        shardmap = ShardMap(array.shape, 3)
+        stacked = np.concatenate(
+            [shardmap.subarray(array, s) for s in range(3)], axis=0
+        )
+        assert np.array_equal(stacked, array)
+
+
+class TestRouting:
+    def test_shard_of_matches_slabs(self):
+        shardmap = ShardMap((10, 4), 3)
+        for row in range(10):
+            shard = shardmap.shard_of((row, 0))
+            start, stop = shardmap.slab(shard)
+            assert start <= row < stop
+
+    def test_shard_of_validates_cells(self):
+        shardmap = ShardMap((10, 4), 2)
+        with pytest.raises(RangeError):
+            shardmap.shard_of((10, 0))
+        with pytest.raises(RangeError):
+            shardmap.shard_of((0, -1))
+        with pytest.raises(RangeError):
+            shardmap.shard_of((0,))
+
+    def test_to_local_translates_leading_axis_only(self):
+        shardmap = ShardMap((10, 4), 2)
+        assert shardmap.to_local(1, (7, 3)) == (2, 3)
+        with pytest.raises(ClusterError):
+            shardmap.to_local(0, (7, 3))
+
+    def test_split_updates_localizes_and_preserves_order(self):
+        shardmap = ShardMap((10, 4), 2)
+        grouped = shardmap.split_updates(
+            [((0, 1), 1.0), ((9, 2), 2.0), ((1, 0), 3.0)]
+        )
+        assert grouped[0] == [((0, 1), 1.0), ((1, 0), 3.0)]
+        assert grouped[1] == [((4, 2), 2.0)]
+
+
+class TestSplitBox:
+    def test_box_inside_one_shard(self):
+        shardmap = ShardMap((10, 4), 2)
+        pieces = shardmap.split_box((6, 0), (8, 3))
+        assert pieces == [(1, (1, 0), (3, 3))]
+
+    def test_box_spanning_all_shards(self):
+        shardmap = ShardMap((9, 4), 3)
+        pieces = shardmap.split_box((0, 1), (8, 2))
+        assert [p[0] for p in pieces] == [0, 1, 2]
+        for shard, low, high in pieces:
+            size = shardmap.shard_shape(shard)[0]
+            assert 0 <= low[0] <= high[0] < size
+            assert low[1:] == (1,) and high[1:] == (2,)
+
+    def test_split_validates_ranges(self):
+        shardmap = ShardMap((10, 4), 2)
+        with pytest.raises(RangeError):
+            shardmap.split_box((5, 0), (4, 3))  # inverted
+        with pytest.raises(RangeError):
+            shardmap.split_box((0, 0), (10, 3))  # out of bounds
+
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 5])
+    def test_partial_sums_reassemble_exactly(self, rng, num_shards):
+        array = rng.integers(-50, 50, (15, 6)).astype(np.int64)
+        shardmap = ShardMap(array.shape, num_shards)
+        slabs = [shardmap.subarray(array, s) for s in range(num_shards)]
+        for _ in range(50):
+            low, high = random_range(rng, array.shape)
+            total = sum(
+                brute_range_sum(slabs[shard], slow, shigh)
+                for shard, slow, shigh in shardmap.split_box(low, high)
+            )
+            assert total == brute_range_sum(array, low, high)
+
+    def test_pieces_are_disjoint_and_cover(self, rng):
+        shardmap = ShardMap((12, 5), 4)
+        for _ in range(30):
+            low, high = random_range(rng, (12, 5))
+            rows = []
+            for shard, slow, shigh in shardmap.split_box(low, high):
+                start, _ = shardmap.slab(shard)
+                rows.extend(range(start + slow[0], start + shigh[0] + 1))
+            assert rows == list(range(low[0], high[0] + 1))

@@ -1,7 +1,8 @@
-"""Seeded fault-injection soak for the durability layer.
+"""Seeded fault-injection soak for the durability and cluster layers.
 
-Runs crash/recover rounds against a brute-force oracle until a time
-budget expires, cycling three scenarios per seed:
+``--mode single`` (default) runs crash/recover rounds against a
+brute-force oracle until a time budget expires, cycling three scenarios
+per seed:
 
 * **crash** — feed a durable :class:`~repro.serve.CubeService` random
   update groups, kill it at a random point (``abandon()`` leaves the
@@ -15,6 +16,16 @@ budget expires, cycling three scenarios per seed:
   must fall back to the previous one and still reach the oracle state
   via WAL replay.
 
+``--mode cluster`` soaks a :class:`~repro.cluster.CubeCluster` instead:
+each round builds a seeded sharded/replicated cluster, drives
+interleaved queries and update groups while **killing a primary**
+(health monitor must fail over with zero acked-group loss),
+**partitioning a replica** (reads keep flowing; the healed replica is
+scrub-repaired), and **corrupting a replica's state** (the anti-entropy
+scrubber must detect and repair the divergence). Every answered query
+is checked against the oracle exactly; the round fails on any mismatch
+or on a scrub round that misses an injected divergence.
+
 Every round is deterministic in ``(seed, round_index)``. On failure the
 round's WAL/checkpoint directory is preserved under ``--artifact-dir``
 (CI uploads it) together with a ``round.json`` describing the exact
@@ -24,6 +35,8 @@ Usage::
 
     PYTHONPATH=src python tools/chaos_soak.py --seeds 0 1 2 \
         --time-budget 60 --artifact-dir chaos-artifacts
+    PYTHONPATH=src python tools/chaos_soak.py --mode cluster \
+        --seeds 0 1 --time-budget 60
 """
 
 import argparse
@@ -38,10 +51,12 @@ from pathlib import Path
 import numpy as np
 
 from repro import CubeService, DurabilityPolicy, FaultPlan
+from repro.cluster import BreakerPolicy, CubeCluster
 from repro.core.rps import RelativePrefixSumCube
 from repro.faults import InjectedFault
 from repro.serve import recover_state
 from repro.testing import assert_recovery_correct
+from repro.workloads import ClusterWorkloadRunner
 
 SHAPES = [(23,), (11, 9), (6, 5, 4)]
 
@@ -155,19 +170,142 @@ SCENARIOS = {
     "bad-checkpoint": _run_bad_checkpoint,
 }
 
+CLUSTER_SHAPES = [(16, 9), (12, 7, 5)]
 
-def soak(seeds, time_budget, artifact_dir):
+
+def _cluster_round_params(seed, round_index):
+    rng = np.random.default_rng([seed, round_index, 1000])
+    shape = CLUSTER_SHAPES[int(rng.integers(len(CLUSTER_SHAPES)))]
+    return rng, {
+        "seed": seed,
+        "round": round_index,
+        "scenario": "cluster",
+        "shape": shape,
+        "num_shards": int(rng.integers(2, min(4, shape[0]) + 1)),
+        "replication_factor": int(rng.integers(2, 4)),
+        "groups": int(rng.integers(10, 25)),
+        "queries": int(rng.integers(10, 25)),
+        "checkpoint_every": int(rng.integers(1, 8)),
+    }
+
+
+def _run_cluster(rng, params, state_dir):
+    """One kill/partition/corrupt/heal round against an exact oracle."""
+    shape = params["shape"]
+    cube = rng.integers(0, 50, shape).astype(np.int64)
+    plan = FaultPlan(seed=params["seed"])
+    cluster = CubeCluster(
+        RelativePrefixSumCube,
+        cube,
+        data_dir=state_dir,
+        num_shards=params["num_shards"],
+        replication_factor=params["replication_factor"],
+        checkpoint_every=params["checkpoint_every"],
+        fault_plan=plan,
+        breaker=BreakerPolicy(failure_threshold=2, cooldown_s=30.0),
+        seed=params["seed"],
+    )
+    runner = ClusterWorkloadRunner(cluster, cube.astype(np.float64))
+
+    def random_group():
+        group = []
+        for _ in range(int(rng.integers(1, 6))):
+            cell = tuple(int(rng.integers(0, n)) for n in shape)
+            group.append((cell, float(rng.integers(-9, 10) or 1)))
+        return group
+
+    def random_queries(count):
+        queries = []
+        for _ in range(count):
+            low, high = [], []
+            for n in shape:
+                a, b = sorted(int(x) for x in rng.integers(0, n, size=2))
+                low.append(a)
+                high.append(b)
+            queries.append((tuple(low), tuple(high)))
+        return queries
+
+    def drive(queries, groups):
+        result = runner.run(
+            random_queries(queries), [random_group() for _ in range(groups)]
+        )
+        assert result.mismatches == 0, f"{result.mismatches} wrong answers"
+        return result
+
+    try:
+        third_q = max(1, params["queries"] // 3)
+        third_g = max(1, params["groups"] // 3)
+        drive(third_q, third_g)
+
+        # -- kill a primary: monitor must promote, no acked loss --------------
+        victim_shard = int(rng.integers(params["num_shards"]))
+        victim = f"s{victim_shard}.n0"
+        params["killed_primary"] = victim
+        cluster.kill_node(victim)
+        for _ in range(3):  # enough probes to trip the breaker
+            cluster.monitor.tick()
+        assert cluster.stats()["metrics"]["failovers"].get(
+            victim_shard
+        ), "kill did not trigger a failover"
+        drive(third_q, third_g)
+
+        # -- partition a replica, corrupt another, heal and scrub -------------
+        part_shard = int(rng.integers(params["num_shards"]))
+        replicas = [
+            n
+            for n in cluster.replica_sets[part_shard].nodes
+            if not n.is_primary and not n.dead
+        ]
+        if replicas:
+            target = replicas[0]
+            params["partitioned_replica"] = target.node_id
+            plan.partition(target.node_id)
+            drive(third_q, third_g)  # reads flow without the replica
+            plan.heal(target.node_id)
+        node = next(
+            (
+                n
+                for n in cluster.nodes()
+                if not n.is_primary and not n.dead and not n.lagging
+            ),
+            None,
+        )
+        if node is not None:
+            params["corrupted_replica"] = node.node_id
+            # drain pending groups first so the corrupted front buffer
+            # is the one the scrubber digests (no swap hides it)
+            cluster.flush()
+            node.service._front.method.rp._rp.flat[0] += 997.0
+            report = cluster.scrubber.scrub_once()
+            assert (
+                report["divergences"] >= 1
+            ), f"scrubber missed the corruption: {report}"
+        report = cluster.scrubber.scrub_once()
+        assert report["divergences"] == 0, f"scrub did not converge: {report}"
+        final = drive(third_q, 0)
+        assert final.unavailable == 0, "healed cluster still unavailable"
+        params["metrics"] = cluster.stats()["metrics"]
+    finally:
+        cluster.close()
+
+
+def soak(seeds, time_budget, artifact_dir, mode="single"):
     start = time.monotonic()
     rounds = 0
     round_index = 0
     while time.monotonic() - start < time_budget:
         for seed in seeds:
-            rng, params = _round_params(seed, round_index)
+            if mode == "cluster":
+                rng, params = _cluster_round_params(seed, round_index)
+                scenario = _run_cluster
+            else:
+                rng, params = _round_params(seed, round_index)
+                scenario = SCENARIOS[params["scenario"]]
             with tempfile.TemporaryDirectory(prefix="chaos-") as tmp:
                 state_dir = Path(tmp) / "state"
                 state_dir.mkdir()
                 try:
-                    SCENARIOS[params["scenario"]](rng, params, state_dir)
+                    scenario(rng, params, state_dir)
                 except Exception:
                     artifact_dir.mkdir(parents=True, exist_ok=True)
                     dest = artifact_dir / f"seed{seed}-round{round_index}"
@@ -196,8 +334,13 @@ def main(argv=None):
     parser.add_argument("--artifact-dir", type=Path,
                         default=Path("chaos-artifacts"),
                         help="failed rounds keep their WAL/checkpoint dir here")
+    parser.add_argument("--mode", choices=("single", "cluster"),
+                        default="single",
+                        help="single-service crash rounds (default) or "
+                        "replicated-cluster kill/partition/heal rounds")
     args = parser.parse_args(argv)
-    return soak(args.seeds, args.time_budget, args.artifact_dir)
+    return soak(args.seeds, args.time_budget, args.artifact_dir,
+                mode=args.mode)
 
 
 if __name__ == "__main__":
