@@ -192,15 +192,23 @@ class HealthMonitor:
                 metrics.record_node_failure(node.node_id)
                 breaker.record_failure()
         for replica_set in self._cluster.replica_sets:
-            primary = replica_set.primary
+            try:
+                primary = replica_set.primary
+            except ClusterError:
+                # shard has no primary at all (and so no durable
+                # directory to promote from): skip it, but never let
+                # one broken shard deny the remaining shards their
+                # failover opportunity
+                continue
             if primary.dead or not self._cluster.breaker(
                 primary.node_id
             ).allow():
                 try:
                     replica_set.failover()
                 except ClusterError:
-                    # no replica left to promote: the shard stays
-                    # unavailable (exactly) until a node is revived
+                    # no replica left to promote (or recovery failed):
+                    # the shard stays unavailable (exactly) until a
+                    # node is revived or a later tick retries
                     pass
         self.ticks += 1
         return results

@@ -8,7 +8,13 @@ answers first. The slow request is not cancelled (it finishes
 harmlessly); the tail latency a straggling replica would have imposed
 is. The delay adapts via :class:`HedgePolicy` from the cluster's own
 :class:`~repro.metrics.service.LatencyRecorder`, so hedging stays rare
-(~the chosen percentile) by construction.
+(~the chosen percentile) by construction. Replication is asynchronous
+past the ack (``submit_batch`` queues the forwarded group), so before
+an arm answers, a node whose snapshot trails the shard's last
+acknowledged group first waits for its own writer to catch up — every
+acked group is already queued on every non-lagging node by the time
+the ack is visible — and a node that *cannot* catch up fails the arm
+rather than serving a stale snapshot.
 
 **Writes** go to the primary, whose service WAL-logs and fsyncs the
 group *before* acknowledging; only then is the group forwarded to the
@@ -40,7 +46,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.node import NODE_FAILURES, ClusterNode
 from repro.deadline import Deadline
-from repro.errors import ClusterError, ClusterUnavailableError
+from repro.errors import (
+    ClusterError,
+    ClusterUnavailableError,
+    NodeUnavailableError,
+    ReproError,
+)
 from repro.serve import wal as wal_mod
 from repro.serve.service import CubeService
 
@@ -116,6 +127,9 @@ class ReplicaSet:
         # Reentrant: failover() runs inside submit()'s locked section.
         self._lock = threading.RLock()
         self._rotation = 0
+        # Highest sequence number acknowledged to a caller; reads must
+        # never observe a snapshot older than this (read-after-ack).
+        self._last_acked = nodes[0].service.version
         self.nodes[0].is_primary = True
         if self.nodes[0].durability_dir is None:
             raise ClusterError(
@@ -136,17 +150,21 @@ class ReplicaSet:
 
     # -- reads ---------------------------------------------------------------
 
-    def _read_candidates(self) -> List[ClusterNode]:
-        """Nodes eligible to serve a read, preferred order first.
+    def _read_candidates(self) -> Tuple[List[ClusterNode], int]:
+        """``(candidates, acked)``: read-eligible nodes plus the floor.
 
-        Primary first (always fresh), then non-lagging replicas rotated
-        so hedge load spreads; breaker-open nodes are filtered out, but
-        if *everything* is filtered the full list is returned as a last
-        resort — a wrong answer is impossible (replicas are exact or
-        excluded), only an error is.
+        Candidates come preferred order first — primary, then
+        non-lagging replicas rotated so hedge load spreads;
+        breaker-open nodes are filtered out, but if *everything* is
+        filtered the full list is returned as a last resort — a wrong
+        answer is impossible (replicas are exact or excluded), only an
+        error is. ``acked`` is the shard's last acknowledged sequence
+        number, read under the same lock: no answer may come from a
+        snapshot older than it.
         """
         with self._lock:
             primary = self.primary
+            acked = self._last_acked
             replicas = [
                 n
                 for n in self.nodes
@@ -158,7 +176,7 @@ class ReplicaSet:
                 replicas = replicas[pivot:] + replicas[:pivot]
             ordered = [primary] + replicas
         allowed = [n for n in ordered if self._breaker(n).allow() and not n.dead]
-        return allowed or ordered
+        return (allowed or ordered), acked
 
     def read(self, op: str, args: Tuple, deadline: Optional[Deadline] = None):
         """Hedged read: ``op(*args)`` on one replica, two if it lags.
@@ -167,16 +185,31 @@ class ReplicaSet:
         delay, launches the next candidate if the first has not
         answered, and returns the first successful result. A failed arm
         feeds its node's breaker and the next candidate is launched
-        immediately. Raises :class:`ClusterUnavailableError` when every
-        candidate fails, :class:`~repro.errors.DeadlineExceededError`
-        when the budget expires first — never a partial or stale-marked
-        answer.
+        immediately. Read-after-ack: an arm whose snapshot trails the
+        shard's last acknowledged group waits for its node's writer to
+        drain (every acked group is queued on every non-lagging node
+        before the ack is visible) and fails rather than answer below
+        that floor, so no result ever predates an acknowledged write.
+        Raises :class:`ClusterUnavailableError` when every candidate
+        fails, :class:`~repro.errors.DeadlineExceededError` when the
+        budget expires first — never a partial answer, never one
+        missing an acked group.
         """
-        candidates = self._read_candidates()
+        candidates, acked = self._read_candidates()
         hedge_delay = self.hedge.delay(self.metrics.read_latency)
 
         def arm(node: ClusterNode):
             start = time.perf_counter()
+            if node.service.version < acked:
+                # the missing groups are already queued (forwarding
+                # precedes the ack) — wait out the node's writer
+                budget = None if deadline is None else deadline.bound(None)
+                node.service.flush(timeout=budget)
+                if node.service.version < acked:
+                    raise NodeUnavailableError(
+                        f"node {node.node_id} snapshot "
+                        f"v{node.service.version} predates acked v{acked}"
+                    )
             result = getattr(node, op)(*args)
             return node, result, time.perf_counter() - start
 
@@ -265,17 +298,23 @@ class ReplicaSet:
         forwarding happens after it and can only mark a replica lagging,
         never un-ack the group. A primary failure mid-submit triggers an
         inline :meth:`failover` and a single retry against the promoted
-        node — the group was either never acked (safe to resubmit) or
-        acked-and-durable (the recovery replay makes the retry submit
-        the *next* group; callers see one extra no-op... which cannot
-        happen, because an acked submit returns before the forward loop
-        and never reaches the retry).
+        node — but the failed attempt may have *committed without
+        acking*: an fsync failure raises after the record is already
+        on disk, and recovery replays any fully-written record. So the
+        retry first checks the promoted primary's recovered log: if it
+        already contains the group's sequence number, the group is
+        durable and applied, and the ack is returned without
+        resubmitting — a blind resubmit would apply the deltas twice.
         """
         if deadline is not None:
             deadline.check(f"shard {self.shard_id} submit")
         with self._lock:
             for attempt in (1, 2):
                 primary = self.primary
+                # Submits to this set serialize on the set lock, so the
+                # primary's submitted-group counter cannot move under
+                # us: the group, if it commits, gets exactly this seq.
+                expected = primary.service.last_submitted_seq + 1
                 try:
                     primary.guard("write")
                     seq = primary.service.submit_batch(
@@ -291,7 +330,14 @@ class ReplicaSet:
                             f"{primary.node_id} unavailable and failover "
                             f"failed ({error})"
                         ) from error
-                    self.failover()
+                    promoted = self.failover()
+                    if promoted.service.last_submitted_seq >= expected:
+                        # the "failed" submit reached the WAL before it
+                        # raised; recovery replayed it — durable and
+                        # applied exactly once, so do not resubmit
+                        seq = expected
+                        break
+            self._last_acked = max(self._last_acked, seq)
             self.metrics.record_update(self.shard_id)
             for replica in self.nodes:
                 if replica.is_primary or replica.dead or replica.lagging:
@@ -338,6 +384,13 @@ class ReplicaSet:
         lagging. The dead primary's per-node fault plan is deliberately
         *not* inherited (a ``kill_node_at`` that fired once must not
         re-fire during replay or on the new primary).
+
+        Recovery runs *before* roles flip or the promoted replica's
+        service is destroyed: if the directory cannot be recovered
+        (corrupt WAL, I/O failure), the fenced node keeps its primary
+        role — so a later failover attempt can retry — and the replica
+        keeps serving reads, instead of the shard being left with no
+        primary and one replica fewer.
         """
         with self._lock:
             old = self.primary
@@ -362,14 +415,30 @@ class ReplicaSet:
             except Exception:  # noqa: BLE001 - already-dead is fine
                 pass
             try:
+                recovered = CubeService.recover(directory)
+            except (ReproError, OSError) as error:
+                # leave the (fenced, dead) node as primary: the shard
+                # degrades to unavailable, and the health monitor's
+                # next tick retries this failover instead of the shard
+                # being permanently primary-less
+                old.is_primary = True
+                raise ClusterUnavailableError(
+                    f"shard {self.shard_id}: failover could not recover "
+                    f"from {directory} ({error})"
+                ) from error
+            try:
                 promoted.service.close(timeout=10.0)
             except Exception:  # noqa: BLE001 - stale state is discarded
                 pass
-            recovered = CubeService.recover(directory)
             promoted.service = recovered
             promoted.durability_dir = directory
             promoted.is_primary = True
             promoted.lagging = False
+            # reads must not flip between the recovered state and a
+            # replica that missed a committed-but-unacked group
+            self._last_acked = max(
+                self._last_acked, recovered.last_submitted_seq
+            )
             self._breaker(promoted).record_success()
             self.metrics.record_failover(self.shard_id)
             return promoted

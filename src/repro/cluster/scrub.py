@@ -31,6 +31,13 @@ import threading
 from typing import Dict, Optional
 
 from repro.cluster.node import NODE_FAILURES
+from repro.errors import ClusterError, StorageError
+
+#: Failures a repair attempt may surface: node-level unavailability,
+#: plus a shard with no primary (ClusterError from ``resync``) and a
+#: durability directory that cannot be read back (StorageError from
+#: ``recover_state``). Contained per shard, never aborting the round.
+REPAIR_FAILURES = NODE_FAILURES + (ClusterError, StorageError)
 
 
 class AntiEntropyScrubber:
@@ -88,7 +95,7 @@ class AntiEntropyScrubber:
                     replica_set.flush()
                 primary = replica_set.primary
                 primary_version, primary_digest = primary.snapshot_digest()
-            except NODE_FAILURES as error:
+            except REPAIR_FAILURES as error:
                 report["skipped"].append(
                     f"shard {replica_set.shard_id}: {error}"
                 )
@@ -97,8 +104,16 @@ class AntiEntropyScrubber:
                 if node.is_primary or node.dead:
                     continue
                 if node.lagging:
-                    replica_set.resync(node)
-                    report["resyncs"] += 1
+                    try:
+                        replica_set.resync(node)
+                        report["resyncs"] += 1
+                    except REPAIR_FAILURES as error:
+                        # a dead primary or unreadable log must not
+                        # abort the round: record it and move on
+                        report["skipped"].append(
+                            f"shard {replica_set.shard_id} node "
+                            f"{node.node_id}: {error}"
+                        )
                     continue
                 try:
                     version, digest = node.snapshot_digest()
@@ -127,8 +142,15 @@ class AntiEntropyScrubber:
                 if not repaired:
                     # self-consistency was not the problem (or not
                     # enough): rebuild from the authoritative log
-                    replica_set.resync(node)
-                    report["resyncs"] += 1
+                    try:
+                        replica_set.resync(node)
+                        report["resyncs"] += 1
+                    except REPAIR_FAILURES as error:
+                        report["skipped"].append(
+                            f"shard {replica_set.shard_id} node "
+                            f"{node.node_id}: {error}"
+                        )
+                        continue
                 report["repairs"] += 1
                 metrics.record_scrub_repair()
         metrics.record_scrub_round(report["checks"])

@@ -320,6 +320,19 @@ class CubeService:
         with self._state_lock:
             return self._front.version
 
+    @property
+    def last_submitted_seq(self) -> int:
+        """Sequence number of the newest submitted group (0 if none).
+
+        On a freshly :meth:`recover`-ed service this equals the highest
+        committed sequence replayed from the log — the cluster layer
+        compares it against an in-flight group's expected sequence to
+        decide whether a failed submit actually committed before it
+        raised (and must not be resubmitted).
+        """
+        with self._state_lock:
+            return self._submitted_groups
+
     # -- writer API ----------------------------------------------------------
 
     def submit_delta(

@@ -12,7 +12,7 @@ from repro.cluster import (
     Deadline,
     HedgePolicy,
 )
-from repro.errors import DeadlineExceededError, RangeError
+from repro.errors import DeadlineExceededError, RangeError, WALError
 from repro.faults import FaultPlan
 from repro.workloads import ClusterWorkloadRunner
 
@@ -194,6 +194,91 @@ class TestFailover:
                 cluster.range_sum((0, 0), (11, 9))
             plan.heal()
             assert cluster.range_sum((0, 0), (11, 9)) == cube.sum()
+
+    def test_fsync_failure_after_durable_append_is_not_double_applied(
+        self, tmp_path, rng
+    ):
+        """A WAL fsync failure raises *after* the record reached the OS,
+        so recovery replays the group; the inline failover retry must
+        recognize it as committed instead of resubmitting the deltas."""
+        cube = make_cube(rng)
+        oracle = cube.astype(np.float64)
+        with make_cluster(tmp_path, cube, num_shards=1) as cluster:
+            wal = cluster.node("s0.n0").service._wal
+            original = wal.sync_upto
+
+            def fail_fsync(seq):
+                wal.sync_upto = original  # fail only the first sync
+                raise WALError(
+                    f"injected fsync failure after seq {seq} hit the OS"
+                )
+
+            wal.sync_upto = fail_fsync
+            oracle[3, 4] += 5.0
+            acked = cluster.submit_batch([((3, 4), 5.0)])
+            # the group committed once, under its original sequence
+            assert acked == {0: 1}
+            cluster.flush()
+            stats = cluster.stats()
+            assert stats["metrics"]["failovers"] == {0: 1}
+            assert stats["nodes"]["s0.n1"]["role"] == "primary"
+            # applied exactly once: a blind resubmit would add 5.0 twice
+            assert cluster.total() == oracle.sum()
+            for _ in range(10):
+                low, high = random_range(rng, SHAPE)
+                assert cluster.range_sum(low, high) == brute_range_sum(
+                    oracle, low, high
+                )
+
+    def test_failed_promotion_recovery_keeps_a_retryable_primary(
+        self, tmp_path, rng
+    ):
+        """If recovery of the dead primary's directory fails, the shard
+        must keep its (fenced) primary for a later retry and must not
+        destroy the replica it tried to promote."""
+        cube = make_cube(rng)
+        plan = FaultPlan(seed=4)
+        with make_cluster(
+            tmp_path, cube, num_shards=1, fault_plan=plan
+        ) as cluster:
+            # make the durable directory unrecoverable
+            for path in (tmp_path / "shard-0").glob("ckpt-*.npz"):
+                path.unlink()
+            plan.kill("s0.n0")
+            replica_set = cluster.replica_sets[0]
+            with pytest.raises(ClusterUnavailableError):
+                replica_set.failover()
+            # the fenced node still holds the primary role...
+            assert replica_set.primary.node_id == "s0.n0"
+            assert not cluster.node("s0.n1").is_primary
+            # ...and the replica's service survived the failed attempt
+            assert cluster.node("s0.n1").service.total() == cube.sum()
+            # the monitor's next tick retries instead of dying
+            cluster.monitor.tick()
+            assert replica_set.primary.node_id == "s0.n0"
+
+    def test_replica_read_never_predates_an_acked_write(
+        self, tmp_path, rng
+    ):
+        """Replicas apply forwarded groups asynchronously; a read that
+        falls through to a trailing replica must wait for it to catch
+        up to the last acked group, never serve the older snapshot."""
+        cube = make_cube(rng)
+        plan = FaultPlan(seed=2)
+        with make_cluster(
+            tmp_path,
+            cube,
+            num_shards=1,
+            fault_plan=plan,
+            # stall the replica's writer on its first group so its
+            # snapshot demonstrably trails the primary's ack
+            node_fault_plans={
+                "s0.n1": FaultPlan(latency_at=1, latency_seconds=0.4)
+            },
+        ) as cluster:
+            cluster.submit_batch([((0, 0), 100.0)])
+            plan.kill("s0.n0")  # reads must fall through to the replica
+            assert cluster.total() == cube.sum() + 100.0
 
     def test_lagging_replica_is_excluded_then_resynced(self, tmp_path, rng):
         cube = make_cube(rng)

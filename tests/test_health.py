@@ -160,6 +160,21 @@ class TestHealthMonitor:
         assert cluster.stats()["metrics"]["failovers"] == {1: 1}
         assert cluster.range_sum((0, 0), (7, 5)) == oracle.sum()
 
+    def test_tick_survives_a_primaryless_shard(self, small_cluster):
+        """One shard with no primary must not abort the tick: probes
+        still run and the other shards keep their failover checks."""
+        cluster, plan, _ = small_cluster
+        for node in cluster.replica_sets[0].nodes:
+            node.is_primary = False
+        results = cluster.monitor.tick()  # must not raise
+        assert set(results) == {"s0.n0", "s0.n1", "s1.n0", "s1.n1"}
+        # shard 1's failover opportunity is not denied by shard 0
+        plan.kill("s1.n0")
+        for _ in range(2):
+            cluster.monitor.tick()
+        assert cluster.stats()["metrics"]["failovers"] == {1: 1}
+        assert cluster.node("s1.n1").is_primary
+
     def test_background_thread_starts_and_stops(self, small_cluster):
         cluster, _plan, _ = small_cluster
         cluster.monitor.start(interval_s=0.01)

@@ -110,6 +110,29 @@ class TestScrubOnce:
             # the healthy shard was still fully scrubbed
             assert report["checks"] == 1
 
+    def test_resync_failure_is_contained_per_shard(self, tmp_path, rng):
+        """A resync that cannot read the primary's durable log must be
+        recorded as skipped, not abort the whole round."""
+        cube = rng.integers(0, 25, SHAPE).astype(np.int64)
+        with CubeCluster(
+            RelativePrefixSumCube,
+            cube,
+            data_dir=tmp_path,
+            num_shards=2,
+            replication_factor=2,
+        ) as built:
+            built.node("s0.n1").lagging = True
+            # make shard 0's directory unrecoverable for resync
+            for path in (tmp_path / "shard-0").glob("ckpt-*.npz"):
+                path.unlink()
+            report = built.scrubber.scrub_once()
+            assert report["resyncs"] == 0
+            assert len(report["skipped"]) == 1
+            assert "s0.n1" in report["skipped"][0]
+            # the other shard was still fully scrubbed
+            assert report["shards"] == 2
+            assert report["checks"] == 1
+
     def test_scrub_round_metric_counts_checks(self, cluster):
         built, _ = cluster
         built.scrubber.scrub_once()
