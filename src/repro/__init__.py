@@ -80,7 +80,20 @@ from repro.persistence import (
     save_method,
     save_schema,
 )
-from repro.metrics import AccessCounter, LatencyRecorder, ServiceMetrics
+from repro.metrics import (
+    AccessCounter,
+    LatencyRecorder,
+    RouterMetrics,
+    ServiceMetrics,
+)
+from repro.routing import (
+    HotPatternTracker,
+    QueryRouter,
+    ResultCache,
+    RollupBuilder,
+    RollupCube,
+    RoutedBatch,
+)
 from repro.serve import (
     CubeService,
     DurabilityPolicy,
@@ -115,6 +128,7 @@ __all__ = [
     "FaultPlan",
     "FenwickCube",
     "HedgePolicy",
+    "HotPatternTracker",
     "InjectedFault",
     "HierarchicalRPSCube",
     "IdentityEncoder",
@@ -126,10 +140,16 @@ __all__ = [
     "Overlay",
     "PagedRPSCube",
     "PrefixSumCube",
+    "QueryRouter",
     "RangeSumMethod",
     "RelativePrefixArray",
     "RelativePrefixSumCube",
     "ReproError",
+    "ResultCache",
+    "RollupBuilder",
+    "RollupCube",
+    "RoutedBatch",
+    "RouterMetrics",
     "ServiceClosedError",
     "ShardMap",
     "ServiceMetrics",

@@ -10,6 +10,9 @@ Subcommands:
 * ``profile`` — measure methods' empirical cost spec sheets.
 * ``cluster`` — drive a replicated, sharded serving cluster (optionally
   killing a primary mid-run) and print its operational stats.
+* ``router`` — serve a repeated dashboard workload through the adaptive
+  query router and print per-tier hit rates (``--no-cache`` /
+  ``--no-rollup`` toggle individual tiers).
 
 ``run``/``all`` accept ``--csv DIR`` to also write each table as
 ``DIR/<id>.csv``.
@@ -260,6 +263,68 @@ def _cmd_cluster(args) -> int:
     return 1 if result.mismatches else 0
 
 
+def _cmd_router(args) -> int:
+    import json
+
+    import numpy as np
+
+    from repro.routing import QueryRouter
+    from repro.serve import CubeService
+
+    rng = np.random.default_rng(args.seed)
+    shape = (args.n, args.n)
+    cube = rng.integers(0, 100, shape).astype(np.float64)
+    g = args.granularity
+    print(
+        f"router: {args.n}x{args.n} cube, {args.rounds} rounds x "
+        f"{args.queries} queries, cache={'on' if args.cache else 'off'}, "
+        f"rollup={'on' if args.rollup else 'off'}, seed {args.seed}"
+    )
+    # a dashboard-shaped workload: a fixed page of hot boxes asked every
+    # round (cache tier), grid-aligned drill-downs (rollup tier), and a
+    # trickle of ad-hoc boxes (RPS tier), with writes between rounds
+    hot_lows = rng.integers(0, args.n // 2, (args.queries, 2))
+    hot_highs = np.minimum(hot_lows + rng.integers(1, args.n // 2,
+                                                   (args.queries, 2)),
+                           args.n - 1)
+    blocks = args.n // g
+    mismatches = 0
+    with CubeService(RelativePrefixSumCube, cube) as service:
+        with QueryRouter(
+            service, enable_cache=args.cache, enable_rollup=args.rollup,
+            auto_build=False,
+        ) as router:
+            if args.rollup:
+                router.build_rollup(g)
+            oracle = cube.copy()
+            for round_no in range(args.rounds):
+                blo = rng.integers(0, blocks, (args.queries, 2)) * g
+                bhi = blo + g * rng.integers(
+                    1, max(2, blocks // 2), (args.queries, 2)
+                )
+                bhi = np.minimum(bhi - 1, args.n - 1)
+                for lows, highs in ((hot_lows, hot_highs), (blo, bhi)):
+                    for _ in range(args.repeats):
+                        values = router.range_sum_many(lows, highs)
+                        expect = np.array([
+                            oracle[lo[0]:hi[0] + 1, lo[1]:hi[1] + 1].sum()
+                            for lo, hi in zip(lows, highs)
+                        ])
+                        mismatches += int((~np.isclose(values, expect)).sum())
+                if round_no + 1 < args.rounds:
+                    cell = tuple(int(c) for c in rng.integers(0, args.n, 2))
+                    delta = float(rng.integers(1, 10))
+                    router.submit_batch([(cell, delta)])
+                    router.flush()
+                    oracle[cell] += delta
+                    if args.rollup:
+                        router.build_rollup(g)
+    stats = router.stats()
+    print(f"\n{mismatches} mismatches")
+    print(json.dumps(stats["router"], indent=2, default=str))
+    return 1 if mismatches else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro-bench argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -371,6 +436,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="kill shard 0's primary halfway through and fail over",
     )
     cluster_parser.set_defaults(func=_cmd_cluster)
+
+    router_parser = sub.add_parser(
+        "router",
+        help="serve a dashboard workload through the adaptive query "
+             "router and print per-tier hit rates",
+    )
+    router_parser.add_argument("--n", type=int, default=128)
+    router_parser.add_argument(
+        "--rounds", type=int, default=5,
+        help="write rounds (a flush between each, default 5)",
+    )
+    router_parser.add_argument(
+        "--queries", type=int, default=64,
+        help="boxes per workload page (default 64)",
+    )
+    router_parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="times each page is re-asked per round (default 3)",
+    )
+    router_parser.add_argument(
+        "--granularity", type=int, default=16,
+        help="rollup grid size (default 16)",
+    )
+    router_parser.add_argument(
+        "--no-cache", dest="cache", action="store_false",
+        help="disable the memoized result tier",
+    )
+    router_parser.add_argument(
+        "--no-rollup", dest="rollup", action="store_false",
+        help="disable the pre-aggregated rollup tier",
+    )
+    router_parser.add_argument("--seed", type=int, default=0)
+    router_parser.set_defaults(func=_cmd_router)
     return parser
 
 

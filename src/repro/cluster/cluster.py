@@ -212,6 +212,15 @@ class CubeCluster:
     def shape(self) -> Tuple[int, ...]:
         return self.shardmap.shape
 
+    def version_vector(self) -> Tuple[int, ...]:
+        """Per-shard last-acked sequence numbers, shard order.
+
+        The cluster's snapshot stamp: the router's caching tiers key
+        freshness on it, so a write to *any* shard invalidates exactly
+        the cached entries whose stamp covered that shard.
+        """
+        return tuple(rs.last_acked for rs in self.replica_sets)
+
     # -- reads ---------------------------------------------------------------
 
     def range_sum_many(
@@ -220,6 +229,7 @@ class CubeCluster:
         highs: Sequence[Sequence[int]],
         *,
         deadline: Optional[Deadline] = None,
+        return_shard_versions: bool = False,
     ) -> np.ndarray:
         """Batched exact range sums across shards (hedged per shard).
 
@@ -230,6 +240,11 @@ class CubeCluster:
         shard has no reachable replica (never a partial sum) and
         :class:`~repro.errors.DeadlineExceededError` when the budget
         runs out first.
+
+        With ``return_shard_versions=True`` the result is
+        ``(values, {shard: snapshot version})`` naming, per involved
+        shard, the version the sub-box reads were actually served from —
+        the provenance the query router stamps on cached answers.
         """
         lows = list(lows)
         highs = list(highs)
@@ -249,10 +264,11 @@ class CubeCluster:
                 shi.append(local_high)
         self.metrics.record_query(len(per_shard))
         out: Optional[np.ndarray] = None
+        shard_versions: Dict[int, int] = {}
         for shard in sorted(per_shard):
             idx, slo, shi = per_shard[shard]
             try:
-                values, _version = self.replica_sets[shard].range_sum_many(
+                values, version = self.replica_sets[shard].range_sum_many(
                     slo, shi, deadline
                 )
             except ClusterUnavailableError:
@@ -260,6 +276,7 @@ class CubeCluster:
                 raise
             except DeadlineExceededError:
                 raise
+            shard_versions[shard] = version
             values = np.asarray(values)
             if out is None:
                 out = np.zeros(
@@ -268,6 +285,8 @@ class CubeCluster:
             np.add.at(out, np.asarray(idx, dtype=np.intp), values)
         if out is None:
             out = np.zeros(len(lows))
+        if return_shard_versions:
+            return out, shard_versions
         return out
 
     def range_sum(

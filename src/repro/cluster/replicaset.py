@@ -145,6 +145,13 @@ class ReplicaSet:
                     return node
         raise ClusterUnavailableError(f"shard {self.shard_id} has no primary")
 
+    @property
+    def last_acked(self) -> int:
+        """Highest sequence number acknowledged to a caller — the floor
+        below which no read on this shard may be served."""
+        with self._lock:
+            return self._last_acked
+
     def _breaker(self, node: ClusterNode):
         return self._breakers[node.node_id]
 

@@ -3,6 +3,7 @@
 from repro.metrics.cluster import ClusterMetrics
 from repro.metrics.counters import AccessCounter, CounterSnapshot, measured
 from repro.metrics.profile import characterize, render_profile
+from repro.metrics.router import RouterMetrics
 from repro.metrics.service import LatencyRecorder, ServiceMetrics
 
 __all__ = [
@@ -10,6 +11,7 @@ __all__ = [
     "ClusterMetrics",
     "CounterSnapshot",
     "LatencyRecorder",
+    "RouterMetrics",
     "ServiceMetrics",
     "characterize",
     "measured",

@@ -1,0 +1,154 @@
+"""Per-tier counters for the adaptive query router.
+
+The router (:mod:`repro.routing`) answers each box query from one of
+three tiers — memoized result cache, pre-aggregated rollup, or the
+backing RPS service — and the first operational question is always
+"which tier is doing the work, and is the cache actually fresh?".
+:class:`RouterMetrics` tallies per-tier hits, misses and stale rejects
+(an entry or rollup discarded because the snapshot version moved on),
+rollup build activity, and latency histograms for the routed path and
+the fallback reads, thread-safely, in the same plain-dict
+:meth:`RouterMetrics.snapshot` idiom as
+:class:`~repro.metrics.service.ServiceMetrics` and
+:class:`~repro.metrics.cluster.ClusterMetrics`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+from repro.metrics.service import LatencyRecorder
+
+
+class RouterMetrics:
+    """Counters for one :class:`~repro.routing.QueryRouter`.
+
+    Attributes:
+        route_latency: per routed *call* durations (a call may carry a
+            whole query batch), whatever mix of tiers answered it.
+        backend_latency: durations of the fallback reads that went all
+            the way to the RPS service/cluster.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.route_latency = LatencyRecorder()
+        self.backend_latency = LatencyRecorder()
+        # per-tier serving counters (units: individual box queries)
+        self.queries_routed = 0
+        self.cache_hits = 0
+        self.batch_hits = 0
+        self.rollup_hits = 0
+        self.backend_queries = 0
+        # freshness: entries found but refused because the snapshot
+        # version moved on (each one is a precisely-invalidated write)
+        self.cache_stale_rejects = 0
+        self.batch_stale_rejects = 0
+        self.rollup_stale_rejects = 0
+        # rollup lifecycle
+        self.rollup_builds = 0
+        self.rollup_build_failures = 0
+        self.rollup_discards = 0
+        # deadline pressure on the routed path
+        self.deadline_exceeded = 0
+
+    # -- recording (called by the router) ------------------------------------
+
+    def record_route(self, seconds: float, queries: int) -> None:
+        """One routed call answering ``queries`` box queries."""
+        with self._lock:
+            self.queries_routed += int(queries)
+        self.route_latency.record(seconds)
+
+    def record_cache_hits(self, queries: int) -> None:
+        """``queries`` answers served from per-box memoized results."""
+        with self._lock:
+            self.cache_hits += int(queries)
+
+    def record_batch_hit(self, queries: int) -> None:
+        """One whole-batch memo hit covering ``queries`` box queries."""
+        with self._lock:
+            self.batch_hits += int(queries)
+
+    def record_rollup_hits(self, queries: int) -> None:
+        """``queries`` answers served from a pre-aggregated rollup."""
+        with self._lock:
+            self.rollup_hits += int(queries)
+
+    def record_backend_queries(self, queries: int, seconds: float) -> None:
+        """``queries`` fell through to the backing service/cluster."""
+        with self._lock:
+            self.backend_queries += int(queries)
+        self.backend_latency.record(seconds)
+
+    def record_cache_stale(self, entries: int = 1) -> None:
+        """``entries`` cached box results were version-rejected."""
+        with self._lock:
+            self.cache_stale_rejects += int(entries)
+
+    def record_batch_stale(self) -> None:
+        """A whole-batch memo entry was version-rejected."""
+        with self._lock:
+            self.batch_stale_rejects += 1
+
+    def record_rollup_stale(self) -> None:
+        """A published rollup was discarded: built from a superseded
+        snapshot version."""
+        with self._lock:
+            self.rollup_stale_rejects += 1
+
+    def record_rollup_built(self) -> None:
+        """One rollup cube was materialized and published."""
+        with self._lock:
+            self.rollup_builds += 1
+
+    def record_rollup_build_failure(self) -> None:
+        """A rollup build failed; queries degrade to the RPS fallback."""
+        with self._lock:
+            self.rollup_build_failures += 1
+
+    def record_rollup_discard(self) -> None:
+        """A published rollup was dropped (stale or evicted)."""
+        with self._lock:
+            self.rollup_discards += 1
+
+    def record_deadline_exceeded(self) -> None:
+        """A routed call ran out of its deadline budget."""
+        with self._lock:
+            self.deadline_exceeded += 1
+
+    # -- reporting -----------------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        """All tallies, latency summaries, and derived hit rates."""
+        with self._lock:
+            served = (
+                self.cache_hits + self.batch_hits + self.rollup_hits
+                + self.backend_queries
+            )
+            counts = {
+                "queries_routed": self.queries_routed,
+                "cache_hits": self.cache_hits,
+                "batch_hits": self.batch_hits,
+                "rollup_hits": self.rollup_hits,
+                "backend_queries": self.backend_queries,
+                "cache_stale_rejects": self.cache_stale_rejects,
+                "batch_stale_rejects": self.batch_stale_rejects,
+                "rollup_stale_rejects": self.rollup_stale_rejects,
+                "rollup_builds": self.rollup_builds,
+                "rollup_build_failures": self.rollup_build_failures,
+                "rollup_discards": self.rollup_discards,
+                "deadline_exceeded": self.deadline_exceeded,
+            }
+            cached = self.cache_hits + self.batch_hits
+            counts["cache_hit_rate"] = cached / served if served else 0.0
+            counts["rollup_hit_rate"] = (
+                self.rollup_hits / served if served else 0.0
+            )
+            counts["backend_rate"] = (
+                self.backend_queries / served if served else 0.0
+            )
+        counts["route_latency"] = self.route_latency.summary()
+        counts["backend_latency"] = self.backend_latency.summary()
+        return counts

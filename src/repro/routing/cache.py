@@ -1,0 +1,171 @@
+"""Snapshot-versioned memoization of exact box sums.
+
+:class:`ResultCache` is the router's first tier: a thread-safe LRU map
+from a box (or a whole query batch) to the exact sum(s) the backend
+returned, stamped with the snapshot version that produced them. There
+are no TTLs and no epsilon staleness — an entry is served only when its
+stamp matches the version the caller asks for, so a write invalidates
+every affected entry *precisely* through the serving layer's existing
+version handoff. A lookup that finds an entry at the wrong version
+reports it as ``stale`` (and drops it); the router counts those rejects,
+because each one is a correctly-invalidated write.
+
+Eviction is LRU under two budgets — entry count and payload bytes — so
+the cache can be sized for "stay resident" rather than "grow forever".
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+#: lookup outcomes (module constants so callers can match identity)
+HIT = "hit"
+MISS = "miss"
+STALE = "stale"
+
+#: accounting floor per entry: key object + bookkeeping, not just payload
+_ENTRY_OVERHEAD_BYTES = 120
+
+
+def _payload_nbytes(value) -> int:
+    """Approximate resident size of a cached value."""
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    # numpy scalar or python number
+    return 16
+
+
+class ResultCache:
+    """LRU + byte-budget cache of ``(key -> (stamp, value))``.
+
+    One entry per key: a ``put`` at a newer stamp replaces the old
+    version in place (the previous value could never be served again
+    anyway — ``get`` demands an exact stamp match).
+
+    Args:
+        max_entries: LRU capacity in entries.
+        max_bytes: LRU capacity in (approximate) payload bytes.
+    """
+
+    def __init__(
+        self, max_entries: int = 65536, max_bytes: int = 64 << 20
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Tuple[Hashable, object, int]]" \
+            = OrderedDict()
+        self.max_entries = int(max_entries)
+        self.max_bytes = int(max_bytes)
+        self._bytes = 0
+        self.inserts = 0
+        self.evictions = 0
+        self.stale_drops = 0
+
+    def get(self, key: Hashable, stamp: Hashable) -> Tuple[str, object]:
+        """Look up ``key`` at snapshot ``stamp``.
+
+        Returns ``(HIT, value)`` on an exact-version match (the entry is
+        refreshed in LRU order), ``(STALE, None)`` when an entry exists
+        at a *different* stamp (it is dropped — the version handoff has
+        invalidated it), or ``(MISS, None)``.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return MISS, None
+            entry_stamp, value, nbytes = entry
+            if entry_stamp != stamp:
+                del self._entries[key]
+                self._bytes -= nbytes
+                self.stale_drops += 1
+                return STALE, None
+            self._entries.move_to_end(key)
+            return HIT, value
+
+    def put(self, key: Hashable, stamp: Hashable, value) -> None:
+        """Insert (or version-replace) ``key`` = ``value`` at ``stamp``.
+
+        Arrays are defensively marked read-only — a hit hands back the
+        same object, and a caller mutating it would corrupt every future
+        hit.
+        """
+        if isinstance(value, np.ndarray):
+            value = value.copy()
+            value.setflags(write=False)
+        nbytes = _payload_nbytes(value) + _ENTRY_OVERHEAD_BYTES
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[2]
+            self._entries[key] = (stamp, value, nbytes)
+            self._bytes += nbytes
+            self.inserts += 1
+            while len(self._entries) > self.max_entries or (
+                self._bytes > self.max_bytes and len(self._entries) > 1
+            ):
+                _, (_, _, evicted_bytes) = self._entries.popitem(last=False)
+                self._bytes -= evicted_bytes
+                self.evictions += 1
+
+    def purge(self) -> int:
+        """Drop everything; returns the number of entries removed."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._bytes = 0
+        return dropped
+
+    def purge_stale(self, stamp: Hashable) -> int:
+        """Drop every entry not at ``stamp``; returns the count dropped.
+
+        Optional hygiene — correctness never needs it (``get`` rejects
+        wrong-version entries), but a write-heavy workload can reclaim
+        the budget eagerly instead of waiting for LRU pressure.
+        """
+        with self._lock:
+            stale = [
+                key
+                for key, (entry_stamp, _, _) in self._entries.items()
+                if entry_stamp != stamp
+            ]
+            for key in stale:
+                _, _, nbytes = self._entries.pop(key)
+                self._bytes -= nbytes
+            self.stale_drops += len(stale)
+            return len(stale)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate resident payload bytes."""
+        with self._lock:
+            return self._bytes
+
+    def stats(self) -> Dict:
+        """Occupancy and churn as one plain dict."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+                "inserts": self.inserts,
+                "evictions": self.evictions,
+                "stale_drops": self.stale_drops,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(entries={len(self)}, bytes={self.nbytes}, "
+            f"max_entries={self.max_entries}, max_bytes={self.max_bytes})"
+        )

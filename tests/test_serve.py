@@ -220,6 +220,47 @@ class TestStatsConsistency:
             f"{violations[0][1]} groups applied"
         )
 
+    def test_reader_snapshot_never_behind_observed_stats_version(self):
+        """Regression for the router's freshness contract: a reader that
+        first observes ``stats()['version'] == v`` must then be served a
+        snapshot stamped >= v. The query router keys cache freshness on
+        exactly this handoff (observe the version, then read), so a
+        stats() that runs ahead of the snapshot reads actually served
+        would let a cache admit entries the backend cannot reproduce —
+        an invisible staleness bug with no torn read to betray it."""
+        array = np.zeros((16, 16), dtype=np.int64)
+        violations = []
+        stop = threading.Event()
+
+        def observe_then_read(svc):
+            while not stop.is_set():
+                observed = svc.stats()["version"]
+                _, read_version = svc.query_many([(0, 0)], [(15, 15)])
+                if read_version < observed:
+                    violations.append((observed, read_version))
+                    return
+
+        with CubeService(RelativePrefixSumCube, array) as svc:
+            threads = [
+                threading.Thread(
+                    target=observe_then_read, args=(svc,), daemon=True
+                )
+                for _ in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+            for i in range(200):
+                svc.submit_delta((i % 16, (i * 3) % 16), 1)
+            svc.flush()
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10)
+                assert not thread.is_alive()
+        assert not violations, (
+            f"reader observed stats version {violations[0][0]} but was "
+            f"then served snapshot version {violations[0][1]}"
+        )
+
     def test_stats_after_flush_account_every_group(self):
         array = np.zeros((8, 8), dtype=np.int64)
         with CubeService(PrefixSumCube, array) as svc:

@@ -16,6 +16,16 @@ per seed:
   must fall back to the previous one and still reach the oracle state
   via WAL replay.
 
+``--mode router`` soaks the adaptive query router
+(:class:`~repro.routing.QueryRouter`): a writer churns snapshot
+versions over a durable service while concurrent readers answer from
+the cache/rollup/RPS tiers, and **every answer must equal the
+per-version oracle at its own stamp** — one stale read fails the
+round. Mid-round a fault is armed that makes rollup *builds* fail
+(reader traffic is untouched); the round asserts the failed build
+degraded to the RPS fallback (failure counted, reads kept flowing,
+nothing raised) and that a later build succeeds once the fault heals.
+
 ``--mode cluster`` soaks a :class:`~repro.cluster.CubeCluster` instead:
 each round builds a seeded sharded/replicated cluster, drives
 interleaved queries and update groups while **killing a primary**
@@ -44,6 +54,7 @@ import json
 import shutil
 import sys
 import tempfile
+import threading
 import time
 import traceback
 from pathlib import Path
@@ -54,6 +65,8 @@ from repro import CubeService, DurabilityPolicy, FaultPlan
 from repro.cluster import BreakerPolicy, CubeCluster
 from repro.core.rps import RelativePrefixSumCube
 from repro.faults import InjectedFault
+from repro.routing import QueryRouter
+from repro.routing.router import ServiceBackend
 from repro.serve import recover_state
 from repro.testing import assert_recovery_correct
 from repro.workloads import ClusterWorkloadRunner
@@ -289,6 +302,201 @@ def _run_cluster(rng, params, state_dir):
         cluster.close()
 
 
+ROUTER_SHAPES = [(24,), (12, 10), (6, 5, 4)]
+
+#: reader pages stay at or below this many boxes; a rollup build at
+#: granularity 2 queries every block of the cube in one batch, which is
+#: always larger — so the build-failure fault below can target builds
+#: without ever touching reader traffic
+ROUTER_PAGE_BOXES = 4
+
+
+class _BuildFaultBackend:
+    """Backend wrapper whose *armed* state fails any batch bigger than a
+    reader page. Rollup builds fetch all block totals in one oversized
+    batch, so arming this injects a build failure while routed reads
+    (small pages, or cache hits that never reach the backend) flow on.
+    """
+
+    def __init__(self, backend):
+        self._backend = backend
+        self.shape = backend.shape
+        self.armed = False
+        self.injected = 0
+
+    def current_stamp(self):
+        return self._backend.current_stamp()
+
+    def query_many(self, lows, highs, deadline=None):
+        if self.armed and len(lows) > ROUTER_PAGE_BOXES:
+            self.injected += 1
+            raise InjectedFault("injected rollup-build failure")
+        return self._backend.query_many(lows, highs, deadline=deadline)
+
+    def __getattr__(self, name):
+        return getattr(self._backend, name)
+
+
+def _box_sum(state, lo, hi):
+    sl = tuple(slice(int(a), int(b) + 1) for a, b in zip(lo, hi))
+    return float(state[sl].sum())
+
+
+def _router_round_params(seed, round_index):
+    rng = np.random.default_rng([seed, round_index, 2000])
+    return rng, {
+        "seed": seed,
+        "round": round_index,
+        "scenario": "router",
+        "shape": ROUTER_SHAPES[int(rng.integers(len(ROUTER_SHAPES)))],
+        "groups": int(rng.integers(30, 60)),
+        "readers": int(rng.integers(2, 4)),
+        "flush_every": int(rng.integers(3, 8)),
+        "build_every": int(rng.integers(5, 12)),
+        "checkpoint_every": int(rng.integers(1, 8)),
+    }
+
+
+def _run_router(rng, params, state_dir):
+    """Writer churn + injected build failures + concurrent cached
+    readers; every routed answer must match the oracle at its stamp."""
+    shape = params["shape"]
+    cube = rng.integers(0, 50, shape).astype(np.float64)
+
+    # precompute the whole write stream and the exact per-version states
+    groups, states = [], [cube.copy()]
+    for _ in range(params["groups"]):
+        group = [
+            (
+                tuple(int(rng.integers(0, n)) for n in shape),
+                float(rng.integers(-9, 10) or 1),
+            )
+            for _ in range(int(rng.integers(1, 4)))
+        ]
+        groups.append(group)
+        state = states[-1].copy()
+        for cell, delta in group:
+            state[cell] += delta
+        states.append(state)
+
+    pages = []
+    for _ in range(3):
+        lows, highs = [], []
+        for _ in range(ROUTER_PAGE_BOXES):
+            lo, hi = [], []
+            for n in shape:
+                a, b = sorted(int(x) for x in rng.integers(0, n, size=2))
+                lo.append(a)
+                hi.append(b)
+            lows.append(lo)
+            highs.append(hi)
+        pages.append((np.array(lows), np.array(highs)))
+
+    errors = []
+    stop = threading.Event()
+    service = CubeService(
+        RelativePrefixSumCube,
+        cube,
+        durability=DurabilityPolicy(
+            dir=state_dir, checkpoint_every=params["checkpoint_every"]
+        ),
+    )
+    backend = _BuildFaultBackend(ServiceBackend(service))
+    try:
+        with QueryRouter(
+            backend, auto_build=False, observe_every=1
+        ) as router:
+
+            def reader(page_index):
+                page_lows, page_highs = pages[page_index % len(pages)]
+                while not stop.is_set():
+                    batch = router.route_many(page_lows, page_highs)
+                    for lo, hi, value, stamp, tier in zip(
+                        page_lows, page_highs, batch.values,
+                        batch.stamps, batch.tiers,
+                    ):
+                        expect = _box_sum(states[stamp], lo, hi)
+                        if value != expect:
+                            errors.append({
+                                "box": (tuple(lo), tuple(hi)),
+                                "tier": tier, "stamp": int(stamp),
+                                "value": float(value), "expect": expect,
+                            })
+                            stop.set()
+                            return
+
+            threads = [
+                threading.Thread(target=reader, args=(i,))
+                for i in range(params["readers"])
+            ]
+            for t in threads:
+                t.start()
+            fault_window = (
+                params["groups"] // 3, 2 * params["groups"] // 3
+            )
+            degraded_builds = 0
+            for i, group in enumerate(groups):
+                if stop.is_set():
+                    break
+                router.submit_batch(group)
+                if i % params["flush_every"] == 0:
+                    router.flush()
+                if i == fault_window[0]:
+                    backend.armed = True
+                if i == fault_window[1]:
+                    backend.armed = False
+                if i % params["build_every"] == 0:
+                    built = router.build_rollup(2)
+                    if built is None:
+                        # degraded: the failed build must be counted and
+                        # must not have broken the serving path
+                        degraded_builds += 1
+            backend.armed = False
+            router.flush()
+            stop.set()
+            for t in threads:
+                t.join(timeout=30)
+                assert not t.is_alive(), "reader thread hung"
+
+            assert not errors, f"stale routed reads: {errors[:3]}"
+            # the fault healed: a final build must succeed again
+            assert router.build_rollup(2) is not None, (
+                "rollup build still failing after the fault healed"
+            )
+            stats = router.stats()["router"]
+            params["router_stats"] = {
+                k: stats[k]
+                for k in (
+                    "queries_routed", "cache_hits", "batch_hits",
+                    "rollup_hits", "backend_queries",
+                    "rollup_builds", "rollup_build_failures",
+                )
+            }
+            params["degraded_builds"] = degraded_builds
+            assert backend.injected >= 1, (
+                "round never armed a build failure"
+            )
+            assert degraded_builds == backend.injected, (
+                f"{backend.injected} injected build faults but "
+                f"{degraded_builds} degraded builds observed"
+            )
+            assert stats["rollup_build_failures"] >= degraded_builds
+            assert stats["rollup_builds"] >= 1, "no rollup ever published"
+
+            # quiesced differential: a fresh full-cube read through the
+            # router equals the final oracle exactly
+            final = router.route_many(
+                [np.zeros(len(shape), dtype=int)],
+                [[n - 1 for n in shape]],
+            )
+            expect = float(states[-1].sum())
+            assert final.values[0] == expect, (
+                f"final routed read {final.values[0]} != oracle {expect}"
+            )
+    finally:
+        service.close()
+
+
 def soak(seeds, time_budget, artifact_dir, mode="single"):
     start = time.monotonic()
     rounds = 0
@@ -298,6 +506,9 @@ def soak(seeds, time_budget, artifact_dir, mode="single"):
             if mode == "cluster":
                 rng, params = _cluster_round_params(seed, round_index)
                 scenario = _run_cluster
+            elif mode == "router":
+                rng, params = _router_round_params(seed, round_index)
+                scenario = _run_router
             else:
                 rng, params = _round_params(seed, round_index)
                 scenario = SCENARIOS[params["scenario"]]
@@ -334,10 +545,11 @@ def main(argv=None):
     parser.add_argument("--artifact-dir", type=Path,
                         default=Path("chaos-artifacts"),
                         help="failed rounds keep their WAL/checkpoint dir here")
-    parser.add_argument("--mode", choices=("single", "cluster"),
+    parser.add_argument("--mode", choices=("single", "cluster", "router"),
                         default="single",
-                        help="single-service crash rounds (default) or "
-                        "replicated-cluster kill/partition/heal rounds")
+                        help="single-service crash rounds (default), "
+                        "replicated-cluster kill/partition/heal rounds, or "
+                        "query-router stale-read/build-failure rounds")
     args = parser.parse_args(argv)
     return soak(args.seeds, args.time_budget, args.artifact_dir,
                 mode=args.mode)
