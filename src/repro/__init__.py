@@ -83,9 +83,11 @@ from repro.persistence import (
 from repro.metrics import (
     AccessCounter,
     LatencyRecorder,
+    NetMetrics,
     RouterMetrics,
     ServiceMetrics,
 )
+from repro.net import Authenticator, CubeClient, CubeServer, Tenant
 from repro.routing import (
     HotPatternTracker,
     QueryRouter,
@@ -108,6 +110,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AccessCounter",
     "AggregateCube",
+    "Authenticator",
     "BandHierarchy",
     "BinningEncoder",
     "BreakerPolicy",
@@ -115,8 +118,10 @@ __all__ = [
     "BoxAlignedLayout",
     "CategoricalEncoder",
     "ClusterUnavailableError",
+    "CubeClient",
     "CubeCluster",
     "CubeSchema",
+    "CubeServer",
     "CubeService",
     "Deadline",
     "DeadlineExceededError",
@@ -137,6 +142,7 @@ __all__ = [
     "LatencyRecorder",
     "MultiMeasureEngine",
     "NaiveCube",
+    "NetMetrics",
     "Overlay",
     "PagedRPSCube",
     "PrefixSumCube",
@@ -152,6 +158,7 @@ __all__ = [
     "RouterMetrics",
     "ServiceClosedError",
     "ShardMap",
+    "Tenant",
     "ServiceMetrics",
     "ServiceOverloadedError",
     "StorageError",

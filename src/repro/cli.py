@@ -13,6 +13,9 @@ Subcommands:
 * ``router`` — serve a repeated dashboard workload through the adaptive
   query router and print per-tier hit rates (``--no-cache`` /
   ``--no-rollup`` toggle individual tiers).
+* ``serve`` — stand up the TCP serving tier (``repro.net``) in front of
+  a cube service, optionally routed (``--router``) and tenant-gated
+  (``--tenant name=token[:rate[:burst]]``), until interrupted.
 
 ``run``/``all`` accept ``--csv DIR`` to also write each table as
 ``DIR/<id>.csv``.
@@ -325,6 +328,62 @@ def _cmd_router(args) -> int:
     return 1 if mismatches else 0
 
 
+def _cmd_serve(args) -> int:
+    import json
+
+    import numpy as np
+
+    from repro.net import Authenticator, CubeServer
+    from repro.routing import QueryRouter
+    from repro.serve import CubeService
+
+    rng = np.random.default_rng(args.seed)
+    shape = (args.n, args.n)
+    cube = rng.integers(0, 100, shape).astype(np.float64)
+    authenticator = (
+        Authenticator.parse(args.tenant) if args.tenant else None
+    )
+    with CubeService(RelativePrefixSumCube, cube) as service:
+        backend = service
+        router = None
+        if args.router:
+            router = QueryRouter(service)
+            backend = router
+        server = CubeServer(
+            backend,
+            host=args.host,
+            port=args.port,
+            authenticator=authenticator,
+            max_inflight=args.max_inflight,
+        )
+        try:
+            host, port = server.start_background()
+            print(
+                f"serving a {args.n}x{args.n} cube on {host}:{port} "
+                f"(router={'on' if args.router else 'off'}, "
+                f"tenants={len(authenticator.tenants) if authenticator else 0}, "
+                f"max_inflight={args.max_inflight})",
+                flush=True,
+            )
+            if args.duration is not None:
+                import time as _time
+
+                _time.sleep(args.duration)
+            else:
+                try:
+                    import threading
+
+                    threading.Event().wait()
+                except KeyboardInterrupt:
+                    pass
+        finally:
+            server.stop_background()
+            if router is not None:
+                router.close()
+        print(json.dumps(server.metrics.snapshot(), indent=2, default=str))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro-bench argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -469,6 +528,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     router_parser.add_argument("--seed", type=int, default=0)
     router_parser.set_defaults(func=_cmd_router)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="stand up the TCP serving tier in front of a cube service",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default local)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=7421,
+        help="bind port; 0 picks a free one (default 7421)",
+    )
+    serve_parser.add_argument("--n", type=int, default=256)
+    serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument(
+        "--router", action="store_true",
+        help="front the service with the adaptive query router",
+    )
+    serve_parser.add_argument(
+        "--tenant", action="append", default=[],
+        metavar="NAME=TOKEN[:RATE[:BURST]]",
+        help="require auth; repeatable, one spec per tenant",
+    )
+    serve_parser.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="admission-control cap on concurrent backend calls",
+    )
+    serve_parser.add_argument(
+        "--duration", type=float, default=None,
+        help="serve this many seconds then exit (default: until ^C)",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -136,8 +136,19 @@ class ClusterNode:
 
     # -- lifecycle -----------------------------------------------------------
 
-    def self_check(self, probes: int = 16, seed: int = 0, repair=True):
-        return self.service.self_check(probes=probes, seed=seed, repair=repair)
+    def self_check(
+        self,
+        probes: int = 16,
+        seed: int = 0,
+        repair=True,
+        *,
+        timeout: Optional[float] = None,
+        deadline=None,
+    ):
+        return self.service.self_check(
+            probes=probes, seed=seed, repair=repair,
+            timeout=timeout, deadline=deadline,
+        )
 
     def close(self) -> None:
         self.dead = True

@@ -50,6 +50,10 @@ class AntiEntropyScrubber:
         probes: sample size forwarded to ``self_check``.
         quiesce: flush each shard before digesting so version skew from
             in-flight groups is not mistaken for divergence.
+        repair_timeout: per-node bound on the ``self_check`` repair
+            rebuild — a wedged node must not stall the whole round (the
+            resulting :class:`TimeoutError` is a ``NODE_FAILURES``
+            member, so the scrubber escalates to ``resync``).
     """
 
     def __init__(
@@ -59,11 +63,13 @@ class AntiEntropyScrubber:
         seed: int = 0,
         probes: int = 16,
         quiesce: bool = True,
+        repair_timeout: Optional[float] = 60.0,
     ) -> None:
         self._cluster = cluster
         self._rng = random.Random(seed)
         self.probes = int(probes)
         self.quiesce = bool(quiesce)
+        self.repair_timeout = repair_timeout
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
 
@@ -129,7 +135,8 @@ class AntiEntropyScrubber:
                 repaired = False
                 try:
                     check = node.self_check(
-                        probes=self.probes, repair=True
+                        probes=self.probes, repair=True,
+                        timeout=self.repair_timeout,
                     )
                     if check["ok"]:
                         version, digest = node.snapshot_digest()

@@ -69,6 +69,37 @@ class DeadlineExceededError(ReproError):
     out before the operation completed."""
 
 
+class NetError(ReproError):
+    """Base class for errors raised by the :mod:`repro.net` serving tier."""
+
+
+class ProtocolError(NetError):
+    """A wire frame or request is malformed (bad length prefix, invalid
+    JSON, unknown operation, missing parameters...)."""
+
+
+class PayloadTooLargeError(ProtocolError):
+    """A frame exceeds the connection's negotiated size limit."""
+
+
+class AuthError(NetError):
+    """A request carried a missing or unknown tenant token."""
+
+
+class QuotaExceededError(NetError):
+    """The tenant's quota bucket is empty; retry after ``retry_after_s``
+    seconds (token-bucket refill, see :mod:`repro.net.auth`)."""
+
+    def __init__(self, message: str, retry_after_s: float = 0.0):
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
+class RemoteError(NetError):
+    """The server failed internally while handling a request; the
+    original error class did not survive the wire, only its message."""
+
+
 class ClusterError(ReproError):
     """Base class for errors raised by the :mod:`repro.cluster` layer."""
 

@@ -1,0 +1,53 @@
+"""The network serving tier: sockets in front of the cube stack.
+
+``repro.net`` puts a TCP boundary in front of the in-process query
+surfaces (:class:`~repro.serve.CubeService`,
+:class:`~repro.cluster.CubeCluster`,
+:class:`~repro.routing.QueryRouter`) without changing their semantics:
+length-prefixed JSON frames, typed wire errors that reconstruct the
+:class:`~repro.errors.ReproError` hierarchy client-side, per-tenant
+token auth with token-bucket quotas, admission control that rejects
+instead of buffering, and client deadline budgets threaded into
+:class:`~repro.deadline.Deadline` on the server.
+
+Quick start::
+
+    from repro.net import CubeServer, CubeClient
+
+    server = CubeServer(service, port=0)
+    host, port = server.start_background()
+    ...
+    async with await CubeClient.connect(host, port) as client:
+        values, version = await client.range_sum_many(lows, highs)
+"""
+
+from repro.net.auth import Authenticator, Tenant, TokenBucket
+from repro.net.client import CubeClient, query_once
+from repro.net.protocol import (
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    encode_frame,
+    error_code_for,
+    error_payload,
+    raise_wire_error,
+    read_frame,
+)
+from repro.net.server import CubeServer
+
+__all__ = [
+    "Authenticator",
+    "CubeClient",
+    "CubeServer",
+    "ERROR_CODES",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "Tenant",
+    "TokenBucket",
+    "encode_frame",
+    "error_code_for",
+    "error_payload",
+    "query_once",
+    "raise_wire_error",
+    "read_frame",
+]

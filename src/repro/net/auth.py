@@ -1,0 +1,180 @@
+"""Per-tenant token auth and token-bucket quotas for the net tier.
+
+A :class:`Tenant` is a name, a bearer token, and a request-rate quota.
+The :class:`Authenticator` resolves tokens to tenants (constant-time
+compare; unknown tokens raise :class:`~repro.errors.AuthError`) and
+charges each admitted request against the tenant's
+:class:`TokenBucket`. An exhausted bucket raises
+:class:`~repro.errors.QuotaExceededError` carrying ``retry_after_s`` —
+the time until one token refills — which the server forwards on the
+wire so clients back off precisely instead of hammering.
+
+Quotas are *rejection*, not queueing: a request over quota is refused
+immediately and cheaply. Smoothing bursts is the client's job (the
+retry-after hint is the contract); protecting the backend from the sum
+of all tenants is the server's admission control, a separate knob.
+"""
+
+from __future__ import annotations
+
+import hmac
+import time
+from typing import Callable, Dict, Iterable, Optional, Sequence
+
+from repro.errors import AuthError, QuotaExceededError
+
+#: default quota when a tenant spec does not name one
+DEFAULT_RATE_PER_S = 500.0
+DEFAULT_BURST = 100.0
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate_per_s`` refill, ``burst`` capacity.
+
+    Starts full. Not thread-safe by itself — the net tier calls it only
+    from the event loop thread. The clock is injectable so tests can
+    drive refill deterministically.
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate_per_s <= 0.0:
+            raise ValueError(f"rate_per_s must be > 0, got {rate_per_s}")
+        if burst <= 0.0:
+            raise ValueError(f"burst must be > 0, got {burst}")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = self._clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._stamp
+        self._stamp = now
+        if elapsed > 0.0:
+            self._tokens = min(
+                self.burst, self._tokens + elapsed * self.rate_per_s
+            )
+
+    def try_acquire(self, cost: float = 1.0) -> float:
+        """Spend ``cost`` tokens; returns 0.0 on success, else the
+        seconds until enough tokens will have refilled (nothing is
+        spent on refusal)."""
+        self._refill()
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return 0.0
+        return (cost - self._tokens) / self.rate_per_s
+
+    @property
+    def available(self) -> float:
+        self._refill()
+        return self._tokens
+
+
+class Tenant:
+    """One authenticated principal and its request-rate quota."""
+
+    def __init__(
+        self,
+        name: str,
+        token: str,
+        *,
+        rate_per_s: float = DEFAULT_RATE_PER_S,
+        burst: float = DEFAULT_BURST,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not name:
+            raise ValueError("tenant name must be non-empty")
+        if not token:
+            raise ValueError(f"tenant {name!r} must have a non-empty token")
+        self.name = str(name)
+        self.token = str(token)
+        self.bucket = TokenBucket(rate_per_s, burst, clock=clock)
+
+    def __repr__(self) -> str:
+        return (
+            f"Tenant({self.name!r}, rate={self.bucket.rate_per_s}/s, "
+            f"burst={self.bucket.burst})"
+        )
+
+
+class Authenticator:
+    """Token -> tenant resolution plus per-tenant quota charging.
+
+    An ``Authenticator`` with no tenants rejects everything — an *open*
+    server is expressed by passing ``authenticator=None`` to the server,
+    not by an empty tenant list.
+    """
+
+    def __init__(self, tenants: Iterable[Tenant]) -> None:
+        self._by_token: Dict[str, Tenant] = {}
+        for tenant in tenants:
+            if tenant.token in self._by_token:
+                raise ValueError(
+                    f"duplicate token between tenants "
+                    f"{self._by_token[tenant.token].name!r} and "
+                    f"{tenant.name!r}"
+                )
+            self._by_token[tenant.token] = tenant
+
+    def authenticate(self, token: Optional[str]) -> Tenant:
+        """Resolve a bearer token; raises
+        :class:`~repro.errors.AuthError` on a missing or unknown one."""
+        if not token:
+            raise AuthError("missing auth token")
+        for known, tenant in self._by_token.items():
+            if hmac.compare_digest(known, token):
+                return tenant
+        raise AuthError("unknown auth token")
+
+    def admit(self, tenant: Tenant, cost: float = 1.0) -> None:
+        """Charge one request; raises
+        :class:`~repro.errors.QuotaExceededError` with ``retry_after_s``
+        when the tenant's bucket is dry."""
+        retry_after = tenant.bucket.try_acquire(cost)
+        if retry_after > 0.0:
+            raise QuotaExceededError(
+                f"tenant {tenant.name!r} over quota "
+                f"({tenant.bucket.rate_per_s:g} req/s, "
+                f"burst {tenant.bucket.burst:g})",
+                retry_after_s=retry_after,
+            )
+
+    @property
+    def tenants(self) -> Sequence[Tenant]:
+        return tuple(self._by_token.values())
+
+    @classmethod
+    def parse(cls, specs: Iterable[str]) -> "Authenticator":
+        """Build from CLI specs ``"name=token[:rate[:burst]]"``.
+
+        Example: ``["dash=s3cret:200:50", "batch=tok2"]``.
+        """
+        tenants = []
+        for spec in specs:
+            name, sep, rest = spec.partition("=")
+            if not sep or not name or not rest:
+                raise ValueError(
+                    f"bad tenant spec {spec!r} "
+                    f"(want name=token[:rate[:burst]])"
+                )
+            parts = rest.split(":")
+            if len(parts) > 3:
+                raise ValueError(
+                    f"bad tenant spec {spec!r} "
+                    f"(want name=token[:rate[:burst]])"
+                )
+            token = parts[0]
+            rate = float(parts[1]) if len(parts) > 1 else DEFAULT_RATE_PER_S
+            burst = float(parts[2]) if len(parts) > 2 else DEFAULT_BURST
+            tenants.append(
+                Tenant(name, token, rate_per_s=rate, burst=burst)
+            )
+        return cls(tenants)

@@ -1,0 +1,218 @@
+"""The wire protocol: length-prefixed JSON frames and typed errors.
+
+One frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON. Requests and responses are JSON objects:
+
+Request::
+
+    {"id": 7, "op": "range_sum_many",
+     "params": {"lows": [[0, 0]], "highs": [[3, 4]]},
+     "token": "tenant-token",        # omitted on open servers
+     "deadline_ms": 250.0}           # remaining client budget, optional
+
+Response (one frame per request, except streaming ops)::
+
+    {"id": 7, "ok": true, "result": {"values": [171.0], "version": 12}}
+    {"id": 7, "ok": false,
+     "error": {"code": "overloaded", "message": "...",
+               "retry_after_s": 0.05}}
+
+Streaming ops answer with a run of chunk frames, every one carrying
+``"stream": true`` and the last also ``"final": true`` — each chunk is
+served from one backend snapshot and stamped with its own ``version``.
+
+Error mapping is the contract that makes the
+:class:`~repro.errors.ReproError` hierarchy survive the socket: the
+server maps any raised exception to a stable ``code`` via
+:func:`error_payload`, and the client rebuilds a typed exception from
+the code via :func:`raise_wire_error`. ``retry_after_s`` rides along on
+the two backpressure codes (``overloaded``, ``quota_exceeded``) so
+clients can back off without parsing messages.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Dict, Optional
+
+from repro.errors import (
+    AuthError,
+    BoxSizeError,
+    ClusterUnavailableError,
+    DeadlineExceededError,
+    DimensionError,
+    NodeUnavailableError,
+    PayloadTooLargeError,
+    ProtocolError,
+    QuotaExceededError,
+    RangeError,
+    RemoteError,
+    ReproError,
+    SchemaError,
+    ServiceOverloadedError,
+)
+from repro.serve.service import ServiceClosedError
+
+#: bump on incompatible frame/shape changes; echoed by ``ping``
+PROTOCOL_VERSION = 1
+
+#: default per-connection frame size limit (requests and responses)
+MAX_FRAME_BYTES = 1 << 20
+
+_HEADER = struct.Struct("!I")
+HEADER_BYTES = _HEADER.size
+
+# -- framing -----------------------------------------------------------------
+
+
+def encode_frame(
+    payload: Dict[str, Any], *, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> bytes:
+    """Serialize one JSON payload into a length-prefixed frame."""
+    body = json.dumps(
+        payload, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+    if len(body) > max_frame_bytes:
+        raise PayloadTooLargeError(
+            f"frame of {len(body)} bytes exceeds the "
+            f"{max_frame_bytes}-byte limit"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+    *,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+    on_bytes=None,
+) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on a clean EOF between frames.
+
+    ``on_bytes``, if given, is called with the total wire size of the
+    frame (header included) once the body has been read — the server's
+    byte accounting hook.
+
+    Raises :class:`~repro.errors.ProtocolError` on a truncated or
+    non-JSON frame and :class:`~repro.errors.PayloadTooLargeError` on a
+    length prefix past the limit — *before* buffering the oversized
+    body, so a hostile prefix cannot balloon server memory.
+    """
+    try:
+        header = await reader.readexactly(HEADER_BYTES)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # clean EOF between frames
+        raise ProtocolError(
+            f"truncated frame header ({len(error.partial)}/"
+            f"{HEADER_BYTES} bytes)"
+        ) from error
+    (length,) = _HEADER.unpack(header)
+    if length == 0:
+        raise ProtocolError("zero-length frame")
+    if length > max_frame_bytes:
+        raise PayloadTooLargeError(
+            f"frame of {length} bytes exceeds the "
+            f"{max_frame_bytes}-byte limit"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise ProtocolError(
+            f"truncated frame body ({len(error.partial)}/{length} bytes)"
+        ) from error
+    if on_bytes is not None:
+        on_bytes(HEADER_BYTES + length)
+    try:
+        payload = json.loads(body)
+    except ValueError as error:
+        raise ProtocolError(f"frame is not valid JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+# -- error mapping -----------------------------------------------------------
+
+#: ``code`` values documented on the wire. Order matters below: the
+#: first matching class wins, so subclasses precede their bases.
+ERROR_CODES = (
+    "payload_too_large",
+    "bad_request",
+    "auth_failed",
+    "quota_exceeded",
+    "overloaded",
+    "deadline_exceeded",
+    "unavailable",
+    "internal",
+)
+
+_CODE_BY_TYPE = (
+    (PayloadTooLargeError, "payload_too_large"),
+    (ProtocolError, "bad_request"),
+    (AuthError, "auth_failed"),
+    (QuotaExceededError, "quota_exceeded"),
+    (ServiceOverloadedError, "overloaded"),
+    (DeadlineExceededError, "deadline_exceeded"),
+    ((RangeError, DimensionError, BoxSizeError, SchemaError), "bad_request"),
+    (
+        (ServiceClosedError, ClusterUnavailableError, NodeUnavailableError),
+        "unavailable",
+    ),
+)
+
+_TYPE_BY_CODE = {
+    "payload_too_large": PayloadTooLargeError,
+    "bad_request": ProtocolError,
+    "auth_failed": AuthError,
+    "quota_exceeded": QuotaExceededError,
+    "overloaded": ServiceOverloadedError,
+    "deadline_exceeded": DeadlineExceededError,
+    "unavailable": NodeUnavailableError,
+    "internal": RemoteError,
+}
+
+
+def error_code_for(error: BaseException) -> str:
+    """The stable wire code for one server-side exception."""
+    for types, code in _CODE_BY_TYPE:
+        if isinstance(error, types):
+            return code
+    # TypeError/KeyError/ValueError from malformed params are caller
+    # bugs, not server faults
+    if isinstance(error, (TypeError, KeyError, ValueError)):
+        return "bad_request"
+    return "internal"
+
+
+def error_payload(
+    error: BaseException, retry_after_s: Optional[float] = None
+) -> Dict[str, Any]:
+    """The ``error`` object of a failure response."""
+    payload: Dict[str, Any] = {
+        "code": error_code_for(error),
+        "message": f"{type(error).__name__}: {error}",
+    }
+    if retry_after_s is None:
+        retry_after_s = getattr(error, "retry_after_s", None)
+    if retry_after_s is not None:
+        payload["retry_after_s"] = float(retry_after_s)
+    return payload
+
+
+def raise_wire_error(error: Dict[str, Any]) -> None:
+    """Client side: rebuild and raise the typed exception for one wire
+    ``error`` object (unknown codes degrade to
+    :class:`~repro.errors.RemoteError`)."""
+    code = error.get("code", "internal")
+    message = error.get("message", "remote error")
+    cls = _TYPE_BY_CODE.get(code, RemoteError)
+    retry_after = float(error.get("retry_after_s", 0.0) or 0.0)
+    if cls is QuotaExceededError:
+        raise QuotaExceededError(message, retry_after_s=retry_after)
+    exc = cls(message)
+    exc.retry_after_s = retry_after
+    raise exc

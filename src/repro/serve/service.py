@@ -59,6 +59,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.base import RangeSumMethod
+from repro.deadline import Deadline
 from repro.errors import (
     RecoveryError,
     ReproError,
@@ -179,6 +180,7 @@ class CubeService:
         self._completed_groups = initial
         self._closed = False
         self._abandoned = False
+        self._writer_exited = False
         self._writer_error: Optional[BaseException] = None
         self._quarantined: List[Tuple[int, str]] = []
         self._durability = durability
@@ -433,7 +435,8 @@ class CubeService:
         read will see at minimum). Waits for the whole writer cycle —
         including the retired buffer's catch-up and the metrics record —
         so ``stats()`` after a flush reflects every awaited group.
-        Raises on writer death or timeout.
+        Raises on writer death, writer exit with the awaited groups
+        still unapplied (``abandon()`` racing the wait), or timeout.
         """
         with self._state_lock:
             target = self._submitted_groups
@@ -443,14 +446,27 @@ class CubeService:
                     raise ServiceClosedError(
                         "service writer died"
                     ) from self._writer_error
+                if self._writer_exited:
+                    # the writer is gone for good (abandon, or a close
+                    # that discarded the queue): the awaited groups will
+                    # never complete, so fail now rather than sleeping
+                    # out the caller's timeout
+                    raise ServiceClosedError(
+                        f"service writer exited with "
+                        f"{self._completed_groups}/{target} groups "
+                        f"completed"
+                    )
                 remaining = (
                     None if deadline is None
                     else deadline - time.monotonic()
                 )
                 if remaining is not None and remaining <= 0:
+                    # report the count the wait condition actually
+                    # tracks — _applied_groups can run ahead of it by
+                    # one in-flight cycle
                     raise TimeoutError(
-                        f"flush timed out at {self._applied_groups}/"
-                        f"{target} groups applied"
+                        f"flush timed out at {self._completed_groups}/"
+                        f"{target} groups completed"
                     )
                 self._state_lock.wait(remaining)
             return self._applied_groups
@@ -490,6 +506,9 @@ class CubeService:
         probes: int = 16,
         seed: int = 0,
         repair: bool = True,
+        *,
+        timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
     ) -> Dict:
         """Verify the published snapshot; optionally repair a bad one.
 
@@ -498,6 +517,18 @@ class CubeService:
         :meth:`~repro.core.base.RangeSumMethod.verify` invariant). On a
         mismatch with ``repair=True``, the writer rebuilds both buffers
         from the reconstructed array and the check runs again.
+
+        Args:
+            probes: sampled range sums per verification pass.
+            seed: seeds the probe sampler.
+            repair: rebuild both buffers on a failed check.
+            timeout: how long to wait for the writer to finish the
+                repair rebuild before raising :class:`TimeoutError`
+                (default 300 s — a rebuild behind a deep backlog is
+                still a rebuild, but a caller with its own budget, like
+                the cluster scrubber, should pass a tighter bound).
+            deadline: optional :class:`~repro.deadline.Deadline` that
+                caps ``timeout`` to the caller's remaining budget.
 
         Returns a report dict: ``ok`` (final verdict), ``version``,
         ``repaired``, and ``error`` (the first failure message, if any).
@@ -527,10 +558,21 @@ class CubeService:
         with self._state_lock:
             if self._closed or self._writer_error is not None:
                 return report
+        if deadline is not None:
+            wait = deadline.bound(timeout)
+        elif timeout is not None:
+            wait = float(timeout)
+        else:
+            wait = 300.0
         token = _Rebuild()
         self._queue.put(token)
-        if not token.event.wait(timeout=300.0):
-            raise TimeoutError("snapshot rebuild did not complete")
+        start = time.monotonic()
+        if not token.event.wait(timeout=wait):
+            elapsed = time.monotonic() - start
+            raise TimeoutError(
+                f"snapshot rebuild did not complete within {wait:.3f}s "
+                f"(waited {elapsed:.3f}s at version {report['version']})"
+            )
         if token.error is not None:
             return report
         try:
@@ -741,6 +783,13 @@ class CubeService:
             self.metrics.record_writer_error()
             with self._state_lock:
                 self._writer_error = error
+                self._state_lock.notify_all()
+        finally:
+            # every exit path (clean drain, abandon, death) wakes
+            # blocked flush()/submit_batch() waiters so they can fail
+            # promptly instead of sleeping out their timeouts
+            with self._state_lock:
+                self._writer_exited = True
                 self._state_lock.notify_all()
 
     @staticmethod

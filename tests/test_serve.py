@@ -430,3 +430,127 @@ class TestConcurrentStress:
             assert svc.version == len(cells)
             assert int(svc.total()) == base + len(cells)
         assert not errors, errors[0]
+
+
+class TestServePathFixes:
+    """Regression tests for the serve-path bug trio: the flush timeout
+    message, flush waiters racing close/abandon, and the hardcoded
+    self_check rebuild wait."""
+
+    @staticmethod
+    def _stalled_service(latency_seconds=1.2, method_cls=PrefixSumCube):
+        """A service whose writer sleeps >= latency_seconds/2 applying
+        group 1 (injected apply latency), one group per cycle."""
+        from repro.faults import FaultPlan
+
+        return CubeService(
+            method_cls,
+            np.zeros((6, 6), dtype=np.int64),
+            fault_plan=FaultPlan(
+                seed=0, latency_at=(1,), latency_seconds=latency_seconds
+            ),
+            max_groups_per_cycle=1,
+        )
+
+    def test_flush_timeout_reports_completed_not_applied(self):
+        """The wait condition tracks _completed_groups; before the fix
+        the timeout message reported _applied_groups, which runs one
+        writer cycle ahead — the error could claim progress the waiter
+        never observed."""
+        svc = CubeService(PrefixSumCube, np.zeros((6, 6), dtype=np.int64))
+        gate = threading.Event()
+        original = svc.metrics.record_apply_latency
+
+        def stall(seconds, swap_wait_seconds):
+            # between the applied-groups publish and the completed-groups
+            # bump: applied == 1 while the flush condition still sees 0
+            gate.wait(timeout=10)
+            original(seconds, swap_wait_seconds)
+
+        svc.metrics.record_apply_latency = stall
+        try:
+            svc.submit_batch([((0, 0), 1)])
+            with pytest.raises(TimeoutError) as excinfo:
+                svc.flush(timeout=0.3)
+            message = str(excinfo.value)
+            assert "0/1" in message, message
+            assert "completed" in message, message
+            assert "applied" not in message, message
+        finally:
+            gate.set()
+            svc.close()
+
+    def test_abandon_wakes_blocked_flush_promptly(self):
+        """A flush blocked in the state-lock wait while abandon() kills
+        the writer must raise ServiceClosedError as soon as the writer
+        exits — before the fix it slept out its whole timeout."""
+        svc = self._stalled_service()
+        svc.submit_batch([((0, 0), 1)])   # group 1: writer sleeps in apply
+        svc.submit_batch([((1, 1), 2)])   # group 2: never applied
+        caught = []
+
+        def do_flush():
+            try:
+                svc.flush(timeout=30.0)
+            except BaseException as error:  # noqa: BLE001
+                caught.append(error)
+
+        waiter = threading.Thread(target=do_flush)
+        waiter.start()
+        time.sleep(0.1)  # let the flush reach its wait
+        start = time.monotonic()
+        svc.abandon()
+        waiter.join(timeout=10)
+        elapsed = time.monotonic() - start
+        assert not waiter.is_alive(), "flush waiter still blocked"
+        assert elapsed < 10.0, f"flush took {elapsed:.1f}s to fail"
+        assert caught and isinstance(caught[0], ServiceClosedError), caught
+        assert "1/2" in str(caught[0])
+
+    def test_flush_after_writer_exit_fails_immediately(self):
+        svc = self._stalled_service()
+        svc.submit_batch([((0, 0), 1)])
+        svc.submit_batch([((1, 1), 2)])
+        svc.abandon()
+        start = time.monotonic()
+        with pytest.raises(ServiceClosedError):
+            svc.flush(timeout=30.0)
+        assert time.monotonic() - start < 5.0
+
+    def test_self_check_timeout_parameter_and_context(self):
+        """self_check(repair=True) hardcoded a 300 s rebuild wait; it now
+        takes a timeout and reports the elapsed wait on expiry."""
+        svc = self._stalled_service(method_cls=RelativePrefixSumCube)
+        try:
+            svc.submit_batch([((0, 0), 1)])  # writer busy >= 0.6 s
+            # corrupt the published snapshot's overlay (range sums go
+            # wrong, to_array() stays right) so the check fails and the
+            # repair path queues a rebuild behind the stalled cycle
+            method = svc._front.method
+            mask = next(iter(method.overlay._values))
+            method.overlay._values[mask][...] += 1000
+            with pytest.raises(TimeoutError) as excinfo:
+                svc.self_check(repair=True, timeout=0.05)
+            message = str(excinfo.value)
+            assert "0.05" in message, message
+            assert "waited" in message, message
+        finally:
+            svc.flush(timeout=10)
+            svc.close()
+
+    def test_self_check_deadline_caps_the_wait(self):
+        from repro.deadline import Deadline
+
+        svc = self._stalled_service(method_cls=RelativePrefixSumCube)
+        try:
+            svc.submit_batch([((0, 0), 1)])
+            method = svc._front.method
+            mask = next(iter(method.overlay._values))
+            method.overlay._values[mask][...] += 1000
+            start = time.monotonic()
+            with pytest.raises(TimeoutError):
+                svc.self_check(repair=True, deadline=Deadline.after(0.05))
+            assert time.monotonic() - start < 5.0
+        finally:
+            svc.flush(timeout=10)
+            svc.close()

@@ -26,6 +26,19 @@ round. Mid-round a fault is armed that makes rollup *builds* fail
 degraded to the RPS fallback (failure counted, reads kept flowing,
 nothing raised) and that a later build succeeds once the fault heals.
 
+``--mode net`` soaks the TCP serving tier (:mod:`repro.net`) over real
+sockets: a :class:`~repro.net.CubeServer` fronts a durable service
+whose writer is slowed by injected apply latency, while concurrent
+client connections query, stream, and write through it — **every
+answer (and every stream chunk) must equal the per-version oracle at
+its own stamp**: one stale or partial read fails the round. Mid-round
+the harness also hammers a starved-quota tenant, fires malformed
+frames at the socket, and abruptly drops a connection; the server must
+answer each abuse with its documented wire error and keep serving
+everyone else. Backpressure rejections (``overloaded`` /
+``quota_exceeded``) are expected and retried per their
+``retry_after_s`` hint — any *other* error fails the round.
+
 ``--mode cluster`` soaks a :class:`~repro.cluster.CubeCluster` instead:
 each round builds a seeded sharded/replicated cluster, drives
 interleaved queries and update groups while **killing a primary**
@@ -50,6 +63,7 @@ Usage::
 """
 
 import argparse
+import asyncio
 import json
 import shutil
 import sys
@@ -497,6 +511,338 @@ def _run_router(rng, params, state_dir):
         service.close()
 
 
+NET_SHAPES = [(24,), (12, 10), (6, 5, 4)]
+
+
+def _net_round_params(seed, round_index):
+    rng = np.random.default_rng([seed, round_index, 3000])
+    return rng, {
+        "seed": seed,
+        "round": round_index,
+        "scenario": "net",
+        "shape": NET_SHAPES[int(rng.integers(len(NET_SHAPES)))],
+        "groups": int(rng.integers(20, 40)),
+        "readers": int(rng.integers(2, 4)),
+        "flush_every": int(rng.integers(3, 8)),
+        "max_inflight": int(rng.integers(2, 5)),
+        "latency_groups": int(rng.integers(1, 4)),
+        "checkpoint_every": int(rng.integers(1, 8)),
+    }
+
+
+def _run_net(rng, params, state_dir):
+    """Socket-level soak: concurrent clients against a per-version
+    oracle, with injected writer latency, quota starvation, malformed
+    frames, and an abrupt disconnect — zero stale or partial reads."""
+    import socket
+    import struct
+
+    from repro.errors import (
+        AuthError,
+        ProtocolError,
+        QuotaExceededError,
+        ServiceOverloadedError,
+    )
+    from repro.net import Authenticator, CubeClient, CubeServer, Tenant
+    from repro.net.protocol import encode_frame
+
+    shape = params["shape"]
+    cube = rng.integers(0, 50, shape).astype(np.float64)
+
+    # the write stream and its exact per-version states, precomputed
+    groups, states = [], [cube.copy()]
+    for _ in range(params["groups"]):
+        group = [
+            (
+                tuple(int(rng.integers(0, n)) for n in shape),
+                float(rng.integers(-9, 10) or 1),
+            )
+            for _ in range(int(rng.integers(1, 4)))
+        ]
+        groups.append(group)
+        state = states[-1].copy()
+        for cell, delta in group:
+            state[cell] += delta
+        states.append(state)
+
+    # slow the writer on a few random groups so readers race a lagging
+    # version — the stamp check below is what makes that race safe
+    latency_at = tuple(
+        sorted(
+            int(x)
+            for x in rng.choice(
+                np.arange(1, params["groups"] + 1),
+                size=params["latency_groups"],
+                replace=False,
+            )
+        )
+    )
+    params["latency_at"] = latency_at
+
+    def page(page_rng, boxes=3):
+        lows, highs = [], []
+        for _ in range(boxes):
+            lo, hi = [], []
+            for n in shape:
+                a, b = sorted(int(x) for x in page_rng.integers(0, n, size=2))
+                lo.append(a)
+                hi.append(b)
+            lows.append(lo)
+            highs.append(hi)
+        return lows, highs
+
+    def check(lows, highs, values, stamp, errors, where):
+        state = states[int(stamp)]
+        for lo, hi, value in zip(lows, highs, values):
+            expect = _box_sum(state, lo, hi)
+            if value != expect:
+                errors.append({
+                    "where": where, "box": (tuple(lo), tuple(hi)),
+                    "stamp": int(stamp), "value": float(value),
+                    "expect": expect,
+                })
+
+    service = CubeService(
+        RelativePrefixSumCube,
+        cube,
+        durability=DurabilityPolicy(
+            dir=state_dir, checkpoint_every=params["checkpoint_every"]
+        ),
+        fault_plan=FaultPlan(
+            seed=params["seed"], latency_at=latency_at,
+            latency_seconds=0.05,
+        ),
+    )
+    auth = Authenticator([
+        Tenant("soak", "soak-token", rate_per_s=5000.0, burst=2000.0),
+        Tenant("starved", "starved-token", rate_per_s=5.0, burst=2.0),
+    ])
+    server = CubeServer(
+        service,
+        port=0,
+        authenticator=auth,
+        max_inflight=params["max_inflight"],
+        overload_retry_s=0.01,
+    )
+    errors = []
+    counts = {
+        "reads": 0, "stream_chunks": 0, "overloaded": 0, "quota": 0,
+    }
+
+    async def reader(stop, reader_id):
+        reader_rng = np.random.default_rng(
+            [params["seed"], params["round"], reader_id]
+        )
+        client = await CubeClient.connect(
+            server.host, server.port, token="soak-token"
+        )
+        try:
+            while not stop.is_set() and not errors:
+                lows, highs = page(reader_rng)
+                try:
+                    if reader_rng.integers(4) == 0:
+                        # streaming path: every chunk checks against its
+                        # own stamp, and coverage must be complete — a
+                        # missing chunk is a partial read
+                        seen = 0
+                        async for offset, values, stamp in (
+                            client.stream_range_sums(lows, highs, chunk=2)
+                        ):
+                            if offset != seen:
+                                errors.append({
+                                    "where": f"reader{reader_id}-stream",
+                                    "gap_at": seen, "got_offset": offset,
+                                })
+                                break
+                            check(
+                                lows[offset:offset + len(values)],
+                                highs[offset:offset + len(values)],
+                                values, stamp, errors,
+                                f"reader{reader_id}-stream",
+                            )
+                            seen += len(values)
+                            counts["stream_chunks"] += 1
+                        if seen != len(lows) and not errors:
+                            errors.append({
+                                "where": f"reader{reader_id}-stream",
+                                "partial": f"{seen}/{len(lows)} boxes",
+                            })
+                    else:
+                        values, stamp = await client.range_sum_many(
+                            lows, highs
+                        )
+                        check(lows, highs, values, stamp, errors,
+                              f"reader{reader_id}")
+                        counts["reads"] += 1
+                except ServiceOverloadedError as error:
+                    counts["overloaded"] += 1
+                    await asyncio.sleep(
+                        getattr(error, "retry_after_s", 0.0) or 0.01
+                    )
+        finally:
+            await client.close()
+
+    async def starved_tenant(stop):
+        """Exhaust a tiny quota; every refusal must be typed and carry
+        a positive retry-after."""
+        client = await CubeClient.connect(
+            server.host, server.port, token="starved-token"
+        )
+        try:
+            while not stop.is_set() and not errors:
+                try:
+                    await client.ping()
+                except QuotaExceededError as error:
+                    counts["quota"] += 1
+                    if error.retry_after_s <= 0.0:
+                        errors.append({
+                            "where": "starved",
+                            "bad_retry_after": error.retry_after_s,
+                        })
+                    await asyncio.sleep(0.02)
+                except ServiceOverloadedError:
+                    # admission control fires before quota (it is the
+                    # cheaper check); back off and keep hammering
+                    counts["overloaded"] += 1
+                    await asyncio.sleep(0.01)
+                else:
+                    await asyncio.sleep(0.005)
+        finally:
+            await client.close()
+
+    async def retry_overload(op):
+        """The writer must survive admission rejections: back off per
+        the server's hint and resubmit."""
+        while True:
+            try:
+                return await op()
+            except ServiceOverloadedError as error:
+                counts["overloaded"] += 1
+                await asyncio.sleep(
+                    getattr(error, "retry_after_s", 0.0) or 0.01
+                )
+
+    def abuse_sockets():
+        """Malformed frame -> typed error; bad token -> auth_failed;
+        abrupt disconnect -> server unaffected. Sync, on raw sockets."""
+        with socket.create_connection(server.address, timeout=5.0) as sock:
+            sock.sendall(struct.pack("!I", 9) + b"not json!")
+            header = sock.recv(4)
+            (length,) = struct.unpack("!I", header)
+            frame = json.loads(sock.recv(length))
+            assert frame["error"]["code"] == "bad_request", frame
+        with socket.create_connection(server.address, timeout=5.0) as sock:
+            # admission control outranks auth, so a busy server may
+            # answer "overloaded" first — honor the hint and resend
+            for _ in range(200):
+                sock.sendall(encode_frame({
+                    "id": 1, "op": "ping", "params": {}, "token": "wrong",
+                }))
+                header = sock.recv(4)
+                (length,) = struct.unpack("!I", header)
+                frame = json.loads(sock.recv(length))
+                if frame["error"]["code"] != "overloaded":
+                    break
+                time.sleep(frame["error"].get("retry_after_s", 0.01))
+            assert frame["error"]["code"] == "auth_failed", frame
+        # half-written frame, then slam the connection shut
+        sock = socket.create_connection(server.address, timeout=5.0)
+        sock.sendall(struct.pack("!I", 500) + b"partial")
+        sock.close()
+
+    async def round_main():
+        stop = asyncio.Event()
+        tasks = [
+            asyncio.ensure_future(reader(stop, i))
+            for i in range(params["readers"])
+        ]
+        tasks.append(asyncio.ensure_future(starved_tenant(stop)))
+        writer = await CubeClient.connect(
+            server.host, server.port, token="soak-token"
+        )
+        loop = asyncio.get_running_loop()
+        try:
+            for i, group in enumerate(groups):
+                if errors:
+                    break
+                await retry_overload(lambda: writer.submit_batch(group))
+                if i % params["flush_every"] == 0:
+                    await retry_overload(
+                        lambda: writer.flush(timeout=30.0)
+                    )
+                if i == params["groups"] // 2:
+                    await loop.run_in_executor(None, abuse_sockets)
+            await retry_overload(lambda: writer.flush(timeout=30.0))
+            # quiesced differential: the final full-cube read equals
+            # the last oracle state exactly
+            full_lo = [[0] * len(shape)]
+            full_hi = [[n - 1 for n in shape]]
+            values, stamp = await retry_overload(
+                lambda: writer.range_sum_many(full_lo, full_hi)
+            )
+            if int(stamp) != params["groups"]:
+                errors.append({
+                    "where": "final",
+                    "stamp": int(stamp), "expect": params["groups"],
+                })
+            check(full_lo, full_hi, values, stamp, errors, "final")
+        finally:
+            stop.set()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            await writer.close()
+
+    async def quota_probe():
+        """Post-quiesce, the tiny bucket must refuse within its burst:
+        deterministic, no admission-control race to hide behind."""
+        client = await CubeClient.connect(
+            server.host, server.port, token="starved-token"
+        )
+        try:
+            for _ in range(10):
+                try:
+                    await client.ping()
+                except QuotaExceededError as error:
+                    counts["quota"] += 1
+                    assert error.retry_after_s > 0.0, (
+                        f"quota refusal without retry-after: "
+                        f"{error.retry_after_s}"
+                    )
+                    return
+                except ServiceOverloadedError:
+                    await asyncio.sleep(0.01)
+            raise AssertionError(
+                "starved tenant was never refused post-quiesce"
+            )
+        finally:
+            await client.close()
+
+    try:
+        server.start_background()
+        asyncio.run(round_main())
+        asyncio.run(quota_probe())
+        net = server.metrics.snapshot()
+        params["counts"] = counts
+        params["net"] = {
+            k: net[k]
+            for k in (
+                "requests", "errors_by_code", "overload_rejects",
+                "quota_rejects", "auth_rejects", "protocol_errors",
+                "inflight_peak",
+            )
+        }
+        assert not errors, f"stale or partial reads: {errors[:3]}"
+        assert counts["reads"] >= 1, "no batched reads completed"
+        assert counts["stream_chunks"] >= 1, "no stream chunks served"
+        assert net["quota_rejects"] >= 1, "no quota refusal recorded"
+        assert net["auth_rejects"] >= 1, "bad token was not rejected"
+        assert net["protocol_errors"] >= 1, (
+            "malformed frame was not rejected"
+        )
+    finally:
+        server.stop_background()
+        service.close()
+
+
 def soak(seeds, time_budget, artifact_dir, mode="single"):
     start = time.monotonic()
     rounds = 0
@@ -509,6 +855,9 @@ def soak(seeds, time_budget, artifact_dir, mode="single"):
             elif mode == "router":
                 rng, params = _router_round_params(seed, round_index)
                 scenario = _run_router
+            elif mode == "net":
+                rng, params = _net_round_params(seed, round_index)
+                scenario = _run_net
             else:
                 rng, params = _round_params(seed, round_index)
                 scenario = SCENARIOS[params["scenario"]]
@@ -545,11 +894,13 @@ def main(argv=None):
     parser.add_argument("--artifact-dir", type=Path,
                         default=Path("chaos-artifacts"),
                         help="failed rounds keep their WAL/checkpoint dir here")
-    parser.add_argument("--mode", choices=("single", "cluster", "router"),
+    parser.add_argument("--mode",
+                        choices=("single", "cluster", "router", "net"),
                         default="single",
                         help="single-service crash rounds (default), "
-                        "replicated-cluster kill/partition/heal rounds, or "
-                        "query-router stale-read/build-failure rounds")
+                        "replicated-cluster kill/partition/heal rounds, "
+                        "query-router stale-read/build-failure rounds, or "
+                        "socket-level serving-tier rounds")
     args = parser.parse_args(argv)
     return soak(args.seeds, args.time_budget, args.artifact_dir,
                 mode=args.mode)
