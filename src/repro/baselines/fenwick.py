@@ -123,7 +123,7 @@ class FenwickCube(RangeSumMethod):
         lo, hi = indexing.normalize_range_batch(lows, highs, self.shape)
         return self._corner_range_sum_many(lo, hi)
 
-    def apply_delta(self, index: Sequence[int], delta) -> None:
+    def _apply_delta(self, index: Sequence[int], delta) -> None:
         """Add ``delta`` along the O(log^d n) update paths."""
         idx = indexing.normalize_index(index, self.shape)
         grids = [
@@ -147,6 +147,7 @@ class FenwickCube(RangeSumMethod):
         idx, deltas = indexing.normalize_update_batch(
             indices, deltas, self.shape
         )
+        deltas = self.coerce_deltas(deltas)
         for row, delta in zip(idx, deltas):
             self.apply_delta(tuple(int(c) for c in row), delta)
         return len(idx)

@@ -103,7 +103,7 @@ class NaiveCube(RangeSumMethod):
         self.counter.read(1, structure="A")
         return self._a[idx]
 
-    def apply_delta(self, index: Sequence[int], delta) -> None:
+    def _apply_delta(self, index: Sequence[int], delta) -> None:
         """Add ``delta`` to one cell — the O(1) update of the naive method."""
         idx = indexing.normalize_index(index, self.shape)
         self._a[idx] += delta
@@ -129,6 +129,7 @@ class NaiveCube(RangeSumMethod):
         )
         if len(idx) == 0:
             return 0
+        deltas = self.coerce_deltas(deltas)
         np.add.at(self._a, tuple(idx.T), deltas)
         self._batch_prefix = None
         self.counter.write(len(idx), structure="A")

@@ -60,7 +60,7 @@ class PrefixSumCube(RangeSumMethod):
         lo, hi = indexing.normalize_range_batch(lows, highs, self.shape)
         return self._corner_range_sum_many(lo, hi)
 
-    def apply_delta(self, index: Sequence[int], delta) -> None:
+    def _apply_delta(self, index: Sequence[int], delta) -> None:
         """Cascade ``delta`` into every P-cell dominating ``index``.
 
         This is the shaded region of Figure 4: all cells ``q`` with
@@ -81,16 +81,19 @@ class PrefixSumCube(RangeSumMethod):
         adds it to P — the natural daily-batch strategy for this method:
         the cost is one rebuild-sized pass however large the batch is.
         """
-        deltas = np.zeros(self.shape, dtype=self._p.dtype)
-        count = 0
-        for index, delta in updates:
-            idx = indexing.normalize_index(index, self.shape)
-            deltas[idx] += delta
-            count += 1
-        if count:
-            self._p += build_prefix_array(deltas)
-            self.counter.write(self._p.size, structure="P")
-        return count
+        batch = list(updates)
+        if not batch:
+            return 0
+        indices = np.array(
+            [
+                indexing.normalize_index(index, self.shape)
+                for index, _ in batch
+            ],
+            dtype=np.intp,
+        )
+        return self.apply_batch_array(
+            indices, np.asarray([delta for _, delta in batch])
+        )
 
     def apply_batch_array(self, indices, deltas) -> int:
         """Array-native :meth:`apply_batch`: scatter, prefix-sum, add.
@@ -104,6 +107,7 @@ class PrefixSumCube(RangeSumMethod):
         )
         if len(idx) == 0:
             return 0
+        deltas = self.coerce_deltas(deltas)
         spread = np.zeros(self.shape, dtype=self._p.dtype)
         np.add.at(spread, tuple(idx.T), deltas)
         self._p += build_prefix_array(spread)

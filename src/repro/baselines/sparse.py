@@ -71,7 +71,7 @@ class SparseNaiveCube(RangeSumMethod):
         self.counter.read(1, structure="sparse")
         return self._cells.get(idx, self._zero())
 
-    def apply_delta(self, index: Sequence[int], delta) -> None:
+    def _apply_delta(self, index: Sequence[int], delta) -> None:
         """O(1): adjust (or create/remove) one stored cell."""
         idx = indexing.normalize_index(index, self.shape)
         new_value = self._cells.get(idx, self._zero()) + delta

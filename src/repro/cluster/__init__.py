@@ -1,10 +1,13 @@
 """Replicated, sharded serving cluster for dynamic data cubes.
 
 This package scales :class:`~repro.serve.CubeService` past one node
-while keeping the library's core promise — every answer exact:
+while keeping the library's core promise — every answer exact (or,
+when a caller opts in during degradation, explicitly marked and
+error-bounded):
 
 * :class:`ShardMap` slices the cube into leading-dimension slabs and
-  splits query boxes across them (partials sum exactly);
+  splits query boxes across them (partials sum exactly); its ``epoch``
+  fences every stamp and cached answer to one layout;
 * :class:`~repro.cluster.node.ClusterNode` wraps one service with a
   fault-injection surface (kills, partitions, latency spikes from a
   shared :class:`~repro.faults.FaultPlan`);
@@ -14,6 +17,13 @@ while keeping the library's core promise — every answer exact:
 * :class:`CircuitBreaker` / :class:`HealthMonitor` detect dead nodes
   and trigger promotion; :class:`AntiEntropyScrubber` digest-compares
   replicas and repairs silent divergence;
+* :class:`ReshardCoordinator` splits and merges shards **live**:
+  checkpoint-seeded targets, WAL-tail replay, a dual-write window, an
+  atomic epoch-stamped flip, scrub verification before retirement, and
+  lossless rollback on failure;
+* :class:`ShardAggregates` / :class:`RangeEstimate` answer queries over
+  unreachable or migrating shards with guaranteed error intervals when
+  the caller passes ``allow_estimate=True``;
 * :class:`CubeCluster` is the facade clients talk to, with
   :class:`~repro.deadline.Deadline`-bounded calls throughout.
 
@@ -27,12 +37,19 @@ Quick start::
         cluster.submit_batch([((3, 4), +10.0)])
         cluster.flush()
         value = cluster.range_sum((0, 0), (9, 9))
+        cluster.split_shard(0)          # live, epoch-fenced
 """
 
 from repro.cluster.cluster import CubeCluster
+from repro.cluster.degraded import (
+    RangeEstimate,
+    ShardAggregates,
+    SlabSummary,
+)
 from repro.cluster.health import BreakerPolicy, CircuitBreaker, HealthMonitor
 from repro.cluster.node import NODE_FAILURES, ClusterNode
 from repro.cluster.replicaset import HedgePolicy, ReplicaSet
+from repro.cluster.reshard import PHASES, Migration, ReshardCoordinator
 from repro.cluster.scrub import AntiEntropyScrubber
 from repro.cluster.shardmap import ShardMap
 from repro.deadline import Deadline
@@ -41,6 +58,7 @@ from repro.errors import (
     ClusterUnavailableError,
     DeadlineExceededError,
     NodeUnavailableError,
+    ReshardError,
 )
 
 __all__ = [
@@ -55,8 +73,15 @@ __all__ = [
     "DeadlineExceededError",
     "HealthMonitor",
     "HedgePolicy",
+    "Migration",
     "NODE_FAILURES",
     "NodeUnavailableError",
+    "PHASES",
+    "RangeEstimate",
     "ReplicaSet",
+    "ReshardCoordinator",
+    "ReshardError",
+    "ShardAggregates",
     "ShardMap",
+    "SlabSummary",
 ]

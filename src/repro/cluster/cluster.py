@@ -4,7 +4,10 @@
 the object a client talks to:
 
 * a :class:`~repro.cluster.shardmap.ShardMap` slices the cube along its
-  leading dimension into one slab per shard;
+  leading dimension into one slab per shard; the map carries a
+  monotonically increasing **epoch** that a live reshard bumps, so
+  every stamp, cache entry, and wire answer is fenced to the layout it
+  was computed under;
 * each shard is served by a
   :class:`~repro.cluster.replicaset.ReplicaSet` — a durable primary
   (WAL-acked writes, its own ``shard-<s>/`` directory under
@@ -13,25 +16,34 @@ the object a client talks to:
 * a :class:`~repro.cluster.health.HealthMonitor` probes every node and
   trips per-node circuit breakers; an
   :class:`~repro.cluster.scrub.AntiEntropyScrubber` digest-compares
-  replicas against their primary and repairs divergence.
+  replicas against their primary and repairs divergence;
+* a :class:`~repro.cluster.reshard.ReshardCoordinator` (reached via
+  :meth:`CubeCluster.split_shard` / :meth:`CubeCluster.merge_shards`)
+  moves slab boundaries live, flipping the topology atomically under
+  the cluster's topology lock.
 
 Client calls take an optional :class:`~repro.deadline.Deadline`; shard
 reads are hedged per :class:`~repro.cluster.replicaset.HedgePolicy`.
-Failure handling is exact, never approximate: a query that cannot reach
-every shard it spans raises
-:class:`~repro.errors.ClusterUnavailableError` (a write additionally
-reports which shards *did* ack in ``.acked``) rather than returning a
-partial sum.
+Failure handling is exact by default: a query that cannot reach every
+shard it spans raises :class:`~repro.errors.ClusterUnavailableError` (a
+write additionally reports which shards *did* ack in ``.acked``) rather
+than returning a partial sum. Opting in with
+``range_sum_many(..., allow_estimate=True)`` instead answers the
+affected queries from per-shard block aggregates
+(:mod:`repro.cluster.degraded`) with an explicit ``estimate=True``
+marker and a guaranteed error interval.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cluster.degraded import RangeEstimate, ShardAggregates
 from repro.cluster.health import (
     BreakerPolicy,
     CircuitBreaker,
@@ -61,8 +73,9 @@ class CubeCluster:
         array: the full initial cube; sliced into per-shard slabs.
         data_dir: root directory for per-shard durability
             (``data_dir/shard-<s>/`` holds shard ``s``'s WAL and
-            checkpoints). Required — primaries ack only after the WAL
-            says so.
+            checkpoints; migration targets live in
+            ``shard-e<epoch>-<s>/``). Required — primaries ack only
+            after the WAL says so.
         num_shards: slabs along the leading dimension.
         replication_factor: nodes per shard (1 primary + the rest
             replicas).
@@ -74,7 +87,8 @@ class CubeCluster:
             shard order.
         fault_plan: shared :class:`~repro.faults.FaultPlan` consulted on
             every node-level operation (kills, partitions, read latency
-            spikes) — the cluster's chaos surface.
+            spikes, reshard phase crashes) — the cluster's chaos
+            surface.
         node_fault_plans: per-node plans handed to that node's
             *service* (WAL faults, ``crash_at_group``); keyed by node
             id, e.g. ``{"s0.n0": FaultPlan(crash_at_group=3)}``. A node
@@ -83,6 +97,14 @@ class CubeCluster:
         hedge: hedged-read policy shared by every shard.
         breaker: circuit-breaker policy shared by every node.
         max_pending_groups: per-node submission-queue bound.
+
+    Concurrency: ``_topology`` (an RLock) guards the shard map, the
+    replica-set list, the breaker registry, and the in-flight migration
+    pointer. Writes hold it for the whole call, so an epoch flip — also
+    performed under it — strictly orders against every ack. Reads only
+    grab a consistent ``(shardmap, replica_sets, epoch)`` snapshot
+    under it, run lock-free against the replica sets, and retry once if
+    the epoch moved mid-read; a flip therefore never makes a read fail.
 
     Use as a context manager or call :meth:`close`::
 
@@ -119,8 +141,14 @@ class CubeCluster:
         self.shardmap = ShardMap(array.shape, num_shards)
         self.metrics = ClusterMetrics()
         self.faults = fault_plan
+        self._method_cls = method_cls
         self._method_kwargs = dict(method_kwargs or {})
         self._data_dir = os.fspath(data_dir)
+        self._replication_factor = int(replication_factor)
+        self._checkpoint_every = int(checkpoint_every)
+        self._fsync = bool(fsync)
+        self._hedge = hedge
+        self._max_pending_groups = max_pending_groups
         self._breaker_policy = breaker or BreakerPolicy()
         node_plans = dict(node_fault_plans or {})
         self._executor = ThreadPoolExecutor(
@@ -131,78 +159,115 @@ class CubeCluster:
         )
         self._breakers: Dict[str, CircuitBreaker] = {}
         self.replica_sets: List[ReplicaSet] = []
+        self._topology = threading.RLock()
+        self._migration = None
+        self._epoch_counter = self.shardmap.epoch
         self._closed = False
         try:
             for shard in range(self.shardmap.num_shards):
-                slab = self.shardmap.subarray(array, shard)
-                members: List[ClusterNode] = []
-                for i in range(replication_factor):
-                    node_id = f"s{shard}.n{i}"
-                    if i == 0:
-                        directory = os.path.join(
-                            self._data_dir, f"shard-{shard}"
-                        )
-                        os.makedirs(directory, exist_ok=True)
-                        service = CubeService(
-                            method_cls,
-                            slab,
-                            method_kwargs=self._method_kwargs,
-                            durability=DurabilityPolicy(
-                                dir=directory,
-                                checkpoint_every=checkpoint_every,
-                                fsync=fsync,
-                            ),
-                            max_pending_groups=max_pending_groups,
-                            fault_plan=node_plans.get(node_id),
-                        )
-                    else:
-                        directory = None
-                        service = CubeService(
-                            method_cls,
-                            slab,
-                            method_kwargs=self._method_kwargs,
-                            max_pending_groups=max_pending_groups,
-                            fault_plan=node_plans.get(node_id),
-                        )
-                    node = ClusterNode(
-                        node_id,
-                        shard,
-                        service,
-                        durability_dir=directory,
-                        faults=fault_plan,
-                    )
-                    members.append(node)
-                    self._breakers[node_id] = CircuitBreaker(
-                        node_id,
-                        self._breaker_policy,
-                        metrics=self.metrics,
-                    )
                 self.replica_sets.append(
-                    ReplicaSet(
+                    self._build_replica_set(
                         shard,
-                        members,
-                        metrics=self.metrics,
-                        executor=self._executor,
-                        breakers=self._breakers,
-                        hedge=hedge,
+                        self.shardmap.subarray(array, shard),
+                        os.path.join(self._data_dir, f"shard-{shard}"),
+                        node_plans=node_plans,
                     )
                 )
+            self.aggregates = ShardAggregates(self.shardmap, array)
         except BaseException:
             self.close()
             raise
         self.monitor = HealthMonitor(self, seed=seed)
         self.scrubber = AntiEntropyScrubber(self, seed=seed)
 
+    def _build_replica_set(
+        self,
+        shard_index: int,
+        slab: np.ndarray,
+        directory: str,
+        *,
+        node_prefix: Optional[str] = None,
+        warming: bool = False,
+        node_plans: Optional[Dict[str, object]] = None,
+    ) -> ReplicaSet:
+        """One replica set (durable primary + in-memory replicas).
+
+        Used both at construction (``node_prefix`` = ``s<shard>``) and
+        by the reshard coordinator for migration targets, whose node
+        ids are epoch-qualified (``e<epoch>s<shard>``) so they can
+        never collide with any present or past member, and whose
+        breakers start in warming mode.
+        """
+        prefix = node_prefix if node_prefix is not None else f"s{shard_index}"
+        plans = node_plans or {}
+        members: List[ClusterNode] = []
+        for i in range(self._replication_factor):
+            node_id = f"{prefix}.n{i}"
+            if i == 0:
+                os.makedirs(directory, exist_ok=True)
+                node_dir: Optional[str] = directory
+                service = CubeService(
+                    self._method_cls,
+                    slab,
+                    method_kwargs=self._method_kwargs,
+                    durability=DurabilityPolicy(
+                        dir=directory,
+                        checkpoint_every=self._checkpoint_every,
+                        fsync=self._fsync,
+                    ),
+                    max_pending_groups=self._max_pending_groups,
+                    fault_plan=plans.get(node_id),
+                )
+            else:
+                node_dir = None
+                service = CubeService(
+                    self._method_cls,
+                    slab,
+                    method_kwargs=self._method_kwargs,
+                    max_pending_groups=self._max_pending_groups,
+                    fault_plan=plans.get(node_id),
+                )
+            node = ClusterNode(
+                node_id,
+                shard_index,
+                service,
+                durability_dir=node_dir,
+                faults=self.faults,
+            )
+            members.append(node)
+            node_breaker = CircuitBreaker(
+                node_id, self._breaker_policy, metrics=self.metrics
+            )
+            if warming:
+                node_breaker.set_warming(True)
+            self._breakers[node_id] = node_breaker
+        return ReplicaSet(
+            shard_index,
+            members,
+            metrics=self.metrics,
+            executor=self._executor,
+            breakers=self._breakers,
+            hedge=self._hedge,
+        )
+
     # -- topology ------------------------------------------------------------
 
     def nodes(self) -> List[ClusterNode]:
         """Every member node across every shard."""
-        return [n for rs in self.replica_sets for n in rs.nodes]
+        with self._topology:
+            return [n for rs in self.replica_sets for n in rs.nodes]
 
     def node(self, node_id: str) -> ClusterNode:
         for candidate in self.nodes():
             if candidate.node_id == node_id:
                 return candidate
+        with self._topology:
+            migration = self._migration
+        if migration is not None:
+            for replica_set, _ in migration.targets:
+                for candidate in replica_set.nodes:
+                    if candidate.node_id == node_id:
+                        return candidate
         raise ClusterError(f"no such node: {node_id!r}")
 
     def breaker(self, node_id: str) -> CircuitBreaker:
@@ -212,6 +277,26 @@ class CubeCluster:
     def shape(self) -> Tuple[int, ...]:
         return self.shardmap.shape
 
+    @property
+    def epoch(self) -> int:
+        """The live shard map's epoch (bumped by every flip)."""
+        with self._topology:
+            return self.shardmap.epoch
+
+    def _claim_epoch(self) -> int:
+        """Reserve the next epoch for a planned migration.
+
+        Strictly greater than every epoch this cluster has ever used —
+        including epochs of migrations that later rolled back — so a
+        stamp minted under a failed migration can never match a live
+        topology again.
+        """
+        with self._topology:
+            self._epoch_counter = (
+                max(self._epoch_counter, self.shardmap.epoch) + 1
+            )
+            return self._epoch_counter
+
     def version_vector(self) -> Tuple[int, ...]:
         """Per-shard last-acked sequence numbers, shard order.
 
@@ -219,7 +304,48 @@ class CubeCluster:
         freshness on it, so a write to *any* shard invalidates exactly
         the cached entries whose stamp covered that shard.
         """
-        return tuple(rs.last_acked for rs in self.replica_sets)
+        with self._topology:
+            return tuple(rs.last_acked for rs in self.replica_sets)
+
+    def stamp(self) -> Tuple[int, ...]:
+        """``(epoch, *version_vector)`` read atomically.
+
+        The epoch prefix fences every consumer — router cache entries
+        and net wire stamps — to the shard map the versions were read
+        under: a version vector from one layout can never collide with
+        one from another, even when the per-shard numbers happen to
+        match.
+        """
+        with self._topology:
+            return (
+                self.shardmap.epoch,
+                *(rs.last_acked for rs in self.replica_sets),
+            )
+
+    def migration_target_nodes(self) -> List[ClusterNode]:
+        """Nodes of an in-flight migration's warming targets.
+
+        The health monitor probes these alongside the regular members
+        (their breakers are in warming mode: failures tally separately
+        and never quarantine a target mid-seed). Post-flip the targets
+        are regular members, so this returns them only while the
+        migration is still seeding, replaying, or dual-writing.
+        """
+        with self._topology:
+            migration = self._migration
+            if migration is None:
+                return []
+            from repro.cluster.reshard import Migration
+
+            if migration.mode not in (
+                Migration.MODE_BUFFER, Migration.MODE_DUAL
+            ):
+                return []
+            return [
+                node
+                for replica_set, _ in migration.targets
+                for node in replica_set.nodes
+            ]
 
     # -- reads ---------------------------------------------------------------
 
@@ -230,21 +356,37 @@ class CubeCluster:
         *,
         deadline: Optional[Deadline] = None,
         return_shard_versions: bool = False,
-    ) -> np.ndarray:
-        """Batched exact range sums across shards (hedged per shard).
+        allow_estimate: bool = False,
+    ):
+        """Batched range sums across shards (hedged per shard).
 
         Every query box is split along shard boundaries; each involved
         shard answers its sub-boxes in one hedged batched read, and the
         partials are summed — exactly, because the slabs partition the
         cube. Raises :class:`ClusterUnavailableError` if any involved
-        shard has no reachable replica (never a partial sum) and
+        shard has no reachable replica (never a silent partial sum) and
         :class:`~repro.errors.DeadlineExceededError` when the budget
-        runs out first.
+        runs out first. If the shard-map epoch changes mid-read (a live
+        reshard flipped), an unavailable answer is retried once against
+        the new topology before being surfaced.
 
-        With ``return_shard_versions=True`` the result is
-        ``(values, {shard: snapshot version})`` naming, per involved
-        shard, the version the sub-box reads were actually served from —
-        the provenance the query router stamps on cached answers.
+        With ``allow_estimate=True`` the result is
+        ``(values, estimates)``: queries touching an unreachable shard
+        are answered from that shard's block aggregates instead of
+        failing, and their slot in ``estimates`` carries a
+        :class:`~repro.cluster.degraded.RangeEstimate` (explicit
+        ``estimate=True`` marker, guaranteed ``[low, high]`` error
+        interval containing the true acked sum, confidence, the
+        degraded shards, and the epoch). Slots answered exactly hold
+        ``None``. If even the aggregate is missing the call still
+        raises — degraded reads are bounded, never silent guesses.
+
+        With ``return_shard_versions=True`` the result additionally
+        carries a receipt ``{"epoch": e, "versions": {shard: v}}``
+        naming, per exactly-read shard, the snapshot version the
+        sub-box reads were served from — the provenance the query
+        router stamps on cached answers. Ordering:
+        ``(values[, estimates][, receipt])``.
         """
         lows = list(lows)
         highs = list(highs)
@@ -252,10 +394,48 @@ class CubeCluster:
             raise ClusterError(
                 f"{len(lows)} lows vs {len(highs)} highs"
             )
+        with self._topology:
+            shardmap = self.shardmap
+            replica_sets = list(self.replica_sets)
+        try:
+            return self._range_sum_attempt(
+                lows, highs, shardmap, replica_sets,
+                deadline=deadline,
+                return_shard_versions=return_shard_versions,
+                allow_estimate=allow_estimate,
+            )
+        except ClusterUnavailableError:
+            with self._topology:
+                if self.shardmap.epoch == shardmap.epoch:
+                    raise
+                # the topology flipped under this read: what looked
+                # unavailable may simply have been retired — retry once
+                # against the new epoch
+                shardmap = self.shardmap
+                replica_sets = list(self.replica_sets)
+            return self._range_sum_attempt(
+                lows, highs, shardmap, replica_sets,
+                deadline=deadline,
+                return_shard_versions=return_shard_versions,
+                allow_estimate=allow_estimate,
+            )
+
+    def _range_sum_attempt(
+        self,
+        lows: List,
+        highs: List,
+        shardmap: ShardMap,
+        replica_sets: List[ReplicaSet],
+        *,
+        deadline: Optional[Deadline],
+        return_shard_versions: bool,
+        allow_estimate: bool,
+    ):
+        """One read pass against a consistent topology snapshot."""
         # route: shard -> (query indices, local boxes)
         per_shard: Dict[int, Tuple[List[int], List, List]] = {}
         for i, (low, high) in enumerate(zip(lows, highs)):
-            for shard, local_low, local_high in self.shardmap.split_box(
+            for shard, local_low, local_high in shardmap.split_box(
                 low, high
             ):
                 idx, slo, shi = per_shard.setdefault(shard, ([], [], []))
@@ -265,13 +445,17 @@ class CubeCluster:
         self.metrics.record_query(len(per_shard))
         out: Optional[np.ndarray] = None
         shard_versions: Dict[int, int] = {}
+        degraded: Dict[int, Tuple[List[int], List, List]] = {}
         for shard in sorted(per_shard):
             idx, slo, shi = per_shard[shard]
             try:
-                values, version = self.replica_sets[shard].range_sum_many(
+                values, version = replica_sets[shard].range_sum_many(
                     slo, shi, deadline
                 )
             except ClusterUnavailableError:
+                if allow_estimate:
+                    degraded[shard] = per_shard[shard]
+                    continue
                 self.metrics.record_unavailable()
                 raise
             except DeadlineExceededError:
@@ -285,9 +469,75 @@ class CubeCluster:
             np.add.at(out, np.asarray(idx, dtype=np.intp), values)
         if out is None:
             out = np.zeros(len(lows))
+        out = np.asarray(out, dtype=np.float64)
+        estimates: Optional[List[Optional[RangeEstimate]]] = None
+        if allow_estimate:
+            estimates = [None] * len(lows)
+            if degraded:
+                out = self._fill_estimates(
+                    out, degraded, estimates, shardmap.epoch
+                )
+        result: Tuple = (out,)
+        if estimates is not None:
+            result = result + (estimates,)
         if return_shard_versions:
-            return out, shard_versions
-        return out
+            result = result + (
+                {
+                    "epoch": shardmap.epoch,
+                    "versions": shard_versions,
+                },
+            )
+        return result[0] if len(result) == 1 else result
+
+    def _fill_estimates(
+        self,
+        out: np.ndarray,
+        degraded: Dict[int, Tuple[List[int], List, List]],
+        estimates: List[Optional[RangeEstimate]],
+        epoch: int,
+    ) -> np.ndarray:
+        """Answer the degraded shards' sub-boxes from block aggregates.
+
+        ``out`` holds the exact partial sums already collected; each
+        degraded shard contributes a per-query point estimate plus a
+        guaranteed interval, and affected slots in ``estimates`` get a
+        :class:`RangeEstimate` whose interval is the exact partials
+        shifted by the summed degraded-shard hulls.
+        """
+        point = out.copy()
+        low_total = out.copy()
+        high_total = out.copy()
+        estimated = np.zeros(len(out), dtype=bool)
+        degraded_shards = tuple(sorted(degraded))
+        for shard in degraded_shards:
+            idx, slo, shi = degraded[shard]
+            try:
+                triples = self.aggregates.estimate_boxes(shard, slo, shi)
+            except ClusterError as error:
+                # no aggregate either (e.g. rollback skipped a downed
+                # shard): fail exactly rather than guess unboundedly
+                self.metrics.record_estimate_refused()
+                self.metrics.record_unavailable()
+                raise ClusterUnavailableError(
+                    f"shard {shard} is unreachable and has no "
+                    f"aggregates to estimate from: {error}"
+                ) from error
+            index = np.asarray(idx, dtype=np.intp)
+            np.add.at(point, index, [t[0] for t in triples])
+            np.add.at(low_total, index, [t[1] for t in triples])
+            np.add.at(high_total, index, [t[2] for t in triples])
+            estimated[index] = True
+        for i in np.flatnonzero(estimated):
+            estimates[int(i)] = RangeEstimate(
+                value=float(point[i]),
+                low=float(low_total[i]),
+                high=float(high_total[i]),
+                confidence=1.0,
+                degraded_shards=degraded_shards,
+                epoch=int(epoch),
+            )
+        self.metrics.record_degraded_read(degraded_shards)
+        return np.where(estimated, point, out)
 
     def range_sum(
         self,
@@ -323,33 +573,79 @@ class CubeCluster:
         ``acked`` attribute carries the shards that *did* commit — a
         cross-shard group is atomic per shard, not globally, and the
         error hands the caller exactly what it needs to reconcile.
+
+        The whole call holds the topology lock, so it strictly orders
+        against epoch flips: a group routes and acks entirely under one
+        shard map. During a migration every acked sub-group touching a
+        migrating shard is buffered or mirrored per the migration's
+        current mode before the call returns — a dual-write ack means
+        both the old and the new primary hold the group durably.
         """
-        grouped = self.shardmap.split_updates(list(updates))
-        acked: Dict[int, int] = {}
-        for shard in sorted(grouped):
-            try:
-                acked[shard] = self.replica_sets[shard].submit(
-                    grouped[shard], timeout=timeout, deadline=deadline
-                )
-            except DeadlineExceededError as error:
-                self.metrics.record_deadline_exceeded()
-                raise ClusterUnavailableError(
-                    f"deadline expired before shard {shard} acked: {error}",
-                    acked=acked,
-                ) from error
-            except ClusterUnavailableError as error:
-                self.metrics.record_unavailable()
-                raise ClusterUnavailableError(
-                    str(error), acked=acked
-                ) from error
-        return acked
+        with self._topology:
+            grouped = self.shardmap.split_updates(list(updates))
+            migration = self._migration
+            acked: Dict[int, int] = {}
+            for shard in sorted(grouped):
+                try:
+                    acked[shard] = self.replica_sets[shard].submit(
+                        grouped[shard], timeout=timeout, deadline=deadline
+                    )
+                except DeadlineExceededError as error:
+                    self.metrics.record_deadline_exceeded()
+                    raise ClusterUnavailableError(
+                        f"deadline expired before shard {shard} acked: "
+                        f"{error}",
+                        acked=acked,
+                    ) from error
+                except ClusterUnavailableError as error:
+                    self.metrics.record_unavailable()
+                    raise ClusterUnavailableError(
+                        str(error), acked=acked
+                    ) from error
+                self.aggregates.apply(shard, grouped[shard])
+                if migration is not None:
+                    migration.on_write(
+                        self, shard, grouped[shard], acked[shard]
+                    )
+            return acked
 
     def flush(self, timeout: Optional[float] = None) -> Dict[int, int]:
         """Drain every shard; returns ``{shard: applied version}``."""
+        with self._topology:
+            replica_sets = list(self.replica_sets)
         return {
             rs.shard_id: rs.flush(timeout=timeout)
-            for rs in self.replica_sets
+            for rs in replica_sets
         }
+
+    # -- resharding ----------------------------------------------------------
+
+    def split_shard(
+        self,
+        shard: int,
+        at_row: Optional[int] = None,
+        *,
+        phase_hook=None,
+    ) -> Dict:
+        """Split ``shard`` into two shards at global row ``at_row``
+        (default: the slab midpoint), live — the cluster keeps serving
+        reads and writes for the whole migration. Returns the
+        coordinator's summary; raises
+        :class:`~repro.errors.ReshardError` (rolled back) on failure.
+        """
+        from repro.cluster.reshard import ReshardCoordinator
+
+        return ReshardCoordinator(self, phase_hook=phase_hook).split(
+            shard, at_row
+        )
+
+    def merge_shards(self, shard: int, *, phase_hook=None) -> Dict:
+        """Fuse ``shard`` and ``shard + 1`` into one shard, live."""
+        from repro.cluster.reshard import ReshardCoordinator
+
+        return ReshardCoordinator(self, phase_hook=phase_hook).merge(
+            shard
+        )
 
     # -- chaos hooks ---------------------------------------------------------
 
@@ -383,28 +679,68 @@ class CubeCluster:
         return self
 
     def stats(self) -> Dict:
-        """Cluster-wide operational snapshot (one plain dict)."""
-        nodes = {}
-        for node in self.nodes():
-            nodes[node.node_id] = {
-                "shard": node.shard_id,
-                "role": "primary" if node.is_primary else "replica",
-                "state": (
-                    "dead"
-                    if node.dead
-                    else ("lagging" if node.lagging else "ok")
-                ),
-                "breaker": self._breakers[node.node_id].state,
-                "version": (
-                    None if node.dead else node.service.version
-                ),
+        """Cluster-wide operational snapshot (one plain dict).
+
+        The shard map, per-node states, version vector, epoch, and
+        in-flight migration are all captured under one topology-lock
+        hold, so a concurrent epoch flip can never produce a torn view
+        (e.g. the new map paired with the old nodes).
+        """
+        with self._topology:
+            shardmap = self.shardmap
+            replica_sets = list(self.replica_sets)
+            migration = self._migration
+            nodes = {}
+            member_rows = [
+                (node, False)
+                for rs in replica_sets
+                for node in rs.nodes
+            ]
+            if migration is not None:
+                member_rows += [
+                    (node, True)
+                    for rs, _ in migration.targets
+                    for node in rs.nodes
+                    if node.node_id not in {
+                        n.node_id for n, _ in member_rows
+                    }
+                ]
+            for node, warming in member_rows:
+                nodes[node.node_id] = {
+                    "shard": node.shard_id,
+                    "role": (
+                        "warming"
+                        if warming
+                        else (
+                            "primary" if node.is_primary else "replica"
+                        )
+                    ),
+                    "state": (
+                        "dead"
+                        if node.dead
+                        else ("lagging" if node.lagging else "ok")
+                    ),
+                    "breaker": self._breakers[node.node_id].state
+                    if node.node_id in self._breakers
+                    else None,
+                    "version": (
+                        None if node.dead else node.service.version
+                    ),
+                }
+            vector = tuple(rs.last_acked for rs in replica_sets)
+            migration_desc = (
+                migration.describe() if migration is not None else None
+            )
+            report = {
+                "epoch": shardmap.epoch,
+                "shardmap": shardmap.describe(),
+                "version_vector": list(vector),
+                "nodes": nodes,
+                "migration": migration_desc,
             }
-        return {
-            "shardmap": self.shardmap.describe(),
-            "nodes": nodes,
-            "metrics": self.metrics.snapshot(),
-            "monitor_ticks": self.monitor.ticks,
-        }
+        report["metrics"] = self.metrics.snapshot()
+        report["monitor_ticks"] = self.monitor.ticks
+        return report
 
     def close(self) -> None:
         """Stop background threads, close every node, free the pool."""
@@ -417,6 +753,16 @@ class CubeCluster:
         scrubber = getattr(self, "scrubber", None)
         if scrubber is not None:
             scrubber.stop()
+        migration = getattr(self, "_migration", None)
+        if migration is not None:
+            for replica_set, _ in migration.targets:
+                for node in replica_set.nodes:
+                    if node.dead:
+                        continue
+                    try:
+                        node.close()
+                    except NODE_FAILURES:
+                        node.dead = True
         for replica_set in getattr(self, "replica_sets", []):
             for node in replica_set.nodes:
                 if node.dead:
@@ -436,5 +782,6 @@ class CubeCluster:
     def __repr__(self) -> str:
         return (
             f"CubeCluster(shards={self.shardmap.num_shards}, "
-            f"nodes={len(self.nodes())}, shape={self.shape})"
+            f"epoch={self.shardmap.epoch}, nodes={len(self.nodes())}, "
+            f"shape={self.shape})"
         )

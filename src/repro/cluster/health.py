@@ -80,6 +80,8 @@ class CircuitBreaker:
         self._state = self.CLOSED
         self._failures = 0
         self._opened_at = 0.0
+        self._warming = False
+        self._warming_failures = 0
 
     @property
     def state(self) -> str:
@@ -115,7 +117,40 @@ class CircuitBreaker:
         if was_broken and self._metrics is not None:
             self._metrics.record_breaker_reset(self.node_id)
 
+    @property
+    def warming(self) -> bool:
+        """Whether this node is a migration target still seeding/WAL-
+        replaying: failures are counted separately and never trip the
+        breaker, so a warming target cannot be quarantined as unhealthy
+        before its replay finishes."""
+        with self._lock:
+            return self._warming
+
+    @property
+    def warming_failures(self) -> int:
+        with self._lock:
+            return self._warming_failures
+
+    def set_warming(self, warming: bool) -> None:
+        """Enter/leave warming mode. Leaving resets the consecutive-
+        failure count: failures accumulated while seeding must not
+        pre-charge a trip the moment the node goes live."""
+        with self._lock:
+            self._warming = bool(warming)
+            if not self._warming:
+                self._failures = 0
+
     def record_failure(self) -> None:
+        with self._lock:
+            if self._warming:
+                self._warming_failures += 1
+                warming = True
+            else:
+                warming = False
+        if warming:
+            if self._metrics is not None:
+                self._metrics.record_warming_failure(self.node_id)
+            return
         with self._lock:
             if self._probe_state() == self.HALF_OPEN:
                 # the trial call failed: straight back to open
@@ -149,9 +184,12 @@ class HealthMonitor:
             (anything exposing ``nodes()``, ``breaker(node_id)``, and
             ``replica_sets``).
         seed: seeds the probe-order shuffle — ticks are deterministic.
-        probe_timeout_s: reserved per-probe budget (probes are currently
-            synchronous in-process calls; the cap documents intent and
-            bounds any injected latency a plan adds).
+        probe_timeout_s: per-probe budget. Probes themselves are
+            synchronous in-process calls, but this is the cluster's one
+            authoritative "how long may a health-path wait take" knob:
+            the anti-entropy scrubber derives its repair budget from it
+            (see :class:`~repro.cluster.scrub.AntiEntropyScrubber`)
+            instead of keeping an ad-hoc timeout of its own.
     """
 
     def __init__(self, cluster, *, seed: int = 0, probe_timeout_s: float = 1.0):
@@ -168,10 +206,21 @@ class HealthMonitor:
         Probes all non-fenced nodes in a seeded random order, records
         each outcome on the node's breaker, then gives every replica set
         a failover opportunity (taken only when the primary is fenced or
-        its breaker is open).
+        its breaker is open). Migration-target nodes still warming
+        (seeding / WAL tail replay) are probed too, but their breakers
+        are in warming mode: failures are tallied separately and can
+        never quarantine a target before its replay finishes.
         """
         results: Dict[str, bool] = {}
         nodes = list(self._cluster.nodes())
+        targets = getattr(
+            self._cluster, "migration_target_nodes", None
+        )
+        warming_ids = set()
+        if targets is not None:
+            for node in targets():
+                warming_ids.add(node.node_id)
+                nodes.append(node)
         self._rng.shuffle(nodes)
         metrics = self._cluster.metrics
         for node in nodes:
@@ -189,7 +238,8 @@ class HealthMonitor:
             if ok:
                 breaker.record_success()
             else:
-                metrics.record_node_failure(node.node_id)
+                if node.node_id not in warming_ids:
+                    metrics.record_node_failure(node.node_id)
                 breaker.record_failure()
         for replica_set in self._cluster.replica_sets:
             try:

@@ -26,9 +26,12 @@ the log, not any replica, is authoritative, so the scrubber never
 
 from __future__ import annotations
 
+import hashlib
 import random
 import threading
 from typing import Dict, Optional
+
+import numpy as np
 
 from repro.cluster.node import NODE_FAILURES
 from repro.errors import ClusterError, StorageError
@@ -38,6 +41,17 @@ from repro.errors import ClusterError, StorageError
 #: durability directory that cannot be read back (StorageError from
 #: ``recover_state``). Contained per shard, never aborting the round.
 REPAIR_FAILURES = NODE_FAILURES + (ClusterError, StorageError)
+
+
+def _slab_digest(array: np.ndarray) -> str:
+    """sha256 over values + shape + dtype, matching
+    :meth:`~repro.serve.service.CubeService.snapshot_digest`'s scheme."""
+    array = np.ascontiguousarray(array)
+    digest = hashlib.sha256()
+    digest.update(str(array.shape).encode())
+    digest.update(str(array.dtype).encode())
+    digest.update(array.tobytes())
+    return digest.hexdigest()
 
 
 class AntiEntropyScrubber:
@@ -53,8 +67,16 @@ class AntiEntropyScrubber:
         repair_timeout: per-node bound on the ``self_check`` repair
             rebuild — a wedged node must not stall the whole round (the
             resulting :class:`TimeoutError` is a ``NODE_FAILURES``
-            member, so the scrubber escalates to ``resync``).
+            member, so the scrubber escalates to ``resync``). ``None``
+            (the default) derives the budget from the health monitor's
+            ``probe_timeout_s`` — ``REPAIR_BUDGET_PROBES`` probe
+            budgets — so operators tune one health-path knob, not two
+            that can drift apart.
     """
+
+    #: repair budget expressed in health-probe budgets: a repair rebuild
+    #: may take at most this many of the monitor's ``probe_timeout_s``
+    REPAIR_BUDGET_PROBES = 60
 
     def __init__(
         self,
@@ -63,7 +85,7 @@ class AntiEntropyScrubber:
         seed: int = 0,
         probes: int = 16,
         quiesce: bool = True,
-        repair_timeout: Optional[float] = 60.0,
+        repair_timeout: Optional[float] = None,
     ) -> None:
         self._cluster = cluster
         self._rng = random.Random(seed)
@@ -72,6 +94,22 @@ class AntiEntropyScrubber:
         self.repair_timeout = repair_timeout
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
+
+    def repair_budget(self) -> float:
+        """The per-node repair bound actually used this round.
+
+        An explicit ``repair_timeout`` wins; otherwise the budget is
+        threaded from :class:`~repro.cluster.health.HealthMonitor`'s
+        ``probe_timeout_s`` (times :data:`REPAIR_BUDGET_PROBES`), with a
+        1-probe-second fallback when the cluster has no monitor yet.
+        """
+        if self.repair_timeout is not None:
+            return float(self.repair_timeout)
+        monitor = getattr(self._cluster, "monitor", None)
+        probe_timeout = (
+            float(monitor.probe_timeout_s) if monitor is not None else 1.0
+        )
+        return probe_timeout * self.REPAIR_BUDGET_PROBES
 
     def scrub_once(self) -> Dict:
         """One full anti-entropy round; returns a report dict.
@@ -136,7 +174,7 @@ class AntiEntropyScrubber:
                 try:
                     check = node.self_check(
                         probes=self.probes, repair=True,
-                        timeout=self.repair_timeout,
+                        timeout=self.repair_budget(),
                     )
                     if check["ok"]:
                         version, digest = node.snapshot_digest()
@@ -161,6 +199,86 @@ class AntiEntropyScrubber:
                 report["repairs"] += 1
                 metrics.record_scrub_repair()
         metrics.record_scrub_round(report["checks"])
+        return report
+
+    #: relative tolerance for the slab comparison fallback. The seeded
+    #: target and the live source reconstruct their dense arrays
+    #: through float prefix structures of *different shapes*, so their
+    #: last bits legitimately differ by reconstruction noise (~1e-15
+    #: relative); a lost or double-applied group shows up at the scale
+    #: of a whole delta, many orders of magnitude above this.
+    VERIFY_RTOL = 1e-8
+
+    def verify_migration(self, migration) -> Dict:
+        """Verify migrated slabs against their source replicas.
+
+        Called by the reshard coordinator after the epoch flip and
+        *before* the old nodes are retired: every target primary's
+        dense slab must match the corresponding rows of the
+        (still-live, reverse-mirrored) source primaries — digest-equal
+        when the float paths happen to agree bit-for-bit, otherwise
+        element-wise within :data:`VERIFY_RTOL` (reconstruction noise,
+        never a missing update). Both sides are flushed first under the
+        scrubber's repair budget so acked-but-unapplied groups are not
+        mistaken for divergence.
+
+        Returns ``{"targets", "verified", "exact", "mismatches"}``; the
+        coordinator rolls back (or raises) on any mismatch.
+        """
+        budget = self.repair_budget()
+        report = {
+            "targets": 0, "verified": 0, "exact": 0, "mismatches": []
+        }
+        for replica_set, _ in list(migration.sources) + list(
+            migration.targets
+        ):
+            replica_set.flush(timeout=budget)
+        row_lo = min(start for _, (start, _) in migration.sources)
+        # snapshot both sides under the topology lock: a write stream
+        # landing between the source and target snapshots would differ
+        # by exactly its in-flight deltas and read as divergence. The
+        # hold is short — the flush above already drained the backlog,
+        # so the in-lock flush only absorbs the races of that window —
+        # and reads stay lock-free throughout.
+        with self._cluster._topology:
+            pieces = []
+            for replica_set, (start, stop) in sorted(
+                migration.sources, key=lambda item: item[1][0]
+            ):
+                replica_set.flush(timeout=budget)
+                array, _ = replica_set.primary.service.snapshot_array()
+                pieces.append(array)
+            target_arrays = []
+            for replica_set, (start, stop) in migration.targets:
+                replica_set.flush(timeout=budget)
+                array, _ = replica_set.primary.service.snapshot_array()
+                target_arrays.append(array)
+        source_image = (
+            pieces[0] if len(pieces) == 1 else np.concatenate(pieces)
+        )
+        for (replica_set, (start, stop)), target_array in zip(
+            migration.targets, target_arrays
+        ):
+            report["targets"] += 1
+            expected = source_image[start - row_lo:stop - row_lo]
+            if _slab_digest(expected) == _slab_digest(target_array):
+                report["verified"] += 1
+                report["exact"] += 1
+            elif expected.shape == target_array.shape and np.allclose(
+                expected, target_array,
+                rtol=self.VERIFY_RTOL, atol=self.VERIFY_RTOL,
+            ):
+                report["verified"] += 1
+            else:
+                worst = (
+                    float(np.max(np.abs(expected - target_array)))
+                    if expected.shape == target_array.shape
+                    else float("inf")
+                )
+                report["mismatches"].append(
+                    f"target shard rows [{start}, {stop}) diverge "
+                    f"from source (max abs diff {worst:g})"
+                )
         return report
 
     def start(self, interval_s: float = 1.0) -> None:

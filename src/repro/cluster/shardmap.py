@@ -20,6 +20,14 @@ A :class:`ShardMap` owns the routing math and nothing else:
 Local coordinates: shard ``s`` owning rows ``[start, stop)`` of axis 0
 sees the global cell ``(c0, c1, ..)`` as ``(c0 - start, c1, ..)``; all
 other axes pass through unchanged.
+
+Maps are immutable; elastic resharding replaces the whole map. Every
+map carries a monotonically increasing ``epoch`` identifying the slab
+layout it describes: :meth:`ShardMap.split_shard` /
+:meth:`ShardMap.merge_shards` derive the successor layout at
+``epoch + 1``, and the cluster stamps the epoch into version vectors,
+``stats()``, and wire responses so any answer (or cache entry) is
+fenced to the exact layout it was computed under.
 """
 
 from __future__ import annotations
@@ -41,9 +49,14 @@ class ShardMap:
         shape: the full cube's shape.
         num_shards: how many slabs to cut axis 0 into; must not exceed
             the axis length (every shard owns at least one row).
+        epoch: the layout generation this map describes (0 for a map
+            built at cluster construction; resharding derives
+            successors at strictly larger epochs).
     """
 
-    def __init__(self, shape: Sequence[int], num_shards: int) -> None:
+    def __init__(
+        self, shape: Sequence[int], num_shards: int, *, epoch: int = 0
+    ) -> None:
         self.shape = tuple(int(n) for n in shape)
         if not self.shape or any(n <= 0 for n in self.shape):
             raise ClusterError(f"invalid cube shape {self.shape}")
@@ -62,6 +75,98 @@ class ShardMap:
             for i in range(self.num_shards)
         )
         self._starts = [start for start, _ in self.bounds]
+        self.epoch = self._check_epoch(epoch)
+
+    @staticmethod
+    def _check_epoch(epoch) -> int:
+        epoch = int(epoch)
+        if epoch < 0:
+            raise ClusterError(f"epoch must be >= 0, got {epoch}")
+        return epoch
+
+    @classmethod
+    def from_bounds(
+        cls,
+        shape: Sequence[int],
+        bounds: Sequence[Sequence[int]],
+        *,
+        epoch: int = 0,
+    ) -> "ShardMap":
+        """Build a map from an explicit slab layout.
+
+        ``bounds`` must be contiguous ``[start, stop)`` slabs covering
+        axis 0 exactly — the shape every split/merge migration plans.
+        """
+        shape = tuple(int(n) for n in shape)
+        if not shape or any(n <= 0 for n in shape):
+            raise ClusterError(f"invalid cube shape {shape}")
+        slabs = tuple((int(a), int(b)) for a, b in bounds)
+        if not slabs:
+            raise ClusterError("bounds must name at least one slab")
+        if slabs[0][0] != 0 or slabs[-1][1] != shape[0]:
+            raise ClusterError(
+                f"bounds {slabs} do not cover axis 0 of length {shape[0]}"
+            )
+        for i, (start, stop) in enumerate(slabs):
+            if stop <= start:
+                raise ClusterError(f"empty slab {(start, stop)} at {i}")
+            if i and start != slabs[i - 1][1]:
+                raise ClusterError(
+                    f"bounds are not contiguous at slab {i}: "
+                    f"{slabs[i - 1]} then {(start, stop)}"
+                )
+        shard_map = cls.__new__(cls)
+        shard_map.shape = shape
+        shard_map.num_shards = len(slabs)
+        shard_map.bounds = slabs
+        shard_map._starts = [start for start, _ in slabs]
+        shard_map.epoch = cls._check_epoch(epoch)
+        return shard_map
+
+    # -- elastic layout derivation -------------------------------------------
+
+    def split_shard(
+        self, shard: int, at_row: int = None
+    ) -> "ShardMap":
+        """The successor layout with ``shard`` cut in two at ``at_row``
+        (global row; defaults to the slab midpoint). Epoch advances."""
+        start, stop = self.bounds[shard]
+        if stop - start < 2:
+            raise ClusterError(
+                f"shard {shard} owns a single row {start}: cannot split"
+            )
+        if at_row is None:
+            at_row = (start + stop) // 2
+        at_row = int(at_row)
+        if not start < at_row < stop:
+            raise ClusterError(
+                f"split row {at_row} must fall strictly inside shard "
+                f"{shard}'s rows [{start}, {stop})"
+            )
+        new_bounds = (
+            self.bounds[:shard]
+            + ((start, at_row), (at_row, stop))
+            + self.bounds[shard + 1:]
+        )
+        return ShardMap.from_bounds(
+            self.shape, new_bounds, epoch=self.epoch + 1
+        )
+
+    def merge_shards(self, shard: int) -> "ShardMap":
+        """The successor layout with ``shard`` and ``shard + 1`` fused
+        into one slab. Epoch advances."""
+        if not 0 <= shard < self.num_shards - 1:
+            raise ClusterError(
+                f"merge needs adjacent shards {shard} and {shard + 1}; "
+                f"map has {self.num_shards} shards"
+            )
+        fused = (self.bounds[shard][0], self.bounds[shard + 1][1])
+        new_bounds = (
+            self.bounds[:shard] + (fused,) + self.bounds[shard + 2:]
+        )
+        return ShardMap.from_bounds(
+            self.shape, new_bounds, epoch=self.epoch + 1
+        )
 
     @property
     def ndim(self) -> int:
@@ -181,10 +286,11 @@ class ShardMap:
             "shape": list(self.shape),
             "num_shards": self.num_shards,
             "bounds": [list(b) for b in self.bounds],
+            "epoch": self.epoch,
         }
 
     def __repr__(self) -> str:
         return (
             f"ShardMap(shape={self.shape}, num_shards={self.num_shards}, "
-            f"bounds={self.bounds})"
+            f"bounds={self.bounds}, epoch={self.epoch})"
         )

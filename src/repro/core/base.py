@@ -181,9 +181,52 @@ class RangeSumMethod(abc.ABC):
         if delta:
             self.apply_delta(idx, delta)
 
-    @abc.abstractmethod
+    def coerce_deltas(self, deltas) -> np.ndarray:
+        """Fit update deltas into the cube's dtype without losing value.
+
+        Integer cubes sum exactly, so they stay integer as long as the
+        deltas allow it: an integral-valued float delta (the serving
+        layer's WAL hands every delta back as float64) is cast down
+        losslessly. A genuinely fractional delta cannot be represented —
+        rather than truncating it or failing mid-apply (an acked group
+        must never be lost to a dtype mismatch), the cube promotes
+        itself to the combined floating dtype first and applies the
+        delta at full value.
+
+        Returns the deltas as an array in the (possibly widened) cube
+        dtype; raises :class:`TypeError` for non-numeric input.
+        """
+        arr = np.asarray(deltas)
+        if not np.issubdtype(arr.dtype, np.number):
+            raise TypeError(f"deltas must be numeric, got {arr.dtype}")
+        if np.can_cast(arr.dtype, self._dtype, casting="same_kind"):
+            return arr.astype(self._dtype, copy=False)
+        cast = arr.astype(self._dtype)
+        if np.array_equal(cast, arr):
+            return cast
+        self._promote(np.result_type(self._dtype, arr.dtype))
+        return arr.astype(self._dtype, copy=False)
+
+    def _promote(self, dtype) -> None:
+        """Rebuild every structure under a wider dtype (one O(n^d) pass)."""
+        promoted = np.dtype(dtype)
+        if promoted == self._dtype:
+            return
+        array = np.asarray(self.to_array()).astype(promoted)
+        self._dtype = promoted
+        self._build(array)
+
     def apply_delta(self, index: Sequence[int], delta) -> None:
         """Add ``delta`` to cell ``index``, keeping structures consistent.
+
+        The delta is first fitted into the cube's dtype (see
+        :meth:`coerce_deltas`), then handed to the method's cascade.
+        """
+        self._apply_delta(index, self.coerce_deltas(delta)[()])
+
+    @abc.abstractmethod
+    def _apply_delta(self, index: Sequence[int], delta) -> None:
+        """Method-specific cascade for one already-coerced delta.
 
         Implementations must charge their writes to ``self.counter``.
         """
@@ -218,6 +261,7 @@ class RangeSumMethod(abc.ABC):
         idx, deltas = indexing.normalize_update_batch(
             indices, deltas, self.shape
         )
+        deltas = self.coerce_deltas(deltas)
         for row, delta in zip(idx, deltas):
             self.apply_delta(tuple(int(c) for c in row), delta)
         return len(idx)

@@ -164,7 +164,7 @@ class RelativePrefixSumCube(RangeSumMethod):
 
     # -- updates ------------------------------------------------------------
 
-    def apply_delta(self, index: Sequence[int], delta) -> None:
+    def _apply_delta(self, index: Sequence[int], delta) -> None:
         """Add ``delta`` to one cell (Figure 15's constrained cascade)."""
         idx = indexing.normalize_index(index, self.shape)
         self.rp.apply_delta(idx, delta)
@@ -259,6 +259,7 @@ class RelativePrefixSumCube(RangeSumMethod):
         self, indices: np.ndarray, deltas: np.ndarray, strategy: str
     ) -> int:
         self._check_strategy(strategy)
+        deltas = self.coerce_deltas(deltas)
         if strategy == "auto":
             strategy = self.choose_batch_strategy(indices)
         if strategy == "incremental":

@@ -122,3 +122,19 @@ class ClusterUnavailableError(ClusterError):
 class NodeUnavailableError(ClusterError):
     """A single serving node could not be reached (dead, partitioned,
     or circuit-broken); the caller should try another replica."""
+
+
+class ReshardError(ClusterError):
+    """A live reshard migration failed.
+
+    ``phase`` names the migration phase that failed and ``rolled_back``
+    whether the cluster was restored to its prior epoch (always true
+    for pre-flip failures; a post-flip verify failure rolls back unless
+    the reverse dual-write mirror had already been lost).
+    """
+
+    def __init__(self, message: str, *, phase: str = "?",
+                 rolled_back: bool = False):
+        super().__init__(message)
+        self.phase = str(phase)
+        self.rolled_back = bool(rolled_back)

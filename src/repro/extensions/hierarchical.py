@@ -231,7 +231,7 @@ class HierarchicalRPSCube(RangeSumMethod):
 
     # -- updates ------------------------------------------------------------------
 
-    def apply_delta(self, index: Sequence[int], delta) -> None:
+    def _apply_delta(self, index: Sequence[int], delta) -> None:
         """RP cascade plus, per subset, one or two inner range-adds."""
         idx = indexing.normalize_index(index, self.shape)
         self.rp.apply_delta(idx, delta)

@@ -98,6 +98,11 @@ class FaultPlan:
             operation on it raises :class:`NodeKilled` until
             :meth:`revive` — a permanent node death, unlike the
             transient unreachability of a partition.
+        reshard_fail_at: migration phase names (``"plan"``, ``"seed"``,
+            ``"tail_replay"``, ``"dual_write"``, ``"flip"``,
+            ``"verify"``, ``"retire"``) at whose *entry* the reshard
+            coordinator raises :class:`InjectedFault` — a coordinator
+            crash at that exact phase boundary. Each phase fires once.
 
     Partitions are *stateful*, not scheduled: a chaos driver calls
     :meth:`partition` / :meth:`heal` around the window it wants, and
@@ -124,6 +129,7 @@ class FaultPlan:
         read_latency_nodes: Optional[Sequence[str]] = None,
         read_latency_seconds: float = 0.0,
         kill_node_at: Optional[Dict[str, int]] = None,
+        reshard_fail_at: Optional[Sequence[str]] = None,
     ) -> None:
         if not 0.0 <= float(torn_fraction) <= 1.0:
             raise ValueError(
@@ -156,12 +162,18 @@ class FaultPlan:
                     f"kill_node_at ordinals are 1-based, got {ordinal} "
                     f"for node {node!r}"
                 )
+        if isinstance(reshard_fail_at, str):
+            reshard_fail_at = (reshard_fail_at,)
+        self.reshard_fail_at = frozenset(
+            str(phase) for phase in (reshard_fail_at or ())
+        )
         self._rng = np.random.default_rng(self.seed)
         self._lock = threading.Lock()
         self._ordinals: Dict[str, int] = {}
         self._injected: Dict[str, int] = {}
         self._partitioned: set = set()
         self._killed: set = set()
+        self._reshard_fired: set = set()
 
     # -- bookkeeping ---------------------------------------------------------
 
@@ -351,6 +363,27 @@ class FaultPlan:
                 )
         return extra
 
+    def on_reshard_phase(self, phase: str) -> None:
+        """Consult at the entry of one reshard migration phase.
+
+        Raises :class:`InjectedFault` (once per phase) when the plan
+        schedules a coordinator crash at that boundary — the reshard
+        soak's way of proving every phase either completes or rolls
+        back with zero acked-group loss.
+        """
+        phase = str(phase)
+        with self._lock:
+            self._tick(f"reshard.{phase}")
+            if (
+                phase in self.reshard_fail_at
+                and phase not in self._reshard_fired
+            ):
+                self._reshard_fired.add(phase)
+                self._count("reshard_phase_failures")
+                raise InjectedFault(
+                    f"injected reshard failure entering phase {phase!r}"
+                )
+
     def _latency(self, kind: str) -> float:
         """Latency contribution for the site whose ordinal just ticked.
 
@@ -382,4 +415,6 @@ class FaultPlan:
             parts.append(f"crash_at_group={self.crash_at_group}")
         if self.kill_node_at:
             parts.append(f"kill_node_at={self.kill_node_at}")
+        if self.reshard_fail_at:
+            parts.append(f"reshard_fail_at={sorted(self.reshard_fail_at)}")
         return f"FaultPlan({', '.join(parts)})"

@@ -55,6 +55,17 @@ class ClusterMetrics:
         self.scrub_digest_checks = 0
         self.scrub_divergences = 0
         self.scrub_repairs = 0
+        # resharding
+        self.reshards_started = 0
+        self.reshard_phases: Dict[str, int] = {}
+        self.reshard_flips = 0
+        self.reshard_rollbacks = 0
+        self.dual_writes = 0
+        self.warming_failures: Dict[str, int] = {}
+        # degraded (estimated) reads
+        self.degraded_reads = 0
+        self.degraded_shard_reads: Dict[int, int] = {}
+        self.estimate_refused = 0
 
     @staticmethod
     def _bump(table: Dict, key, amount: int = 1) -> None:
@@ -163,6 +174,55 @@ class ClusterMetrics:
         with self._lock:
             self.scrub_repairs += 1
 
+    # -- resharding ----------------------------------------------------------
+
+    def record_reshard_started(self) -> None:
+        """A live split/merge migration began executing."""
+        with self._lock:
+            self.reshards_started += 1
+
+    def record_reshard_phase(self, phase: str) -> None:
+        """The coordinator entered a migration phase."""
+        with self._lock:
+            self._bump(self.reshard_phases, str(phase))
+
+    def record_reshard_flip(self) -> None:
+        """An epoch-stamped shard-map flip was installed atomically."""
+        with self._lock:
+            self.reshard_flips += 1
+
+    def record_reshard_rollback(self) -> None:
+        """A failed migration restored the prior epoch's topology."""
+        with self._lock:
+            self.reshard_rollbacks += 1
+
+    def record_dual_write(self) -> None:
+        """One acked group was mirrored across the migration boundary
+        (old->new pre-flip, new->old post-flip)."""
+        with self._lock:
+            self.dual_writes += 1
+
+    def record_warming_failure(self, node_id: str) -> None:
+        """A warming migration-target node failed a probe/call; counted
+        separately so warming targets are never quarantined."""
+        with self._lock:
+            self._bump(self.warming_failures, str(node_id))
+
+    # -- degraded reads ------------------------------------------------------
+
+    def record_degraded_read(self, shards) -> None:
+        """One batched read answered with estimates for ``shards``."""
+        with self._lock:
+            self.degraded_reads += 1
+            for shard in shards:
+                self._bump(self.degraded_shard_reads, int(shard))
+
+    def record_estimate_refused(self) -> None:
+        """``allow_estimate`` was set but no aggregate could answer
+        (the call failed exactly instead)."""
+        with self._lock:
+            self.estimate_refused += 1
+
     # -- reporting -----------------------------------------------------------
 
     def snapshot(self) -> Dict:
@@ -190,6 +250,15 @@ class ClusterMetrics:
                 "scrub_digest_checks": self.scrub_digest_checks,
                 "scrub_divergences": self.scrub_divergences,
                 "scrub_repairs": self.scrub_repairs,
+                "reshards_started": self.reshards_started,
+                "reshard_phases": dict(self.reshard_phases),
+                "reshard_flips": self.reshard_flips,
+                "reshard_rollbacks": self.reshard_rollbacks,
+                "dual_writes": self.dual_writes,
+                "warming_failures": dict(self.warming_failures),
+                "degraded_reads": self.degraded_reads,
+                "degraded_shard_reads": dict(self.degraded_shard_reads),
+                "estimate_refused": self.estimate_refused,
             }
         report["read_latency"] = self.read_latency.summary()
         return report

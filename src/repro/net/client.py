@@ -25,6 +25,7 @@ from typing import Any, AsyncIterator, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cluster.degraded import RangeEstimate
 from repro.deadline import Deadline
 from repro.errors import NetError, ProtocolError
 from repro.net.protocol import (
@@ -168,17 +169,33 @@ class CubeClient:
         return await self.call("stats", **kw)
 
     async def range_sum_many(
-        self, lows, highs, **kw
-    ) -> Tuple[np.ndarray, Any]:
-        """Batched exact range sums; returns ``(values, version)``."""
-        result = await self.call(
-            "range_sum_many",
-            {"lows": _coords(lows), "highs": _coords(highs)},
-            **kw,
-        )
-        return np.asarray(result["values"], dtype=np.float64), (
-            result["version"]
-        )
+        self, lows, highs, *, allow_estimate: bool = False, **kw
+    ):
+        """Batched range sums; returns ``(values, version)``.
+
+        With ``allow_estimate=True`` the server may answer queries over
+        unreachable or mid-migration shards from bounded aggregates
+        instead of failing; the return becomes
+        ``(values, estimates, version)`` where ``estimates[i]`` is a
+        typed :class:`~repro.cluster.degraded.RangeEstimate` (explicit
+        ``estimate=True`` marker, guaranteed ``[low, high]`` interval,
+        confidence, degraded shards, epoch) for degraded slots and
+        ``None`` for exact ones.
+        """
+        params: Dict[str, Any] = {
+            "lows": _coords(lows), "highs": _coords(highs),
+        }
+        if allow_estimate:
+            params["allow_estimate"] = True
+        result = await self.call("range_sum_many", params, **kw)
+        values = np.asarray(result["values"], dtype=np.float64)
+        if allow_estimate:
+            estimates = [
+                None if e is None else RangeEstimate.from_wire(e)
+                for e in result.get("estimates", [None] * len(values))
+            ]
+            return values, estimates, result["version"]
+        return values, result["version"]
 
     async def range_sum(
         self, low: Sequence[int], high: Sequence[int], **kw

@@ -79,6 +79,18 @@ class _RouterAdapter:
             return batch.values, stamps[0]
         return batch.values, list(stamps)
 
+    def query_many_estimated(self, lows, highs, deadline=None):
+        batch = self.router.route_many(
+            lows, highs, deadline=deadline, allow_estimate=True
+        )
+        stamps = batch.stamps
+        stamp = (
+            stamps[0]
+            if stamps and all(s == stamps[0] for s in stamps)
+            else list(stamps)
+        )
+        return batch.values, list(batch.estimates), stamp
+
     def submit_batch(self, updates, *, timeout=None, deadline=None):
         return self.router.submit_batch(
             updates, timeout=timeout, deadline=deadline
@@ -107,6 +119,24 @@ def _stamp_json(stamp):
     if isinstance(stamp, (tuple, list)):
         return [_stamp_json(s) for s in stamp]
     return str(stamp)
+
+
+def _epoch_of(stamp) -> Optional[int]:
+    """The shard-map epoch carried by a cluster stamp, if any.
+
+    Cluster stamps are ``(epoch, *versions)`` tuples; single-service
+    stamps are plain ints and carry no epoch.
+    """
+    if isinstance(stamp, (tuple, list)) and stamp:
+        first = stamp[0]
+        if isinstance(first, (int, np.integer)):
+            return int(first)
+        if isinstance(first, (tuple, list)) and first and isinstance(
+            first[0], (int, np.integer)
+        ):
+            # per-query stamp list: all entries share one live epoch
+            return int(first[0])
+    return None
 
 
 def _require(params: Dict[str, Any], key: str):
@@ -463,17 +493,44 @@ class CubeServer:
     ):
         lows = _require(params, "lows")
         highs = _require(params, "highs")
+        allow_estimate = bool(params.get("allow_estimate", False))
         if deadline is not None:
             deadline.check("range_sum_many")
-        values, stamp = await self._call_backend(
-            self.backend.query_many, lows, highs, deadline
+        estimated_query = (
+            getattr(self.backend, "query_many_estimated", None)
+            if allow_estimate
+            else None
         )
+        estimates = None
+        if estimated_query is not None:
+            values, estimates, stamp = await self._call_backend(
+                estimated_query, lows, highs, deadline
+            )
+            if not any(e is not None for e in estimates):
+                estimates = None
+        else:
+            # allow_estimate against a single-service backend degrades
+            # to the exact path: there is nothing to estimate from
+            values, stamp = await self._call_backend(
+                self.backend.query_many, lows, highs, deadline
+            )
+        result: Dict[str, Any] = {
+            "values": np.asarray(values).tolist(),
+            "version": _stamp_json(stamp),
+            "epoch": _epoch_of(stamp),
+        }
+        if allow_estimate:
+            result["degraded"] = estimates is not None
+            result["estimates"] = (
+                [
+                    None if e is None else e.to_wire()
+                    for e in estimates
+                ]
+                if estimates is not None
+                else [None] * len(np.asarray(values))
+            )
         await self._send(writer, {
-            "id": request_id, "ok": True,
-            "result": {
-                "values": np.asarray(values).tolist(),
-                "version": _stamp_json(stamp),
-            },
+            "id": request_id, "ok": True, "result": result,
         })
 
     async def _op_range_sum(
@@ -489,6 +546,7 @@ class CubeServer:
             "result": {
                 "value": float(np.asarray(values)[0]),
                 "version": _stamp_json(stamp),
+                "epoch": _epoch_of(stamp),
             },
         })
 
@@ -534,6 +592,7 @@ class CubeServer:
                     "offset": offset,
                     "values": values,
                     "version": _stamp_json(stamp),
+                    "epoch": _epoch_of(stamp),
                 },
             })
             if final:

@@ -67,19 +67,30 @@ class RoutedBatch:
     """One routed batch: values plus per-query provenance.
 
     Attributes:
-        values: length-Q array of exact sums.
+        values: length-Q array of sums (exact unless the matching
+            ``estimates`` slot is set).
         stamps: per-query snapshot stamp the value was computed from —
-            an ``int`` service version, or a per-shard version tuple
-            for cluster backends.
+            an ``int`` service version, or an ``(epoch, *versions)``
+            tuple for cluster backends, fencing the answer to the
+            shard-map epoch it was read under.
         tiers: per-query serving tier (``"cache"``/``"rollup"``/``"rps"``).
+        estimates: per-query :class:`~repro.cluster.degraded.RangeEstimate`
+            for degraded answers, ``None`` for exact ones. Estimated
+            answers are never cached — the slot and its marker exist
+            only on the batch that computed them.
     """
 
-    __slots__ = ("values", "stamps", "tiers")
+    __slots__ = ("values", "stamps", "tiers", "estimates")
 
-    def __init__(self, values, stamps, tiers) -> None:
+    def __init__(self, values, stamps, tiers, estimates=None) -> None:
         self.values = values
         self.stamps = tuple(stamps)
         self.tiers = tuple(tiers)
+        self.estimates = (
+            tuple(estimates)
+            if estimates is not None
+            else (None,) * len(self.stamps)
+        )
 
     def __repr__(self) -> str:
         return (
@@ -131,11 +142,15 @@ class ServiceBackend:
 class ClusterBackend:
     """Adapts one :class:`~repro.cluster.CubeCluster` to the router.
 
-    The stamp is the full per-shard version vector. A batched read
-    answers each involved shard from one snapshot; the returned stamp
-    records that observed version per involved shard and the last acked
-    version for the rest, so a query's stamped entry is exact for every
-    shard the query actually touches.
+    The stamp is ``(epoch, *version_vector)``: the shard-map epoch
+    followed by the per-shard version vector. A batched read answers
+    each involved shard from one snapshot; the returned stamp records
+    that observed version per involved shard and the last acked version
+    for the rest, so a query's stamped entry is exact for every shard
+    the query actually touches. The epoch prefix fences every cached
+    answer to the layout it was read under — after a live reshard flips
+    the map, no entry stamped under the old epoch can ever match again,
+    even if the per-shard numbers coincide.
     """
 
     def __init__(self, cluster) -> None:
@@ -143,18 +158,43 @@ class ClusterBackend:
         self.shape = cluster.shape
 
     def current_stamp(self) -> Tuple[int, ...]:
-        return self.cluster.version_vector()
+        stamp = getattr(self.cluster, "stamp", None)
+        if stamp is not None:
+            return stamp()
+        return (0, *self.cluster.version_vector())
+
+    def _stamp_from_receipt(self, receipt) -> Tuple[int, ...]:
+        """Fold a read receipt's observed versions into the live
+        vector, under the receipt's epoch."""
+        epoch = receipt["epoch"]
+        _, *vector = self.current_stamp()
+        for shard, version in receipt["versions"].items():
+            if shard < len(vector):
+                vector[shard] = version
+        return (epoch, *vector)
 
     def query_many(
         self, lows, highs, deadline: Optional[Deadline] = None
     ) -> Tuple[np.ndarray, Tuple[int, ...]]:
-        values, observed = self.cluster.range_sum_many(
+        values, receipt = self.cluster.range_sum_many(
             lows, highs, deadline=deadline, return_shard_versions=True
         )
-        vector = list(self.cluster.version_vector())
-        for shard, version in observed.items():
-            vector[shard] = version
-        return values, tuple(vector)
+        return values, self._stamp_from_receipt(receipt)
+
+    def query_many_estimated(
+        self, lows, highs, deadline: Optional[Deadline] = None
+    ):
+        """Batched read that may answer degraded shards from aggregates.
+
+        Returns ``(values, estimates, stamp)`` where ``estimates[i]``
+        is a :class:`~repro.cluster.degraded.RangeEstimate` when slot
+        ``i`` is degraded, else ``None``.
+        """
+        values, estimates, receipt = self.cluster.range_sum_many(
+            lows, highs, deadline=deadline,
+            allow_estimate=True, return_shard_versions=True,
+        )
+        return values, estimates, self._stamp_from_receipt(receipt)
 
     def submit_batch(
         self,
@@ -258,9 +298,18 @@ class QueryRouter:
         highs,
         *,
         deadline: Optional[Deadline] = None,
+        allow_estimate: bool = False,
     ) -> RoutedBatch:
         """Answer a ``(Q, d)`` batch of boxes, each from its cheapest
-        exact tier; returns values with per-query stamps and tiers."""
+        exact tier; returns values with per-query stamps and tiers.
+
+        With ``allow_estimate=True`` (and a backend that supports it —
+        cluster backends do), queries over unreachable shards come back
+        as explicit bounded estimates in ``RoutedBatch.estimates``
+        instead of failing the batch. Estimated values are **never**
+        written to the cache tiers: only exact, stamped answers are
+        memoizable, so a degraded window can't poison later reads.
+        """
         start = time.perf_counter()
         if deadline is not None and deadline.expired:
             self.metrics.record_deadline_exceeded()
@@ -327,18 +376,36 @@ class QueryRouter:
             )
 
         # tier 3: the RPS backend answers whatever is left, in one batch
+        box_estimates = None
         if len(pending):
             backend_start = time.perf_counter()
-            values, backend_stamp = self.backend.query_many(
-                lows[pending], highs[pending], deadline=deadline
+            estimated_query = (
+                getattr(self.backend, "query_many_estimated", None)
+                if allow_estimate
+                else None
             )
+            if estimated_query is not None:
+                values, box_estimates, backend_stamp = estimated_query(
+                    lows[pending], highs[pending], deadline=deadline
+                )
+                if not any(e is not None for e in box_estimates):
+                    box_estimates = None
+            else:
+                values, backend_stamp = self.backend.query_many(
+                    lows[pending], highs[pending], deadline=deadline
+                )
             self.metrics.record_backend_queries(
                 len(pending), time.perf_counter() - backend_start
             )
             values = np.asarray(values)
             filled.append((pending, values, backend_stamp, TIER_RPS))
             if use_box_cache:
-                for slot, value in zip(pending, values):
+                for j, (slot, value) in enumerate(zip(pending, values)):
+                    if (
+                        box_estimates is not None
+                        and box_estimates[j] is not None
+                    ):
+                        continue  # estimates are never cached
                     key = ("box", lows[slot].tobytes(), highs[slot].tobytes())
                     self.cache.put(key, backend_stamp, value)
 
@@ -361,14 +428,22 @@ class QueryRouter:
             tiers[hit_idx] = TIER_CACHE
             _assign_object(stamps, hit_idx, stamp)
 
+        estimates = None
+        if box_estimates is not None:
+            estimates = [None] * q
+            for j, slot in enumerate(pending):
+                estimates[int(slot)] = box_estimates[j]
+
         # memoize the whole batch when one snapshot answered everything
-        if batch_key is not None:
+        # — and no slot was estimated (degraded answers never enter any
+        # cache tier)
+        if batch_key is not None and estimates is None:
             uniform = stamps[0]
             if all(s == uniform for s in stamps):
                 self.cache.put(batch_key, uniform, out)
         self._observe(lows, highs)
         self.metrics.record_route(time.perf_counter() - start, q)
-        return RoutedBatch(out, stamps, tiers)
+        return RoutedBatch(out, stamps, tiers, estimates)
 
     def _serve_from_rollups(
         self, lows, highs, pending, stamp, filled
@@ -418,10 +493,24 @@ class QueryRouter:
                 self.builder.request(granularity)
 
     def range_sum_many(
-        self, lows, highs, *, deadline: Optional[Deadline] = None
-    ) -> np.ndarray:
-        """Drop-in batched range sums (values only)."""
-        return self.route_many(lows, highs, deadline=deadline).values
+        self,
+        lows,
+        highs,
+        *,
+        deadline: Optional[Deadline] = None,
+        allow_estimate: bool = False,
+    ):
+        """Drop-in batched range sums (values only).
+
+        With ``allow_estimate=True`` returns ``(values, estimates)``
+        mirroring :meth:`CubeCluster.range_sum_many
+        <repro.cluster.cluster.CubeCluster.range_sum_many>`."""
+        batch = self.route_many(
+            lows, highs, deadline=deadline, allow_estimate=allow_estimate
+        )
+        if allow_estimate:
+            return batch.values, list(batch.estimates)
+        return batch.values
 
     def range_sum(
         self,

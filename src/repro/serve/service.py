@@ -496,6 +496,20 @@ class CubeService:
         self.metrics.record_read(seconds, 1)
         return version, value
 
+    def snapshot_array(self) -> Tuple[np.ndarray, int]:
+        """``(dense array copy, version)`` of the published snapshot.
+
+        Reads through the normal snapshot pin like
+        :meth:`snapshot_digest`; the cluster's reshard path uses it to
+        seed degraded-read aggregates and verify migrated slabs against
+        their sources without reaching into method internals.
+        """
+        array, version, seconds = self._read(
+            lambda method: np.array(method.to_array(), copy=True)
+        )
+        self.metrics.record_read(seconds, 1)
+        return array, version
+
     def quarantined_groups(self) -> Tuple[Tuple[int, str], ...]:
         """Poisoned groups skipped by supervision: ``(seq, error)``."""
         with self._state_lock:

@@ -87,7 +87,7 @@ class PagedRPSCube(RangeSumMethod):
 
     # -- updates ----------------------------------------------------------------
 
-    def apply_delta(self, index: Sequence[int], delta) -> None:
+    def _apply_delta(self, index: Sequence[int], delta) -> None:
         """In-RAM overlay cascade plus a single-box RP page rewrite."""
         idx = indexing.normalize_index(index, self.shape)
         written = 0

@@ -150,3 +150,47 @@ class TestVerify:
         cube.overlay._values[3][1, 1] += 1  # corrupt an anchor value
         with pytest.raises(RangeError):
             cube.verify_structures()
+
+
+class TestDeltaDtypeCoercion:
+    """Float deltas on integer cubes must apply, not fail or truncate.
+
+    The serving layer's WAL hands every replayed delta back as float64;
+    before delta coercion, an integral float delta into an int64-built
+    structure raised ``UFuncTypeError`` mid-apply — the service then
+    quarantined the (already durably acked) group, silently losing it.
+    """
+
+    def test_integral_float_delta_stays_int_exact(self, method_class, rng):
+        a = rng.integers(0, 9, size=(6, 6))
+        cube = method_class(a)
+        cube.apply_delta((2, 3), 5.0)
+        cube.apply_delta((2, 3), -2.0)
+        assert cube._dtype == np.int64
+        assert cube.cell_value((2, 3)) == a[2, 3] + 3
+        cube.verify(probes=20)
+
+    def test_integral_float_batch_stays_int_exact(self, method_class, rng):
+        a = rng.integers(0, 9, size=(6, 6))
+        cube = method_class(a)
+        indices = np.array([[1, 1], [4, 2], [1, 1]])
+        cube.apply_batch_array(indices, np.array([3.0, -7.0, 4.0]))
+        assert cube._dtype == np.int64
+        assert cube.cell_value((1, 1)) == a[1, 1] + 7
+        assert cube.cell_value((4, 2)) == a[4, 2] - 7
+        cube.verify(probes=20)
+
+    def test_fractional_delta_promotes_not_truncates(self, method_class, rng):
+        a = rng.integers(0, 9, size=(6, 6))
+        cube = method_class(a)
+        cube.apply_delta((3, 3), 0.5)
+        assert np.issubdtype(cube._dtype, np.floating)
+        assert float(cube.cell_value((3, 3))) == pytest.approx(a[3, 3] + 0.5)
+        # the promoted structure keeps answering exactly
+        assert float(cube.total()) == pytest.approx(float(a.sum()) + 0.5)
+        cube.verify(probes=20)
+
+    def test_non_numeric_deltas_rejected(self, method_class):
+        cube = method_class(np.ones((3, 3)))
+        with pytest.raises(TypeError):
+            cube.apply_delta((0, 0), "seven")

@@ -1,0 +1,229 @@
+"""Hypothesis properties for split/merge slab geometry.
+
+The reshard coordinator's correctness rests on a purely combinatorial
+layer: the successor :class:`~repro.cluster.shardmap.ShardMap` produced
+by ``split_shard``/``merge_shards`` must route every cell, update, and
+query box to exactly one owner, and a split immediately undone by a
+merge must reproduce the *identical* cell→shard mapping. These
+properties pin that layer down independently of nodes, WALs, and
+threads, so a geometry bug can never hide behind migration machinery.
+
+Arrays are integer-valued so partial sums across shards compare
+bit-for-bit against the single-array oracle — no float tolerance needed.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ShardMap
+
+from .conftest import brute_range_sum
+
+MAX_ROWS = 40
+
+
+@st.composite
+def layouts(draw, min_shards=1, max_shards=5):
+    """A valid (shape, bounds) pair: contiguous slabs covering axis 0."""
+    ndim = draw(st.integers(1, 3))
+    rows = draw(st.integers(min_shards, MAX_ROWS))
+    tail = tuple(
+        draw(st.integers(1, 6)) for _ in range(ndim - 1)
+    )
+    num_shards = draw(
+        st.integers(min_shards, min(max_shards, rows))
+    )
+    cuts = sorted(
+        draw(
+            st.lists(
+                st.integers(1, rows - 1),
+                min_size=num_shards - 1,
+                max_size=num_shards - 1,
+                unique=True,
+            )
+        )
+        if num_shards > 1
+        else []
+    )
+    edges = [0] + cuts + [rows]
+    bounds = [
+        (edges[i], edges[i + 1]) for i in range(len(edges) - 1)
+    ]
+    return (rows,) + tail, bounds
+
+
+@st.composite
+def splittable_maps(draw):
+    """A ShardMap plus a shard wide enough to split and a valid cut row."""
+    shape, bounds = draw(layouts())
+    widths = [stop - start for start, stop in bounds]
+    candidates = [i for i, w in enumerate(widths) if w >= 2]
+    if not candidates:
+        # guarantee at least one splittable shard by fusing everything
+        bounds = [(0, shape[0])]
+        if shape[0] < 2:
+            shape = (2,) + shape[1:]
+            bounds = [(0, 2)]
+        candidates = [0]
+    shard = draw(st.sampled_from(candidates))
+    start, stop = bounds[shard]
+    at_row = draw(st.integers(start + 1, stop - 1))
+    epoch = draw(st.integers(0, 10))
+    return ShardMap.from_bounds(shape, bounds, epoch=epoch), shard, at_row
+
+
+def cell_owner_table(shardmap):
+    """cell row → owning shard, for every row of axis 0."""
+    return tuple(
+        shardmap.shard_of((row,) + (0,) * (shardmap.ndim - 1))
+        for row in range(shardmap.shape[0])
+    )
+
+
+class TestSplitMergeRoundTrip:
+    @given(splittable_maps())
+    @settings(max_examples=120, deadline=None)
+    def test_split_then_merge_restores_identical_layout(self, case):
+        shardmap, shard, at_row = case
+        split = shardmap.split_shard(shard, at_row=at_row)
+        merged = split.merge_shards(shard)
+        assert merged.bounds == shardmap.bounds
+        assert merged.shape == shardmap.shape
+        # the round trip costs two epochs but changes no ownership
+        assert merged.epoch == shardmap.epoch + 2
+
+    @given(splittable_maps())
+    @settings(max_examples=120, deadline=None)
+    def test_round_trip_reproduces_cell_to_shard_mapping(self, case):
+        shardmap, shard, at_row = case
+        merged = shardmap.split_shard(shard, at_row=at_row).merge_shards(
+            shard
+        )
+        assert cell_owner_table(merged) == cell_owner_table(shardmap)
+
+    @given(splittable_maps())
+    @settings(max_examples=120, deadline=None)
+    def test_split_covers_rows_exactly_once(self, case):
+        shardmap, shard, at_row = case
+        split = shardmap.split_shard(shard, at_row=at_row)
+        assert split.num_shards == shardmap.num_shards + 1
+        assert split.epoch == shardmap.epoch + 1
+        owners = cell_owner_table(split)
+        # ownership is monotone non-decreasing and covers every shard
+        assert list(owners) == sorted(owners)
+        assert set(owners) == set(range(split.num_shards))
+        # cells outside the split shard keep their relative grouping:
+        # rows that shared a shard before still share one after
+        before = cell_owner_table(shardmap)
+        for row_a in range(len(before)):
+            for row_b in range(row_a + 1, len(before)):
+                if owners[row_a] == owners[row_b]:
+                    assert before[row_a] == before[row_b]
+
+
+@st.composite
+def maps_with_data(draw):
+    """A pre/post-split map pair plus an integer cube and query boxes."""
+    shardmap, shard, at_row = draw(splittable_maps())
+    shape = shardmap.shape
+    cells = int(np.prod(shape))
+    values = draw(
+        st.lists(
+            st.integers(-50, 50), min_size=cells, max_size=cells
+        )
+    )
+    array = np.asarray(values, dtype=np.float64).reshape(shape)
+    boxes = []
+    for _ in range(draw(st.integers(1, 4))):
+        low, high = [], []
+        for size in shape:
+            a = draw(st.integers(0, size - 1))
+            b = draw(st.integers(0, size - 1))
+            low.append(min(a, b))
+            high.append(max(a, b))
+        boxes.append((tuple(low), tuple(high)))
+    return shardmap, shard, at_row, array, boxes
+
+
+class TestCrossEpochExactness:
+    @given(maps_with_data())
+    @settings(max_examples=80, deadline=None)
+    def test_split_box_partials_sum_bit_for_bit(self, case):
+        """Per-shard partial sums re-assemble to the single-array oracle
+        exactly — under the old epoch, the new epoch, and any mixture.
+
+        Integer-valued float64 cells make every partial sum exact, so
+        ``==`` (not approx) is the right assertion: a row routed to the
+        wrong shard, dropped, or double-counted shifts the total by at
+        least 1."""
+        shardmap, shard, at_row, array, boxes = case
+        split_map = shardmap.split_shard(shard, at_row=at_row)
+        for low, high in boxes:
+            oracle = brute_range_sum(array, low, high)
+            for epoch_map in (shardmap, split_map):
+                pieces = epoch_map.split_box(low, high)
+                total = 0.0
+                seen = set()
+                for piece_shard, plo, phi in pieces:
+                    assert piece_shard not in seen
+                    seen.add(piece_shard)
+                    slab = epoch_map.subarray(array, piece_shard)
+                    total += brute_range_sum(slab, plo, phi)
+                assert total == oracle
+
+    @given(maps_with_data())
+    @settings(max_examples=80, deadline=None)
+    def test_split_updates_route_identically_across_epochs(self, case):
+        """Applying one update stream through the old layout and through
+        the post-split layout produces bit-identical cubes: localization
+        plus re-globalization is the identity under both epochs."""
+        shardmap, shard, at_row, array, boxes = case
+        split_map = shardmap.split_shard(shard, at_row=at_row)
+        updates = []
+        rng = np.random.default_rng(
+            int(np.abs(array).sum()) % (2**31) + at_row
+        )
+        for _ in range(12):
+            cell = tuple(
+                int(rng.integers(0, size)) for size in shardmap.shape
+            )
+            updates.append((cell, float(rng.integers(-9, 10))))
+        images = []
+        for epoch_map in (shardmap, split_map):
+            image = array.copy()
+            grouped = epoch_map.split_updates(updates)
+            for piece_shard, local_updates in grouped.items():
+                start, _ = epoch_map.slab(piece_shard)
+                for local_cell, delta in local_updates:
+                    global_cell = (local_cell[0] + start,) + local_cell[1:]
+                    image[global_cell] += delta
+            images.append(image)
+        assert np.array_equal(images[0], images[1])
+        # and the per-shard sub-groups preserve submission order
+        grouped = split_map.split_updates(updates)
+        for piece_shard, local_updates in grouped.items():
+            start, _ = split_map.slab(piece_shard)
+            rebuilt = [
+                ((cell[0] + start,) + cell[1:], delta)
+                for cell, delta in local_updates
+            ]
+            filtered = [
+                (cell, delta)
+                for cell, delta in updates
+                if split_map.shard_of(cell) == piece_shard
+            ]
+            assert rebuilt == filtered
+
+    @given(maps_with_data())
+    @settings(max_examples=60, deadline=None)
+    def test_slab_images_concatenate_to_the_cube(self, case):
+        shardmap, shard, at_row, array, boxes = case
+        for epoch_map in (shardmap, shardmap.split_shard(shard, at_row)):
+            image = np.concatenate(
+                [
+                    epoch_map.subarray(array, s)
+                    for s in range(epoch_map.num_shards)
+                ]
+            )
+            assert np.array_equal(image, array)

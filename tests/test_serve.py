@@ -554,3 +554,51 @@ class TestServePathFixes:
         finally:
             svc.flush(timeout=10)
             svc.close()
+
+
+class TestFloatDeltaGroups:
+    """Acked groups with float deltas must never be quarantined away.
+
+    An int64-seeded cube receiving integral float64 deltas (exactly what
+    WAL replay and cross-process clients produce) used to raise
+    ``UFuncTypeError`` inside the incremental apply path; supervision
+    then quarantined the group *after* it had been durably acked —
+    silent loss. Delta coercion in the method base class fixes this;
+    these tests pin the service-level contract.
+    """
+
+    def test_paced_float_delta_groups_apply_exactly(self):
+        rng = np.random.default_rng(7)
+        array = rng.integers(0, 50, size=SHAPE)
+        oracle = np.asarray(array, dtype=np.float64).copy()
+        with CubeService(
+            RelativePrefixSumCube, array, max_groups_per_cycle=1
+        ) as svc:
+            # one group per cycle forces the incremental apply path —
+            # the path that used to raise and quarantine
+            for _ in range(40):
+                group = []
+                for _ in range(3):
+                    cell = tuple(int(x) for x in rng.integers(0, 24, size=2))
+                    group.append((cell, float(int(rng.integers(-9, 10)) or 1)))
+                svc.submit_batch(group)
+                for cell, delta in group:
+                    oracle[cell] += delta
+            svc.flush()
+            assert svc.quarantined_groups() == ()
+            assert svc.stats()["groups_quarantined"] == 0
+            reconstructed, _ = svc.snapshot_array()
+            assert np.array_equal(
+                np.asarray(reconstructed, dtype=np.float64), oracle
+            )
+
+    def test_fractional_deltas_survive_via_promotion(self):
+        array = np.zeros((8, 8), dtype=np.int64)
+        with CubeService(
+            RelativePrefixSumCube, array, max_groups_per_cycle=1
+        ) as svc:
+            svc.submit_batch([((1, 1), 0.25)])
+            svc.submit_batch([((1, 1), 0.25)])
+            svc.flush()
+            assert svc.quarantined_groups() == ()
+            assert float(svc.cell_value((1, 1))) == pytest.approx(0.5)

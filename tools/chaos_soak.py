@@ -49,6 +49,20 @@ scrubber must detect and repair the divergence). Every answered query
 is checked against the oracle exactly; the round fails on any mismatch
 or on a scrub round that misses an injected divergence.
 
+``--mode reshard`` soaks live elastic resharding: each round drives a
+seeded cluster through a split or merge migration with update groups
+and exact oracle-checked reads injected **at every migration phase
+boundary** (plan, seed, tail_replay, dual_write, flip, verify, retire),
+while one of three faults fires — a coordinator crash at a chosen phase
+boundary, a migration-target node kill mid-dual-write, or none. A
+failed migration must roll back to the prior epoch with **zero
+acked-group loss** and the cluster must keep answering exactly; the
+retried migration must land on a strictly larger epoch. Rounds finish
+by killing a whole shard and verifying the degraded-read contract:
+``allow_estimate=True`` answers carry an explicit ``estimate=True``
+marker whose ``[low, high]`` interval contains the true acked sum,
+while exact-by-default still refuses.
+
 Every round is deterministic in ``(seed, round_index)``. On failure the
 round's WAL/checkpoint directory is preserved under ``--artifact-dir``
 (CI uploads it) together with a ``round.json`` describing the exact
@@ -511,6 +525,273 @@ def _run_router(rng, params, state_dir):
         service.close()
 
 
+RESHARD_SHAPES = [(16, 9), (18, 5), (12, 4, 3)]
+
+#: migration phases a coordinator crash can be injected at ("retire" is
+#: excluded: past retire the migration is already durable and complete)
+RESHARD_FAIL_PHASES = (
+    "plan", "seed", "tail_replay", "dual_write", "flip", "verify",
+)
+
+
+def _reshard_round_params(seed, round_index):
+    rng = np.random.default_rng([seed, round_index, 4000])
+    shape = RESHARD_SHAPES[int(rng.integers(len(RESHARD_SHAPES)))]
+    num_shards = int(rng.integers(2, 4))
+    fault = ("none", "crash", "kill-target")[round_index % 3]
+    return rng, {
+        "seed": seed,
+        "round": round_index,
+        "scenario": "reshard",
+        "shape": shape,
+        "num_shards": num_shards,
+        "replication_factor": 2,
+        "op": ("split", "merge")[int(rng.integers(2))],
+        "fault": fault,
+        "fail_phase": (
+            RESHARD_FAIL_PHASES[
+                int(rng.integers(len(RESHARD_FAIL_PHASES)))
+            ]
+            if fault == "crash"
+            else None
+        ),
+        "groups": int(rng.integers(6, 16)),
+        "queries": int(rng.integers(8, 16)),
+        "checkpoint_every": int(rng.integers(1, 8)),
+    }
+
+
+def _run_reshard(rng, params, state_dir):
+    """One live split/merge round: writes and exact reads at every
+    phase boundary, an optional injected failure with verified
+    rollback, then the degraded-read contract on a killed shard."""
+    from repro.cluster import ReshardError
+    from repro.errors import ClusterUnavailableError
+
+    shape = params["shape"]
+    cube = rng.integers(0, 50, shape).astype(np.int64)
+    oracle = cube.astype(np.float64)
+    plan = FaultPlan(seed=params["seed"])
+    cluster = CubeCluster(
+        RelativePrefixSumCube,
+        cube,
+        data_dir=state_dir,
+        num_shards=params["num_shards"],
+        replication_factor=params["replication_factor"],
+        checkpoint_every=params["checkpoint_every"],
+        fault_plan=plan,
+        breaker=BreakerPolicy(failure_threshold=2, cooldown_s=30.0),
+        seed=params["seed"],
+    )
+
+    def write_group():
+        # oracle absorbs exactly the acked groups: an unacked submit
+        # raises before the oracle update, so a lost acked group (or a
+        # double-applied one) shows up as a query mismatch
+        group = []
+        for _ in range(int(rng.integers(1, 5))):
+            cell = tuple(int(rng.integers(0, n)) for n in shape)
+            group.append((cell, float(rng.integers(-9, 10) or 1)))
+        cluster.submit_batch(group)
+        for cell, delta in group:
+            oracle[cell] += delta
+
+    def check_exact(count):
+        for _ in range(count):
+            low, high = [], []
+            for n in shape:
+                a, b = sorted(int(x) for x in rng.integers(0, n, size=2))
+                low.append(a)
+                high.append(b)
+            got = cluster.range_sum(tuple(low), tuple(high))
+            expect = _box_sum(oracle, low, high)
+            assert got == expect, (
+                f"stale/lossy answer at epoch {cluster.epoch}: "
+                f"box ({low}, {high}) got {got} expect {expect}"
+            )
+
+    phases_seen = []
+
+    def phase_hook(phase):
+        # a client write and an exact read land at the entry of every
+        # phase — the realistic interleaving an epoch fence must survive
+        phases_seen.append(phase)
+        write_group()
+        check_exact(2)
+        if (
+            params["fault"] == "kill-target"
+            and phase == "dual_write"
+            and not params.get("killed_target")
+        ):
+            # kill a whole target replica set: a single node loss could
+            # be absorbed by the target's own failover, but the dual
+            # write to a fully dead target must fail the migration
+            targets = cluster.migration_target_nodes()
+            prefixes = sorted(
+                {n.node_id.rsplit(".", 1)[0] for n in targets},
+                key=lambda p: int(p.rsplit("s", 1)[1]),
+            )
+            pick = int(rng.integers(len(prefixes)))
+            prefix = prefixes[pick]
+            victims = [
+                node.node_id
+                for node in targets
+                if node.node_id.startswith(prefix + ".")
+            ]
+            params["killed_target"] = victims
+            for node_id in victims:
+                plan.kill(node_id)
+            # then land a write inside the dead target's rows so the
+            # dual-write window observes the death (a group that never
+            # touches those rows cannot — and must not — fail it)
+            t_start, t_stop = cluster.stats()["migration"][
+                "target_bounds"
+            ][pick]
+            cell = (int(rng.integers(t_start, t_stop)),) + tuple(
+                int(rng.integers(0, n)) for n in shape[1:]
+            )
+            delta = float(rng.integers(1, 9))
+            cluster.submit_batch([(cell, delta)])
+            oracle[cell] += delta
+
+    def run_migration(expect_failure):
+        op = params["op"]
+        if op == "merge" and cluster.shardmap.num_shards < 2:
+            op = "split"
+        if op == "split":
+            widths = [
+                stop - start for start, stop in cluster.shardmap.bounds
+            ]
+            shard = int(np.argmax(widths))
+            action = lambda: cluster.split_shard(  # noqa: E731
+                shard, phase_hook=phase_hook
+            )
+        else:
+            shard = int(
+                rng.integers(cluster.shardmap.num_shards - 1)
+            )
+            action = lambda: cluster.merge_shards(  # noqa: E731
+                shard, phase_hook=phase_hook
+            )
+        if not expect_failure:
+            return action()
+        try:
+            action()
+        except ReshardError as error:
+            assert error.rolled_back, (
+                f"migration failed without rollback: {error}"
+            )
+            # only the injected fault may fail the migration: a crash
+            # round must die at its chosen phase, a kill-target round
+            # must have actually fired its kill first
+            if params["fault"] == "crash":
+                assert error.phase == params["fail_phase"], (
+                    f"failed at {error.phase!r}, fault was armed at "
+                    f"{params['fail_phase']!r}: {error}"
+                )
+            elif not params.get("killed_target"):
+                raise
+            return None
+        raise AssertionError(
+            f"injected {params['fault']} fault at "
+            f"{params['fail_phase'] or 'dual_write'} did not fail the "
+            f"migration"
+        )
+
+    try:
+        for _ in range(params["groups"] // 2):
+            write_group()
+        check_exact(params["queries"] // 2)
+        epoch_before = cluster.epoch
+        shards_before = cluster.shardmap.num_shards
+
+        if params["fault"] == "crash":
+            plan.reshard_fail_at = frozenset((params["fail_phase"],))
+        if params["fault"] != "none":
+            run_migration(expect_failure=True)
+            # rollback contract: prior epoch, prior layout, exact
+            # serving of every acked group (including phase-boundary
+            # writes acked during the failed migration)
+            assert cluster.epoch == epoch_before, (
+                f"rollback left epoch {cluster.epoch} != {epoch_before}"
+            )
+            assert cluster.shardmap.num_shards == shards_before
+            write_group()
+            check_exact(params["queries"] // 2)
+            plan.reshard_fail_at = frozenset()
+
+        summary = run_migration(expect_failure=False)
+        params["migration"] = {
+            k: summary[k]
+            for k in ("kind", "old_epoch", "new_epoch", "num_shards")
+        }
+        assert summary["new_epoch"] > epoch_before, (
+            f"epoch did not advance: {summary}"
+        )
+        assert summary["verify"]["mismatches"] == [], summary["verify"]
+        assert cluster.epoch == summary["new_epoch"]
+        write_group()
+        check_exact(params["queries"])
+
+        # -- degraded-read contract on a dead shard -----------------------
+        victim_shard = int(rng.integers(cluster.shardmap.num_shards))
+        params["killed_shard"] = victim_shard
+        for node in cluster.replica_sets[victim_shard].nodes:
+            plan.kill(node.node_id)
+        full_low = tuple(0 for _ in shape)
+        full_high = tuple(n - 1 for n in shape)
+        try:
+            cluster.range_sum(full_low, full_high)
+        except ClusterUnavailableError:
+            pass
+        else:
+            raise AssertionError(
+                "exact read over a dead shard did not refuse"
+            )
+        lows = [full_low]
+        highs = [full_high]
+        for _ in range(4):
+            low, high = [], []
+            for n in shape:
+                a, b = sorted(int(x) for x in rng.integers(0, n, size=2))
+                low.append(a)
+                high.append(b)
+            lows.append(tuple(low))
+            highs.append(tuple(high))
+        values, estimates = cluster.range_sum_many(
+            lows, highs, allow_estimate=True
+        )
+        marked = 0
+        for low, high, value, estimate in zip(
+            lows, highs, values, estimates
+        ):
+            expect = _box_sum(oracle, low, high)
+            if estimate is None:
+                assert value == expect, (
+                    f"undegraded slot inexact: {value} != {expect}"
+                )
+            else:
+                marked += 1
+                assert estimate.estimate is True, estimate
+                assert estimate.low <= expect <= estimate.high, (
+                    f"estimate interval [{estimate.low}, "
+                    f"{estimate.high}] misses truth {expect}"
+                )
+                assert estimate.epoch == cluster.epoch
+        assert marked >= 1, "full-cube read over a dead shard not marked"
+        params["degraded_answers"] = marked
+        params["phases_seen"] = phases_seen
+        params["metrics"] = {
+            k: cluster.stats()["metrics"][k]
+            for k in (
+                "reshards_started", "reshard_flips",
+                "reshard_rollbacks", "dual_writes", "degraded_reads",
+            )
+        }
+    finally:
+        cluster.close()
+
+
 NET_SHAPES = [(24,), (12, 10), (6, 5, 4)]
 
 
@@ -843,11 +1124,13 @@ def _run_net(rng, params, state_dir):
         service.close()
 
 
-def soak(seeds, time_budget, artifact_dir, mode="single"):
+def soak(seeds, time_budget, artifact_dir, mode="single", min_rounds=0):
     start = time.monotonic()
     rounds = 0
     round_index = 0
-    while time.monotonic() - start < time_budget:
+    while (
+        time.monotonic() - start < time_budget or rounds < min_rounds
+    ):
         for seed in seeds:
             if mode == "cluster":
                 rng, params = _cluster_round_params(seed, round_index)
@@ -858,6 +1141,9 @@ def soak(seeds, time_budget, artifact_dir, mode="single"):
             elif mode == "net":
                 rng, params = _net_round_params(seed, round_index)
                 scenario = _run_net
+            elif mode == "reshard":
+                rng, params = _reshard_round_params(seed, round_index)
+                scenario = _run_reshard
             else:
                 rng, params = _round_params(seed, round_index)
                 scenario = SCENARIOS[params["scenario"]]
@@ -895,15 +1181,21 @@ def main(argv=None):
                         default=Path("chaos-artifacts"),
                         help="failed rounds keep their WAL/checkpoint dir here")
     parser.add_argument("--mode",
-                        choices=("single", "cluster", "router", "net"),
+                        choices=("single", "cluster", "router", "net",
+                                 "reshard"),
                         default="single",
                         help="single-service crash rounds (default), "
                         "replicated-cluster kill/partition/heal rounds, "
-                        "query-router stale-read/build-failure rounds, or "
-                        "socket-level serving-tier rounds")
+                        "query-router stale-read/build-failure rounds, "
+                        "socket-level serving-tier rounds, or live "
+                        "split/merge reshard rounds with injected "
+                        "migration failures and degraded-read checks")
+    parser.add_argument("--min-rounds", type=int, default=0,
+                        help="keep starting rounds until at least this "
+                        "many completed, even past the time budget")
     args = parser.parse_args(argv)
     return soak(args.seeds, args.time_budget, args.artifact_dir,
-                mode=args.mode)
+                mode=args.mode, min_rounds=args.min_rounds)
 
 
 if __name__ == "__main__":
