@@ -72,6 +72,19 @@ from repro.errors import (
 )
 from repro.extensions import HierarchicalRPSCube
 from repro.faults import FaultPlan, InjectedFault
+from repro.ingest import (
+    CheckpointStore,
+    ClusterTarget,
+    ColumnarSource,
+    CSVSource,
+    DeadLetterFile,
+    IngestPipeline,
+    IngestReport,
+    MemorySource,
+    RollingCubeService,
+    RollingServiceTarget,
+    ServiceTarget,
+)
 from repro.persistence import (
     load_engine,
     load_method,
@@ -117,7 +130,11 @@ __all__ = [
     "CalendarHierarchy",
     "BoxAlignedLayout",
     "CategoricalEncoder",
+    "CheckpointStore",
+    "ClusterTarget",
     "ClusterUnavailableError",
+    "ColumnarSource",
+    "CSVSource",
     "CubeClient",
     "CubeCluster",
     "CubeSchema",
@@ -127,6 +144,7 @@ __all__ = [
     "DeadlineExceededError",
     "DataCubeEngine",
     "DateEncoder",
+    "DeadLetterFile",
     "Dimension",
     "DurabilityPolicy",
     "FactTable",
@@ -137,9 +155,12 @@ __all__ = [
     "InjectedFault",
     "HierarchicalRPSCube",
     "IdentityEncoder",
+    "IngestPipeline",
+    "IngestReport",
     "IntegerEncoder",
     "InvertibleOperator",
     "LatencyRecorder",
+    "MemorySource",
     "MultiMeasureEngine",
     "NaiveCube",
     "NetMetrics",
@@ -152,11 +173,14 @@ __all__ = [
     "RelativePrefixSumCube",
     "ReproError",
     "ResultCache",
+    "RollingCubeService",
+    "RollingServiceTarget",
     "RollupBuilder",
     "RollupCube",
     "RoutedBatch",
     "RouterMetrics",
     "ServiceClosedError",
+    "ServiceTarget",
     "ShardMap",
     "Tenant",
     "ServiceMetrics",

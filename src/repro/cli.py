@@ -16,6 +16,11 @@ Subcommands:
 * ``serve`` — stand up the TCP serving tier (``repro.net``) in front of
   a cube service, optionally routed (``--router``) and tenant-gated
   (``--tenant name=token[:rate[:burst]]``), until interrupted.
+* ``ingest`` — stream a CSV fact file into a durable cube service
+  under exactly-once semantics: re-running the same command after a
+  crash (or ``^C``) resumes from the last fenced checkpoint, poison
+  rows land in the state dir's dead-letter file, and the final JSON
+  report counts every row exactly once.
 
 ``run``/``all`` accept ``--csv DIR`` to also write each table as
 ``DIR/<id>.csv``.
@@ -384,6 +389,82 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_ingest(args) -> int:
+    import json
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.cube.encoders import IntegerEncoder
+    from repro.cube.schema import CubeSchema, Dimension
+    from repro.errors import IngestError
+    from repro.ingest import (
+        CSVSource,
+        IngestPipeline,
+        RollingCubeService,
+        RollingServiceTarget,
+        ServiceTarget,
+    )
+    from repro.serve import CubeService, DurabilityPolicy
+
+    dims = []
+    for spec in args.dim:
+        try:
+            name, lo, hi = spec.split(":")
+            dims.append(Dimension(name, IntegerEncoder(int(lo), int(hi))))
+        except ValueError:
+            raise IngestError(
+                f"bad --dim {spec!r}; expected name:lo:hi (e.g. x:0:15)"
+            ) from None
+    if not dims:
+        raise IngestError("at least one --dim name:lo:hi is required")
+    schema = CubeSchema(dims, args.measure)
+    shape = tuple(d.size for d in dims)
+    if args.time_column:
+        shape = (args.window,) + shape
+
+    state = Path(args.state)
+    state.mkdir(parents=True, exist_ok=True)
+    existing = sorted(state.glob("wal-*.seg")) or sorted(
+        state.glob("ckpt-*.npz")
+    )
+    if existing:
+        service = CubeService.recover(state, RelativePrefixSumCube)
+        print(f"recovered durable state from {state}")
+    else:
+        service = CubeService(
+            RelativePrefixSumCube,
+            np.zeros(shape),
+            durability=DurabilityPolicy(dir=state),
+        )
+        print(f"created durable state in {state}")
+
+    converters = {d.name: int for d in dims}
+    converters[args.measure] = float
+    if args.time_column:
+        converters[args.time_column] = int
+        target = RollingServiceTarget(RollingCubeService(service))
+    else:
+        target = ServiceTarget(service)
+    try:
+        with IngestPipeline(
+            CSVSource(args.file, converters=converters),
+            schema,
+            target,
+            checkpoint_path=state / "ingest-checkpoint.json",
+            deadletter_path=state / "ingest-deadletter.log",
+            time_column=args.time_column,
+            measure_dtype=np.float64,
+            group_rows=args.group_rows,
+        ) as pipeline:
+            report = pipeline.run()
+        service.flush()
+    finally:
+        service.close()
+    print(json.dumps(dict(report), indent=2, default=str))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro-bench argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -560,6 +641,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve this many seconds then exit (default: until ^C)",
     )
     serve_parser.set_defaults(func=_cmd_serve)
+
+    ingest_parser = sub.add_parser(
+        "ingest",
+        help="stream a CSV fact file into a durable cube service with "
+             "exactly-once resume",
+    )
+    ingest_parser.add_argument("file", help="CSV file with a header row")
+    ingest_parser.add_argument(
+        "--state", required=True, metavar="DIR",
+        help="durable state directory (WAL, checkpoints, ingest "
+             "checkpoint, dead-letter file); re-running against the "
+             "same dir resumes where the last run stopped",
+    )
+    ingest_parser.add_argument(
+        "--dim", action="append", default=[], metavar="NAME:LO:HI",
+        help="dimension column and its integer domain; repeatable, "
+             "order fixes the cube axes (e.g. --dim age:0:99)",
+    )
+    ingest_parser.add_argument(
+        "--measure", default="sales",
+        help="measure column name (default sales)",
+    )
+    ingest_parser.add_argument(
+        "--time-column", default=None, metavar="NAME",
+        help="integer time-slot column; enables a rolling window cube "
+             "with a leading time axis",
+    )
+    ingest_parser.add_argument(
+        "--window", type=int, default=7,
+        help="rolling window size in slots for --time-column (default 7)",
+    )
+    ingest_parser.add_argument(
+        "--group-rows", type=int, default=4096,
+        help="initial source rows per submitted group (default 4096)",
+    )
+    ingest_parser.set_defaults(func=_cmd_ingest)
     return parser
 
 

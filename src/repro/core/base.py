@@ -68,6 +68,16 @@ class RangeSumMethod(abc.ABC):
     def _build(self, array: np.ndarray) -> None:
         """Build internal structures from the dense source array."""
 
+    @property
+    def dtype(self) -> np.dtype:
+        """The cube's current storage dtype.
+
+        Integer-seeded cubes report the integer accumulation dtype they
+        sum in; a :meth:`coerce_deltas` promotion (a fractional delta on
+        an integer cube) widens this in place.
+        """
+        return self._dtype
+
     # -- queries ------------------------------------------------------------
 
     @abc.abstractmethod

@@ -101,8 +101,19 @@ class DataCubeEngine:
         requirement is about: with the RPS backend it touches
         ``O(n^{d/2})`` cells instead of the prefix-sum method's
         ``O(n^d)``.
+
+        The measure is validated against the backend's dtype *here*,
+        at ingest time (:func:`~repro.cube.fact_table.validate_measure`
+        applies the same promotion rules as ``coerce_deltas``), so a
+        bad measure fails with a clear :class:`~repro.errors.SchemaError`
+        naming the record instead of a dtype error deep in the apply
+        cascade. Fractional measures on integer cubes remain legal —
+        the backend promotes itself, as PR 8's coercion guarantees.
         """
+        from repro.cube.fact_table import validate_measure
+
         coords, measure = self.schema.encode_record(record)
+        validate_measure(measure, self.backend.dtype)
         self._aggregates.record(coords, measure)
 
     def ingest_many(self, records: Iterable[Mapping]) -> int:

@@ -10,9 +10,78 @@ ingesting from as "new information arrives on a daily basis".
 from __future__ import annotations
 
 import csv
-from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional
+import math
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+import numpy as np
 
 from repro.errors import SchemaError
+
+
+def validate_measure(value, dtype=None, *, allow_promotion: bool = True):
+    """Check one measure value against a cube's dtype at *ingest* time.
+
+    The apply path already survives dtype mismatches — PR 8's
+    :meth:`~repro.core.base.RangeSumMethod.coerce_deltas` casts
+    integral floats down losslessly and promotes the whole cube for
+    genuinely fractional deltas — but surviving deep inside the writer
+    is the wrong place to discover a bad measure. This helper applies
+    the *same* promotion rules up front, where the row can still be
+    rejected (or quarantined) individually:
+
+    * non-numeric measures (strings, ``None``, booleans — ``True``
+      silently summing as 1 is a classic fact-table bug) raise
+      :class:`~repro.errors.SchemaError`;
+    * non-finite measures (NaN/inf poison every range sum they touch,
+      unrecoverably) raise :class:`~repro.errors.SchemaError`;
+    * with ``dtype`` given: values ``coerce_deltas`` would cast
+      losslessly pass; values that would force a cube *promotion* (a
+      fractional measure into an integer cube — an O(n^d) rebuild when
+      it reaches the apply path) pass only when ``allow_promotion`` is
+      true. Interactive engines keep the default and let the cube
+      widen; the streaming pipeline sets it false so one poison row
+      cannot stall the firehose behind a full rebuild.
+
+    Returns the measure as a float.
+    """
+    if isinstance(value, (bool, np.bool_)):
+        raise SchemaError(
+            f"boolean measure {value!r}: refusing to sum True as 1 — "
+            f"encode intent explicitly"
+        )
+    if not isinstance(value, (int, float, np.integer, np.floating)):
+        raise SchemaError(
+            f"measure must be numeric, got {type(value).__name__} "
+            f"({value!r})"
+        )
+    as_float = float(value)
+    if not math.isfinite(as_float):
+        raise SchemaError(
+            f"non-finite measure {value!r} would poison every range "
+            f"sum it touches"
+        )
+    if dtype is not None:
+        dtype = np.dtype(dtype)
+        arr = np.asarray(value)
+        if not np.can_cast(arr.dtype, dtype, casting="same_kind"):
+            # the coerce_deltas lossless-cast check, one value at a time
+            with np.errstate(invalid="ignore", over="ignore"):
+                cast = arr.astype(dtype)
+            if not np.array_equal(cast, arr) and not allow_promotion:
+                raise SchemaError(
+                    f"measure {value!r} is not representable in the "
+                    f"cube's {dtype} without promoting the whole cube"
+                )
+    return as_float
 
 
 class FactTable:
@@ -50,6 +119,35 @@ class FactTable:
         for record in self._records:
             names.update(record)
         return sorted(names)
+
+    def validate(
+        self,
+        schema,
+        dtype=None,
+        *,
+        allow_promotion: bool = True,
+    ) -> List[Tuple[int, str]]:
+        """Audit every record against a schema and a cube dtype.
+
+        Returns ``(row index, reason)`` for each record that would fail
+        ingestion — missing dimensions or measure, values outside an
+        encoder's domain, or a measure the cube's ``dtype`` cannot hold
+        (see :func:`validate_measure`). An empty list means a bulk
+        ingest of this table cannot hit a dtype surprise deep in the
+        apply path.
+        """
+        from repro.errors import EncodingError
+
+        problems: List[Tuple[int, str]] = []
+        for i, record in enumerate(self._records):
+            try:
+                _, measure = schema.encode_record(record)
+                validate_measure(
+                    measure, dtype, allow_promotion=allow_promotion
+                )
+            except (SchemaError, EncodingError) as error:
+                problems.append((i, str(error)))
+        return problems
 
     # -- I/O ------------------------------------------------------------------
 

@@ -92,12 +92,19 @@ class RollingWindowEngine:
         return self.newest_slot
 
     def _zero_physical_slice(self, physical: int) -> None:
-        updates: List[Tuple[Tuple[int, ...], float]] = []
-        for rest in np.ndindex(*self.slot_shape):
-            cell = (physical,) + rest
-            value = self._method.cell_value(cell)
-            if value:
-                updates.append((cell, -float(value)))
+        # read the slab in one reconstruction pass instead of a
+        # cell_value per cell: one prefix-sum-shaped O(slab) numpy
+        # slice, then deltas only for the nonzero cells
+        slab = np.asarray(self._method.to_array()[physical])
+        nonzero = np.nonzero(slab)
+        if nonzero[0].size == 0:
+            return
+        cells = np.column_stack(nonzero)
+        updates: List[Tuple[Tuple[int, ...], float]] = [
+            ((physical,) + tuple(int(c) for c in cell),
+             -float(slab[tuple(cell)]))
+            for cell in cells
+        ]
         if updates:
             self._method.apply_batch(updates)
 

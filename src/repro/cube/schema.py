@@ -85,7 +85,13 @@ class CubeSchema:
 
         The record must contain every dimension and the measure; extra keys
         are ignored (fact tables often carry attributes the cube drops).
+        The measure must be a finite number — a string, ``None``,
+        boolean, or NaN measure raises :class:`~repro.errors.SchemaError`
+        here, at the encoding boundary, rather than poisoning an
+        aggregate deep inside the apply path.
         """
+        from repro.cube.fact_table import validate_measure
+
         coords = []
         for dim in self.dimensions:
             if dim.name not in record:
@@ -97,7 +103,9 @@ class CubeSchema:
             raise SchemaError(
                 f"record missing measure {self.measure!r}: {dict(record)!r}"
             )
-        return tuple(coords), record[self.measure]
+        measure = record[self.measure]
+        validate_measure(measure)
+        return tuple(coords), measure
 
     def encode_selection(
         self, selection: Mapping[str, Tuple]

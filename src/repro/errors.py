@@ -138,3 +138,29 @@ class ReshardError(ClusterError):
         super().__init__(message)
         self.phase = str(phase)
         self.rolled_back = bool(rolled_back)
+
+
+class IngestError(ReproError):
+    """Base class for errors raised by the :mod:`repro.ingest` layer."""
+
+
+class FenceError(IngestError):
+    """An ingest resume could not decide whether an in-flight group
+    committed.
+
+    Raised when the durable checkpoint's fence no longer matches the
+    target — e.g. the shard-map epoch changed underneath a partially
+    acked cross-shard group — so neither skipping nor resubmitting the
+    group can be proven safe. Exactly-once beats availability here: the
+    pipeline stops instead of guessing.
+    """
+
+
+class DeadLetterCorruptionError(StorageError):
+    """A dead-letter file failed its per-entry CRC away from the tail.
+
+    A torn final entry is the expected image of a crash mid-append and
+    is repaired silently; a bad checksum anywhere *else* means the file
+    was damaged after the fact, and the quarantine record can no longer
+    be trusted.
+    """

@@ -103,6 +103,14 @@ class FaultPlan:
             ``"verify"``, ``"retire"``) at whose *entry* the reshard
             coordinator raises :class:`InjectedFault` — a coordinator
             crash at that exact phase boundary. Each phase fires once.
+        ingest_crash_at: mapping ``stage name -> 1-based ordinal``; the
+            ingest coordinator (:mod:`repro.ingest`) consults
+            :meth:`on_ingest_stage` at every pipeline stage boundary
+            (``"chunk"``, ``"encode"``, ``"deadletter"``, ``"intent"``,
+            ``"submit"``, ``"checkpoint"``, ``"roll"``) and the plan
+            raises :class:`InjectedFault` the n-th time that stage is
+            reached — a coordinator crash at that exact boundary. Each
+            scheduled stage fires once.
 
     Partitions are *stateful*, not scheduled: a chaos driver calls
     :meth:`partition` / :meth:`heal` around the window it wants, and
@@ -130,6 +138,7 @@ class FaultPlan:
         read_latency_seconds: float = 0.0,
         kill_node_at: Optional[Dict[str, int]] = None,
         reshard_fail_at: Optional[Sequence[str]] = None,
+        ingest_crash_at: Optional[Dict[str, int]] = None,
     ) -> None:
         if not 0.0 <= float(torn_fraction) <= 1.0:
             raise ValueError(
@@ -167,6 +176,16 @@ class FaultPlan:
         self.reshard_fail_at = frozenset(
             str(phase) for phase in (reshard_fail_at or ())
         )
+        self.ingest_crash_at = {
+            str(stage): int(ordinal)
+            for stage, ordinal in (ingest_crash_at or {}).items()
+        }
+        for stage, ordinal in self.ingest_crash_at.items():
+            if ordinal < 1:
+                raise ValueError(
+                    f"ingest_crash_at ordinals are 1-based, got {ordinal} "
+                    f"for stage {stage!r}"
+                )
         self._rng = np.random.default_rng(self.seed)
         self._lock = threading.Lock()
         self._ordinals: Dict[str, int] = {}
@@ -174,6 +193,7 @@ class FaultPlan:
         self._partitioned: set = set()
         self._killed: set = set()
         self._reshard_fired: set = set()
+        self._ingest_fired: set = set()
 
     # -- bookkeeping ---------------------------------------------------------
 
@@ -384,6 +404,30 @@ class FaultPlan:
                     f"injected reshard failure entering phase {phase!r}"
                 )
 
+    def on_ingest_stage(self, stage: str) -> None:
+        """Consult at one ingest pipeline stage boundary.
+
+        Raises :class:`InjectedFault` (once per scheduled stage) when
+        the stage's ordinal matches the plan — the ingest crash-matrix's
+        way of proving that a coordinator death at any boundary resumes
+        to the exact same cube with no lost or double-applied rows.
+        """
+        stage = str(stage)
+        with self._lock:
+            n = self._tick(f"ingest.{stage}")
+            crash_at = self.ingest_crash_at.get(stage)
+            if (
+                crash_at is not None
+                and n >= crash_at
+                and stage not in self._ingest_fired
+            ):
+                self._ingest_fired.add(stage)
+                self._count("ingest_stage_crashes")
+                raise InjectedFault(
+                    f"injected ingest coordinator crash at stage "
+                    f"{stage!r} #{n}"
+                )
+
     def _latency(self, kind: str) -> float:
         """Latency contribution for the site whose ordinal just ticked.
 
@@ -417,4 +461,6 @@ class FaultPlan:
             parts.append(f"kill_node_at={self.kill_node_at}")
         if self.reshard_fail_at:
             parts.append(f"reshard_fail_at={sorted(self.reshard_fail_at)}")
+        if self.ingest_crash_at:
+            parts.append(f"ingest_crash_at={self.ingest_crash_at}")
         return f"FaultPlan({', '.join(parts)})"

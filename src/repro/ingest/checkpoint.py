@@ -1,0 +1,109 @@
+"""The durable source-offset checkpoint and its commit fence.
+
+One small JSON file is the whole of the pipeline's crash state. It
+holds, at every instant, either
+
+* a **committed** position — ``{"offset": k}``: every source row below
+  ``k`` is fully accounted for (applied to the target or quarantined),
+  nothing at or above ``k`` has been submitted — or
+* an **intent** — the committed position *plus* ``"pending"``
+  describing the one group in flight: the half-open row range
+  ``[start, end)`` it covers and the target sequence number(s) it will
+  commit at (``expect``), captured immediately before the submit.
+
+The write protocol per group is::
+
+    quarantine rows of the group, fsync the dead-letter file
+    save {"offset": start, "pending": {start, end, expect}}   # intent
+    target.submit(group)            # durable at the target when it acks
+    save {"offset": end}                                      # commit
+
+A crash can interleave anywhere; the resume path reloads the file and,
+when an intent is present, asks the *recovered target* whether the
+expected sequence committed (:meth:`repro.ingest.targets.ServiceTarget.
+committed`). The target's own WAL is the arbiter — the acked sequence
+either survived recovery or it did not — so the pipeline replays the
+group exactly when it is missing and skips it exactly when it is not.
+This is the fence that turns at-least-once retry into exactly-once.
+
+The file itself is written with the repo's usual crash discipline:
+canonical JSON + embedded crc32c, written to a temp file, fsynced,
+``os.replace``-d over the old one, directory fsynced. A torn or
+corrupt checkpoint therefore cannot exist; the old state simply
+survives.
+
+The fence assumes the pipeline is the only writer advancing the
+target's sequence domain between the intent and the resume (the
+single-logical-writer rule every transactional producer has). Reader
+traffic is unrestricted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+from repro.errors import IngestError
+from repro.serve.wal import crc32c
+
+
+class CheckpointStore:
+    """Atomic load/save of the pipeline's checkpoint state."""
+
+    def __init__(self, path) -> None:
+        self.path = path
+
+    def load(self) -> Optional[Dict]:
+        """The last durably saved state, or ``None`` for a fresh run.
+
+        Raises :class:`~repro.errors.IngestError` when the file exists
+        but fails its checksum — a checkpoint that cannot be trusted
+        must stop the pipeline, not silently restart it from zero (that
+        would double-apply everything after the real offset).
+        """
+        try:
+            with open(self.path, "rb") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
+            return None
+        try:
+            wrapper = json.loads(raw.decode("utf-8"))
+            payload = json.dumps(
+                wrapper["state"], sort_keys=True, separators=(",", ":")
+            ).encode("utf-8")
+            if crc32c(payload) != int(wrapper["crc"]):
+                raise ValueError("checksum mismatch")
+            state = wrapper["state"]
+        except (ValueError, KeyError, TypeError) as error:
+            raise IngestError(
+                f"{self.path!s}: corrupt ingest checkpoint ({error}); "
+                f"refusing to guess a resume offset"
+            ) from error
+        return state
+
+    def save(self, state: Dict) -> None:
+        """Durably replace the checkpoint (atomic, all-or-nothing)."""
+        payload = json.dumps(
+            state, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        wrapper = json.dumps(
+            {"crc": crc32c(payload), "state": state},
+            sort_keys=True, separators=(",", ":"),
+        ).encode("utf-8")
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(wrapper)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        dirfd = os.open(
+            os.path.dirname(os.path.abspath(self.path)), os.O_RDONLY
+        )
+        try:
+            os.fsync(dirfd)
+        finally:
+            os.close(dirfd)
+
+    def __repr__(self) -> str:
+        return f"CheckpointStore({self.path!s})"

@@ -1,0 +1,373 @@
+"""Target adapters: one submit/fence contract over service and cluster.
+
+The pipeline speaks one small protocol and these adapters implement it
+for each backend:
+
+``admit(coords)``
+    Whether a cell is currently writable (the rolling target rejects
+    expired time slots — those rows quarantine instead of poisoning a
+    group).
+``prepare(pairs)``
+    Pre-submit work that must precede the durable intent (the rolling
+    target advances the window here; idempotent on replay).
+``expect(pairs)``
+    The commit marker the next submitted group will reach, captured
+    into the intent *before* the submit.
+``submit(pairs)``
+    One atomic group (per shard, for the cluster), durably acked when
+    it returns. :class:`~repro.errors.ServiceOverloadedError` escapes
+    to the pipeline's backpressure loop; node failures are absorbed by
+    failover/retry here.
+``committed(expect)``
+    The fence: after a coordinator crash, did the in-flight group
+    commit? ``"all"``, ``"none"``, or ``"partial"`` (cluster only — a
+    cross-shard group is atomic per shard, and the resume resubmits
+    exactly the missing shards' sub-updates via
+    ``resubmit_missing``).
+``state()`` / ``restore(state)``
+    Adapter state persisted alongside the committed offset (the
+    rolling target's ``newest_slot``).
+
+The fence compares recorded expectations against the target's acked
+sequence numbers, which is sound while the pipeline is the only writer
+advancing those sequences between intent and resume — the standard
+single-logical-writer rule; concurrent readers are unrestricted.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    ClusterUnavailableError,
+    FenceError,
+    IngestError,
+)
+
+Pair = Tuple[Tuple[int, ...], float]
+
+
+class ServiceTarget:
+    """Adapter over one :class:`~repro.serve.CubeService`."""
+
+    kind = "service"
+
+    def __init__(self, service) -> None:
+        self.service = service
+
+    # -- protocol ------------------------------------------------------------
+
+    def admit(self, coords) -> Tuple[bool, str]:
+        return True, ""
+
+    def prepare(
+        self, pairs: Sequence[Pair], *, timeout: Optional[float] = None
+    ) -> None:
+        pass
+
+    def expect(self, pairs: Sequence[Pair]) -> Dict:
+        return {"kind": self.kind, "seq": self.service.last_submitted_seq + 1}
+
+    def submit(
+        self, pairs: Sequence[Pair], *, timeout: Optional[float] = None
+    ) -> Dict:
+        seq = self.service.submit_batch(pairs, timeout=timeout)
+        return {"seq": seq}
+
+    def submit_fenced(
+        self,
+        pairs: Sequence[Pair],
+        expect: Dict,
+        *,
+        timeout: Optional[float] = None,
+    ) -> Dict:
+        """Submit under the intent just persisted, verifying the group
+        landed at the fenced sequence (a mismatch means another writer
+        shares the sequence domain and the exactly-once fence is void —
+        fail loud, the checkpoint can no longer be trusted)."""
+        ack = self.submit(pairs, timeout=timeout)
+        if int(ack["seq"]) != int(expect["seq"]):
+            raise FenceError(
+                f"group committed at seq {ack['seq']} but the intent "
+                f"was fenced to {expect['seq']}; another writer is "
+                f"advancing this target's sequence domain"
+            )
+        return ack
+
+    def committed(self, expect: Dict) -> str:
+        if expect.get("kind") != self.kind:
+            raise FenceError(
+                f"checkpoint intent was fenced to a {expect.get('kind')!r} "
+                f"target, resuming against {self.kind!r}"
+            )
+        done = self.service.last_submitted_seq >= int(expect["seq"])
+        return "all" if done else "none"
+
+    def resubmit_missing(
+        self,
+        pairs: Sequence[Pair],
+        expect: Dict,
+        *,
+        timeout: Optional[float] = None,
+    ) -> None:
+        raise IngestError(
+            "a single-service group commits atomically; there is no "
+            "partial state to resubmit"
+        )
+
+    def state(self) -> Dict:
+        return {}
+
+    def restore(self, state: Dict) -> None:
+        pass
+
+    def queue_depth(self) -> int:
+        return int(self.service.stats()["queue_depth"])
+
+    def flush(self, timeout: Optional[float] = None) -> None:
+        self.service.flush(timeout=timeout)
+
+
+class RollingServiceTarget(ServiceTarget):
+    """Adapter over a :class:`~repro.ingest.rolling.RollingCubeService`.
+
+    Pairs carry *logical* leading time slots. ``prepare`` advances the
+    window to the group's top slot before the intent is written, so the
+    expected sequence number captured after it accounts for any slab
+    zeroing groups; ``admit`` rejects slots the advance just expired
+    (late arrivals quarantine as ``expired_slot``); ``state`` persists
+    ``newest_slot`` so a resumed coordinator reopens the window where
+    the checkpoint left it.
+    """
+
+    kind = "rolling"
+
+    def __init__(self, roller) -> None:
+        super().__init__(roller.service)
+        self.roller = roller
+
+    def admit(self, coords) -> Tuple[bool, str]:
+        slot = int(coords[0])
+        if slot < self.roller.oldest_slot:
+            return False, "expired_slot"
+        return True, ""
+
+    def prepare(
+        self, pairs: Sequence[Pair], *, timeout: Optional[float] = None
+    ) -> None:
+        top = max(int(coords[0]) for coords, _ in pairs)
+        if top > self.roller.newest_slot:
+            self.roller.advance(
+                top - self.roller.newest_slot, timeout=timeout
+            )
+
+    def submit(
+        self, pairs: Sequence[Pair], *, timeout: Optional[float] = None
+    ) -> Dict:
+        seq = self.roller.submit_slot_batch(pairs, timeout=timeout)
+        return {"seq": seq}
+
+    def state(self) -> Dict:
+        return {"newest_slot": self.roller.newest_slot}
+
+    def restore(self, state: Dict) -> None:
+        if "newest_slot" in state:
+            self.roller.newest_slot = max(
+                self.roller.newest_slot, int(state["newest_slot"])
+            )
+
+    def flush(self, timeout: Optional[float] = None) -> None:
+        self.roller.flush(timeout=timeout)
+
+
+class ClusterTarget:
+    """Adapter over a :class:`~repro.cluster.CubeCluster`.
+
+    A cross-shard group is atomic per shard, not globally, so the fence
+    is per shard: the intent records each touched shard's expected
+    sequence, and a crash between shards resumes by resubmitting
+    exactly the shards whose expectation is still unmet. Primary
+    failures inside a shard are absorbed by the replica set's inline
+    failover; a shard left wholly unavailable is retried here with
+    backoff until ``retries`` is exhausted.
+    """
+
+    kind = "cluster"
+
+    def __init__(
+        self,
+        cluster,
+        *,
+        retries: int = 6,
+        retry_backoff: float = 0.05,
+    ) -> None:
+        self.cluster = cluster
+        self.retries = int(retries)
+        self.retry_backoff = float(retry_backoff)
+
+    # -- protocol ------------------------------------------------------------
+
+    def admit(self, coords) -> Tuple[bool, str]:
+        return True, ""
+
+    def prepare(
+        self, pairs: Sequence[Pair], *, timeout: Optional[float] = None
+    ) -> None:
+        pass
+
+    def _acked_by_shard(self) -> Dict[int, int]:
+        return {
+            rs.shard_id: rs.last_acked
+            for rs in self.cluster.replica_sets
+        }
+
+    def _shards_of(self, pairs: Sequence[Pair]) -> Dict[int, List[Pair]]:
+        """Group pairs by owning shard, keeping GLOBAL coordinates
+        (``split_updates`` localizes them, which only the cluster's own
+        submit path may do — resubmitting localized cells as global
+        ones would route them to the wrong shard entirely)."""
+        grouped: Dict[int, List[Pair]] = {}
+        for cell, delta in pairs:
+            shard = self.cluster.shardmap.shard_of(cell)
+            grouped.setdefault(shard, []).append((cell, delta))
+        return grouped
+
+    def expect(self, pairs: Sequence[Pair]) -> Dict:
+        acked = self._acked_by_shard()
+        return {
+            "kind": self.kind,
+            "epoch": int(self.cluster.epoch),
+            # JSON round-trips dict keys as strings; store them that way
+            "shards": {
+                str(shard): int(acked[shard]) + 1
+                for shard in self._shards_of(pairs)
+            },
+        }
+
+    def _submit_with_retry(
+        self, pairs: Sequence[Pair], expect: Dict,
+        *, timeout: Optional[float] = None,
+    ) -> Dict:
+        """Drive ``pairs`` until every touched shard meets its
+        expectation, resubmitting only still-missing shards."""
+        remaining = list(pairs)
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.retries + 1):
+            if not remaining:
+                break
+            try:
+                self.cluster.submit_batch(remaining, timeout=timeout)
+                remaining = []
+                break
+            except ClusterUnavailableError as error:
+                last_error = error
+                remaining = self._missing_pairs(remaining, expect)
+                if not remaining:
+                    break
+                time.sleep(self.retry_backoff * (2 ** attempt))
+        if remaining:
+            raise ClusterUnavailableError(
+                f"ingest group could not reach "
+                f"{len(remaining)} cells after "
+                f"{self.retries + 1} attempts: {last_error}"
+            ) from last_error
+        return {"shards": {
+            shard: seq for shard, seq in self._acked_by_shard().items()
+        }}
+
+    def _missing_pairs(
+        self, pairs: Sequence[Pair], expect: Dict
+    ) -> List[Pair]:
+        """The sub-updates routed to shards whose fence is unmet."""
+        acked = self._acked_by_shard()
+        grouped = self._shards_of(pairs)
+        missing: List[Pair] = []
+        for shard, sub in grouped.items():
+            seq = expect["shards"].get(str(shard))
+            if seq is None:
+                # the group's routing changed under us — impossible
+                # within one epoch, so fail loud rather than guess
+                raise FenceError(
+                    f"shard {shard} appeared in routing but not in the "
+                    f"fenced intent (epoch changed mid-group?)"
+                )
+            if acked.get(shard, 0) < int(seq):
+                missing.extend(sub)
+        return missing
+
+    def submit(
+        self, pairs: Sequence[Pair], *, timeout: Optional[float] = None
+    ) -> Dict:
+        return self._submit_with_retry(
+            pairs, self.expect(pairs), timeout=timeout
+        )
+
+    def submit_fenced(
+        self,
+        pairs: Sequence[Pair],
+        expect: Dict,
+        *,
+        timeout: Optional[float] = None,
+    ) -> Dict:
+        """Submit under an intent captured earlier (the pipeline's hot
+        path: the same ``expect`` it just persisted)."""
+        self._check_epoch(expect)
+        return self._submit_with_retry(pairs, expect, timeout=timeout)
+
+    def _check_epoch(self, expect: Dict) -> None:
+        if int(expect.get("epoch", -1)) != int(self.cluster.epoch):
+            raise FenceError(
+                f"intent was fenced under shard-map epoch "
+                f"{expect.get('epoch')}, cluster is now at epoch "
+                f"{self.cluster.epoch}; per-shard sequence numbers are "
+                f"not comparable across reshards"
+            )
+
+    def committed(self, expect: Dict) -> str:
+        if expect.get("kind") != self.kind:
+            raise FenceError(
+                f"checkpoint intent was fenced to a {expect.get('kind')!r} "
+                f"target, resuming against {self.kind!r}"
+            )
+        self._check_epoch(expect)
+        acked = self._acked_by_shard()
+        met = [
+            acked.get(int(shard), 0) >= int(seq)
+            for shard, seq in expect["shards"].items()
+        ]
+        if all(met):
+            return "all"
+        if not any(met):
+            return "none"
+        return "partial"
+
+    def resubmit_missing(
+        self,
+        pairs: Sequence[Pair],
+        expect: Dict,
+        *,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Complete a partially committed group: only the shards whose
+        expectation is unmet receive their sub-updates again."""
+        self._check_epoch(expect)
+        missing = self._missing_pairs(pairs, expect)
+        if missing:
+            self._submit_with_retry(missing, expect, timeout=timeout)
+
+    def state(self) -> Dict:
+        return {}
+
+    def restore(self, state: Dict) -> None:
+        pass
+
+    def queue_depth(self) -> int:
+        depths = [
+            int(rs.primary.service.stats()["queue_depth"])
+            for rs in self.cluster.replica_sets
+        ]
+        return max(depths) if depths else 0
+
+    def flush(self, timeout: Optional[float] = None) -> None:
+        self.cluster.flush(timeout=timeout)

@@ -2,6 +2,7 @@
 
 from repro.metrics.cluster import ClusterMetrics
 from repro.metrics.counters import AccessCounter, CounterSnapshot, measured
+from repro.metrics.ingest import IngestMetrics
 from repro.metrics.net import NetMetrics
 from repro.metrics.profile import characterize, render_profile
 from repro.metrics.router import RouterMetrics
@@ -11,6 +12,7 @@ __all__ = [
     "AccessCounter",
     "ClusterMetrics",
     "CounterSnapshot",
+    "IngestMetrics",
     "LatencyRecorder",
     "NetMetrics",
     "RouterMetrics",

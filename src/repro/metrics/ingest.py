@@ -1,0 +1,89 @@
+"""Operational counters for the streaming ingest pipeline.
+
+Same contract as the other per-subsystem metrics modules: thread-safe
+increments, one :meth:`IngestMetrics.snapshot` dict for reports,
+benchmarks, and the CLI. The quarantine tally is per *reason* — the
+dead-letter file is the record, these counters are the dashboard.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from typing import Dict
+
+
+class IngestMetrics:
+    """Counters for one :class:`~repro.ingest.IngestPipeline` run."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.rows_read = 0
+        self.rows_applied = 0
+        self.rows_quarantined = 0
+        self.quarantine_reasons: Counter = Counter()
+        self.chunks_read = 0
+        self.groups_submitted = 0
+        self.cells_submitted = 0
+        self.fence_skips = 0
+        self.partial_resubmits = 0
+        self.resumes = 0
+        self.overload_backoffs = 0
+        self.rolls = 0
+
+    def record_chunk(self, rows: int) -> None:
+        with self._lock:
+            self.chunks_read += 1
+            self.rows_read += int(rows)
+
+    def record_applied(self, rows: int) -> None:
+        with self._lock:
+            self.rows_applied += int(rows)
+
+    def record_quarantine(self, reason: str) -> None:
+        with self._lock:
+            self.rows_quarantined += 1
+            self.quarantine_reasons[str(reason)] += 1
+
+    def record_group(self, cells: int) -> None:
+        with self._lock:
+            self.groups_submitted += 1
+            self.cells_submitted += int(cells)
+
+    def record_fence_skip(self) -> None:
+        with self._lock:
+            self.fence_skips += 1
+
+    def record_partial_resubmit(self) -> None:
+        with self._lock:
+            self.partial_resubmits += 1
+
+    def record_resume(self) -> None:
+        with self._lock:
+            self.resumes += 1
+
+    def record_overload(self) -> None:
+        with self._lock:
+            self.overload_backoffs += 1
+
+    def record_roll(self, slots: int = 1) -> None:
+        with self._lock:
+            self.rolls += int(slots)
+
+    def snapshot(self) -> Dict:
+        """All counters as one plain dict."""
+        with self._lock:
+            return {
+                "rows_read": self.rows_read,
+                "rows_applied": self.rows_applied,
+                "rows_quarantined": self.rows_quarantined,
+                "quarantine_reasons": dict(self.quarantine_reasons),
+                "chunks_read": self.chunks_read,
+                "groups_submitted": self.groups_submitted,
+                "cells_submitted": self.cells_submitted,
+                "fence_skips": self.fence_skips,
+                "partial_resubmits": self.partial_resubmits,
+                "resumes": self.resumes,
+                "overload_backoffs": self.overload_backoffs,
+                "rolls": self.rolls,
+            }

@@ -47,6 +47,63 @@ class TestDemo:
         assert "64" in out           # prefix sum comparison
 
 
+class TestIngest:
+    def write_csv(self, path, rows):
+        lines = ["x,y,sales"] + [f"{x},{y},{s}" for x, y, s in rows]
+        path.write_text("\n".join(lines) + "\n")
+
+    def test_csv_to_durable_cube(self, capsys, tmp_path):
+        csv = tmp_path / "facts.csv"
+        self.write_csv(csv, [(0, 0, 5.0), (1, 2, 3.0), (99, 0, 1.0)])
+        assert main([
+            "ingest", str(csv), "--state", str(tmp_path / "state"),
+            "--dim", "x:0:3", "--dim", "y:0:3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "created durable state" in out
+        assert '"rows_applied": 2' in out
+        assert '"rows_quarantined": 1' in out
+
+    def test_rerun_resumes_not_doubles(self, capsys, tmp_path):
+        import json
+
+        import numpy as np
+
+        from repro import CubeService, RelativePrefixSumCube
+
+        csv = tmp_path / "facts.csv"
+        self.write_csv(csv, [(0, 0, 5.0), (1, 2, 3.0)])
+        state = tmp_path / "state"
+        argv = ["ingest", str(csv), "--state", str(state),
+                "--dim", "x:0:3", "--dim", "y:0:3"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        # the second run must fence on the checkpoint and apply nothing
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "recovered durable state" in out
+        report = json.loads(out[out.index("{"):])
+        assert report["rows_applied"] == 0
+        assert report["offset"] == 2
+        svc = CubeService.recover(state, RelativePrefixSumCube)
+        try:
+            array, _ = svc.snapshot_array()
+        finally:
+            svc.close()
+        expected = np.zeros((4, 4))
+        expected[0, 0] = 5.0
+        expected[1, 2] = 3.0
+        assert np.array_equal(array, expected)
+
+    def test_missing_dim_is_an_ingest_error(self, tmp_path):
+        from repro.errors import IngestError
+
+        csv = tmp_path / "facts.csv"
+        self.write_csv(csv, [(0, 0, 1.0)])
+        with pytest.raises(IngestError):
+            main(["ingest", str(csv), "--state", str(tmp_path / "s")])
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -39,6 +39,16 @@ everyone else. Backpressure rejections (``overloaded`` /
 ``quota_exceeded``) are expected and retried per their
 ``retry_after_s`` hint — any *other* error fails the round.
 
+``--mode ingest`` soaks the exactly-once streaming pipeline
+(:mod:`repro.ingest`): each round streams a seeded record set — with
+planted poison rows — into a durable service, a rolling-window service,
+or a live cluster, kills the ingest coordinator at a seeded stage
+boundary (chunk/encode/deadletter/intent/submit/checkpoint/roll),
+power-loses single-service targets (``abandon`` + ``recover``), resumes
+a fresh pipeline, and asserts the final cube is **bit-for-bit equal**
+to a never-crashed oracle with every poison row in the dead-letter file
+**exactly once**.
+
 ``--mode cluster`` soaks a :class:`~repro.cluster.CubeCluster` instead:
 each round builds a seeded sharded/replicated cluster, drives
 interleaved queries and update groups while **killing a primary**
@@ -792,6 +802,221 @@ def _run_reshard(rng, params, state_dir):
         cluster.close()
 
 
+INGEST_STAGES = (
+    "chunk", "encode", "deadletter", "intent", "submit", "checkpoint",
+)
+
+
+def _ingest_round_params(seed, round_index):
+    rng = np.random.default_rng([seed, round_index, 5000])
+    target = ("service", "rolling", "cluster")[round_index % 3]
+    stages = INGEST_STAGES + (("roll",) if target == "rolling" else ())
+    return rng, {
+        "seed": seed,
+        "round": round_index,
+        "scenario": "ingest",
+        "target": target,
+        "size": int(rng.integers(6, 12)),
+        "rows": int(rng.integers(200, 500)),
+        "poison": int(rng.integers(1, 4)),
+        "crash_stage": stages[int(rng.integers(len(stages)))],
+        "crash_ordinal": int(rng.integers(1, 4)),
+        # <= 96 keeps any group's day span under the rolling window
+        # even after poison inserts shift offsets, so the row-at-a-time
+        # oracle stays valid (no intra-group expiry)
+        "group_rows": int(rng.choice([64, 96])),
+        "checkpoint_every": int(rng.integers(1, 8)),
+    }
+
+
+def _run_ingest(rng, params, state_dir):
+    """One crash/resume round of the streaming pipeline: the resumed
+    run must land bit-for-bit on the oracle with every poison row
+    dead-lettered exactly once."""
+    from repro.cube.encoders import IntegerEncoder
+    from repro.cube.schema import CubeSchema, Dimension
+    from repro.ingest import (
+        ClusterTarget,
+        IngestPipeline,
+        MemorySource,
+        RollingCubeService,
+        RollingServiceTarget,
+        ServiceTarget,
+        read_dead_letters,
+    )
+
+    size = params["size"]
+    rolling = params["target"] == "rolling"
+    window = 4
+
+    records = []
+    if rolling:
+        schema = CubeSchema(
+            [Dimension("x", IntegerEncoder(0, size - 1))], "sales"
+        )
+        # deterministic day ladder: one day per 32 rows keeps every
+        # fixed-size group's slot span below the window, so the
+        # row-at-a-time oracle below matches group-at-a-time rolls
+        for i in range(params["rows"]):
+            records.append({
+                "day": i // 32,
+                "x": int(rng.integers(0, size)),
+                "sales": float(rng.integers(1, 10)),
+            })
+    else:
+        schema = CubeSchema(
+            [
+                Dimension("x", IntegerEncoder(0, size - 1)),
+                Dimension("y", IntegerEncoder(0, size - 1)),
+            ],
+            "sales",
+        )
+        for i in range(params["rows"]):
+            records.append({
+                "x": int(rng.integers(0, size)),
+                "y": int(rng.integers(0, size)),
+                "sales": float(rng.integers(1, 10)),
+            })
+    poison_offsets = sorted(
+        int(x) for x in rng.choice(
+            np.arange(1, len(records)), size=params["poison"], replace=False
+        )
+    )
+    for n, offset in enumerate(poison_offsets):
+        records.insert(offset, {"x": 10 * size, "y": 0, "sales": 1.0})
+    if rolling:
+        # plus a hopelessly late arrival after the window moved on
+        records.append({"day": 0, "x": 0, "sales": 1.0})
+
+    # -- oracle ----------------------------------------------------------
+    expected_dead = []
+    if rolling:
+        expected = np.zeros((window, size))
+        newest = 0
+        for i, r in enumerate(records):
+            if "day" not in r or r.get("x", size) >= size:
+                expected_dead.append(i)
+                continue
+            day = r["day"]
+            if day > newest:
+                for s in range(newest + 1, day + 1):
+                    expected[s % window] = 0.0
+                newest = day
+            if day < max(0, newest - window + 1):
+                expected_dead.append(i)
+                continue
+            expected[day % window, r["x"]] += r["sales"]
+    else:
+        expected = np.zeros((size, size))
+        for i, r in enumerate(records):
+            if r["x"] >= size:
+                expected_dead.append(i)
+            else:
+                expected[r["x"], r["y"]] += r["sales"]
+
+    ck = state_dir / "ingest-ck.json"
+    dl = state_dir / "ingest-dead.log"
+
+    def pipe(target, plan=None):
+        kwargs = {}
+        if rolling:
+            kwargs = {
+                "time_column": "day",
+                "queue_depth_low": -1,
+                "queue_depth_high": 10 ** 9,
+                "min_group_rows": params["group_rows"],
+                "max_group_rows": params["group_rows"],
+            }
+        return IngestPipeline(
+            MemorySource(records, chunk_rows=32), schema, target,
+            checkpoint_path=ck, deadletter_path=dl,
+            group_rows=params["group_rows"], fault_plan=plan,
+            **kwargs,
+        )
+
+    plan = FaultPlan(
+        ingest_crash_at={params["crash_stage"]: params["crash_ordinal"]}
+    )
+    crashed = False
+
+    if params["target"] == "cluster":
+        cluster = CubeCluster(
+            RelativePrefixSumCube, np.zeros((size, size)),
+            data_dir=state_dir / "cluster", num_shards=2,
+            replication_factor=2,
+            checkpoint_every=params["checkpoint_every"],
+        )
+        try:
+            try:
+                with pipe(ClusterTarget(cluster), plan) as p:
+                    p.run()
+            except InjectedFault:
+                crashed = True
+            with pipe(ClusterTarget(cluster)) as p:
+                report = p.run()
+            cluster.flush()
+            lows, highs = [], []
+            for x in range(size):
+                for y in range(size):
+                    lows.append((x, y))
+                    highs.append((x, y))
+            actual = np.asarray(
+                cluster.range_sum_many(lows, highs), dtype=float
+            ).reshape((size, size))
+        finally:
+            cluster.close()
+    else:
+        svc_dir = state_dir / "svc"
+        shape = (window, size) if rolling else (size, size)
+        service = CubeService(
+            RelativePrefixSumCube, np.zeros(shape),
+            durability=DurabilityPolicy(
+                dir=svc_dir, checkpoint_every=params["checkpoint_every"]
+            ),
+        )
+        target = (
+            RollingServiceTarget(RollingCubeService(service))
+            if rolling else ServiceTarget(service)
+        )
+        try:
+            with pipe(target, plan) as p:
+                p.run()
+        except InjectedFault:
+            crashed = True
+        service.abandon()  # power-loss image
+
+        recovered = CubeService.recover(svc_dir, RelativePrefixSumCube)
+        try:
+            target = (
+                RollingServiceTarget(RollingCubeService(recovered))
+                if rolling else ServiceTarget(recovered)
+            )
+            with pipe(target) as p:
+                report = p.run()
+            recovered.flush()
+            actual, _ = recovered.snapshot_array()
+        finally:
+            recovered.close()
+
+    params["crashed"] = crashed
+    params["report"] = {
+        k: report[k]
+        for k in ("offset", "rows_quarantined", "resumes", "fence_skips",
+                  "partial_resubmits", "groups_submitted")
+    }
+    assert np.array_equal(actual, expected), (
+        f"resumed cube diverged from oracle by "
+        f"{np.abs(actual - expected).sum()}"
+    )
+    dead = read_dead_letters(dl)
+    got_dead = sorted(e["offset"] for e in dead)
+    assert got_dead == expected_dead, (
+        f"dead letters not exactly-once: got {got_dead}, "
+        f"expected {expected_dead}"
+    )
+    assert report["offset"] == len(records)
+
+
 NET_SHAPES = [(24,), (12, 10), (6, 5, 4)]
 
 
@@ -1144,6 +1369,9 @@ def soak(seeds, time_budget, artifact_dir, mode="single", min_rounds=0):
             elif mode == "reshard":
                 rng, params = _reshard_round_params(seed, round_index)
                 scenario = _run_reshard
+            elif mode == "ingest":
+                rng, params = _ingest_round_params(seed, round_index)
+                scenario = _run_ingest
             else:
                 rng, params = _round_params(seed, round_index)
                 scenario = SCENARIOS[params["scenario"]]
@@ -1182,14 +1410,16 @@ def main(argv=None):
                         help="failed rounds keep their WAL/checkpoint dir here")
     parser.add_argument("--mode",
                         choices=("single", "cluster", "router", "net",
-                                 "reshard"),
+                                 "reshard", "ingest"),
                         default="single",
                         help="single-service crash rounds (default), "
                         "replicated-cluster kill/partition/heal rounds, "
                         "query-router stale-read/build-failure rounds, "
-                        "socket-level serving-tier rounds, or live "
+                        "socket-level serving-tier rounds, live "
                         "split/merge reshard rounds with injected "
-                        "migration failures and degraded-read checks")
+                        "migration failures and degraded-read checks, or "
+                        "streaming-pipeline crash/resume rounds with "
+                        "exactly-once and dead-letter verification")
     parser.add_argument("--min-rounds", type=int, default=0,
                         help="keep starting rounds until at least this "
                         "many completed, even past the time budget")

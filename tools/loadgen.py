@@ -8,15 +8,25 @@ concurrent write stream (``--write-every``) — and prints per-request
 latency percentiles, throughput, and the rejection counts
 (overloaded/quota/deadline) the admission machinery produced.
 
+With ``--mode mixed`` a pool of ingest workers runs alongside the
+readers: each generates synthetic fact rows, coalesces them into cell
+deltas (the same shape of group the streaming pipeline submits), and
+drives them through ``submit_batch`` under the same backpressure
+etiquette — the firehose and the dashboards sharing one server.
+
 Rejections are handled the way a well-behaved client should: back off
 for the server's ``retry_after_s`` hint and retry, counting the event.
 Any *other* error fails the run — the load generator doubles as a
-smoke test that nothing under concurrency maps to ``internal``.
+smoke test that nothing under concurrency maps to ``internal``. The
+report lists every unexpected error by class, and any occurrence makes
+the exit status non-zero.
 
 Usage::
 
     PYTHONPATH=src python tools/loadgen.py --self-serve \
         --connections 16 --duration 5 --write-every 0.02
+    PYTHONPATH=src python tools/loadgen.py --self-serve --mode mixed \
+        --connections 8 --ingest-workers 4 --duration 5
     PYTHONPATH=src python tools/loadgen.py --host 127.0.0.1 --port 7421 \
         --connections 64 --duration 10 --token dash=s3cret
 """
@@ -117,12 +127,53 @@ async def _writer(args, shape, stop, counts):
         await client.close()
 
 
+async def _ingester(args, shape, stop, counts, worker_id):
+    """One synthetic firehose: generate rows, coalesce, submit.
+
+    Mirrors the streaming pipeline's write shape — many rows folded
+    into one multi-cell group per submit — so a mixed run exercises
+    the server against ingest-sized groups, not just single-cell
+    dribbles.
+    """
+    rng = np.random.default_rng([args.seed, 20_000 + worker_id])
+    client = await CubeClient.connect(
+        args.host, args.port, token=args.token_value
+    )
+    try:
+        since_flush = 0
+        while not stop.is_set():
+            sums = {}
+            for _ in range(args.ingest_group):
+                cell = tuple(int(rng.integers(0, n)) for n in shape)
+                sums[cell] = sums.get(cell, 0.0) + float(
+                    rng.integers(1, 10)
+                )
+            group = sorted(sums.items())
+            try:
+                await client.submit_batch(group)
+                counts["ingest_rows"] += args.ingest_group
+                counts["ingest_groups"] += 1
+                since_flush += 1
+                if since_flush >= args.flush_every:
+                    await client.flush(timeout=30.0)
+                    since_flush = 0
+            except (ServiceOverloadedError, QuotaExceededError) as error:
+                counts["ingest_rejects"] += 1
+                await asyncio.sleep(
+                    getattr(error, "retry_after_s", 0.0) or 0.01
+                )
+            await asyncio.sleep(0)
+    finally:
+        await client.close()
+
+
 async def _run(args, shape):
     stop = asyncio.Event()
     latencies = []
     counts = {
         "ok": 0, "overloaded": 0, "quota": 0, "deadline": 0,
         "writes": 0, "write_rejects": 0,
+        "ingest_rows": 0, "ingest_groups": 0, "ingest_rejects": 0,
     }
     tasks = [
         asyncio.ensure_future(
@@ -134,6 +185,13 @@ async def _run(args, shape):
         tasks.append(
             asyncio.ensure_future(_writer(args, shape, stop, counts))
         )
+    if args.mode == "mixed":
+        tasks.extend(
+            asyncio.ensure_future(
+                _ingester(args, shape, stop, counts, i)
+            )
+            for i in range(args.ingest_workers)
+        )
     await asyncio.sleep(args.duration)
     stop.set()
     done = await asyncio.gather(*tasks, return_exceptions=True)
@@ -141,10 +199,18 @@ async def _run(args, shape):
     return latencies, counts, failures
 
 
-def summarize(latencies, counts, duration):
+def summarize(latencies, counts, duration, failures=()):
     lat = np.asarray(sorted(latencies))
     report = {"requests": counts["ok"], "rps": counts["ok"] / duration}
     report.update({k: v for k, v in counts.items() if k != "ok"})
+    if counts["ingest_rows"]:
+        report["ingest_rows_per_s"] = counts["ingest_rows"] / duration
+    if failures:
+        errors = {}
+        for failure in failures:
+            name = type(failure).__name__
+            errors[name] = errors.get(name, 0) + 1
+        report["worker_errors"] = errors
     if len(lat):
         report["latency_ms"] = {
             "p50": float(np.percentile(lat, 50) * 1e3),
@@ -183,6 +249,18 @@ def main(argv=None):
     parser.add_argument(
         "--flush-every", type=int, default=8,
         help="write groups per flush (default 8)",
+    )
+    parser.add_argument(
+        "--mode", choices=("read", "mixed"), default="read",
+        help="mixed adds a pool of synthetic-row ingest workers",
+    )
+    parser.add_argument(
+        "--ingest-workers", type=int, default=4,
+        help="ingest connections for --mode mixed (default 4)",
+    )
+    parser.add_argument(
+        "--ingest-group", type=int, default=256,
+        help="synthetic rows coalesced per submitted group (default 256)",
     )
     parser.add_argument(
         "--token", default=None, metavar="TOKEN",
@@ -224,7 +302,7 @@ def main(argv=None):
         start = time.monotonic()
         latencies, counts, failures = asyncio.run(_run(args, shape))
         elapsed = time.monotonic() - start
-        report = summarize(latencies, counts, elapsed)
+        report = summarize(latencies, counts, elapsed, failures)
         if server is not None:
             report["server"] = server.metrics.snapshot()
         print(json.dumps(report, indent=2, default=str))
