@@ -74,7 +74,10 @@ class IntegerEncoder(DimensionEncoder):
         return self.maximum - self.minimum + 1
 
     def encode(self, value) -> int:
-        v = int(value)
+        try:
+            v = int(value)
+        except (TypeError, ValueError):
+            raise EncodingError(f"{value!r} is not an integer") from None
         if not self.minimum <= v <= self.maximum:
             raise EncodingError(
                 f"{value!r} outside integer domain [{self.minimum}, {self.maximum}]"
@@ -112,7 +115,7 @@ class CategoricalEncoder(DimensionEncoder):
     def encode(self, value) -> int:
         try:
             return self._index[value]
-        except KeyError:
+        except (KeyError, TypeError):  # TypeError: unhashable value
             raise EncodingError(f"unknown category {value!r}") from None
 
     def decode(self, index: int):
@@ -143,7 +146,10 @@ class BinningEncoder(DimensionEncoder):
         return len(self._edges) - 1
 
     def encode(self, value) -> int:
-        v = float(value)
+        try:
+            v = float(value)
+        except (TypeError, ValueError):
+            raise EncodingError(f"{value!r} is not numeric") from None
         if v < self._edges[0] or v > self._edges[-1]:
             raise EncodingError(
                 f"{value!r} outside bin range "
@@ -227,7 +233,11 @@ class IdentityEncoder(DimensionEncoder):
         return self._size
 
     def encode(self, value) -> int:
-        return self._check_index(int(value))
+        try:
+            v = int(value)
+        except (TypeError, ValueError):
+            raise EncodingError(f"{value!r} is not an index") from None
+        return self._check_index(v)
 
     def decode(self, index: int) -> int:
         return self._check_index(int(index))

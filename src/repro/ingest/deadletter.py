@@ -106,7 +106,9 @@ class DeadLetterFile:
             for entry in entries:
                 self._reasons[str(entry.get("reason", "?"))] += 1
         self._rewrite(entries, preserve_missing=True)
-        self._handle = open(self.path, "ab")
+        # the append handle opens lazily on first append: a clean
+        # stream never creates an empty quarantine file
+        self._handle = None
 
     def _rewrite(self, entries: List[Dict], preserve_missing=False) -> None:
         """Atomically replace the file with exactly ``entries``."""
@@ -137,11 +139,16 @@ class DeadLetterFile:
             "error": str(error),
             "record": record if isinstance(record, dict) else str(record),
         }
+        if self._handle is None:
+            self._handle = open(self.path, "ab")
         self._handle.write(_encode_entry(entry))
         self._reasons[str(reason)] += 1
 
     def sync(self) -> None:
-        """Make every appended entry durable."""
+        """Make every appended entry durable (no-op before the first
+        append — rewrites fsync themselves)."""
+        if self._handle is None:
+            return
         self._handle.flush()
         os.fsync(self._handle.fileno())
 
@@ -153,7 +160,9 @@ class DeadLetterFile:
         entries (written after the checkpoint the pipeline is resuming
         from) must go, or they would appear twice.
         """
-        self._handle.close()
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
         entries = read_dead_letters(self.path)
         keep = [e for e in entries if int(e.get("offset", -1)) < int(offset)]
         dropped = len(entries) - len(keep)
@@ -162,7 +171,6 @@ class DeadLetterFile:
             self._reasons = Counter()
             for entry in keep:
                 self._reasons[str(entry.get("reason", "?"))] += 1
-        self._handle = open(self.path, "ab")
         return dropped
 
     def counters(self) -> Dict[str, int]:
@@ -175,8 +183,11 @@ class DeadLetterFile:
         return sum(self._reasons.values())
 
     def close(self) -> None:
+        if self._handle is None:
+            return
         self.sync()
         self._handle.close()
+        self._handle = None
 
     def __enter__(self) -> "DeadLetterFile":
         return self

@@ -32,8 +32,11 @@ rows per submitted group and adapts it: a
 exponentially before retrying (the group itself is already formed and
 is retried as-is; the *next* groups shrink); a deep target queue
 shrinks it; a drained queue grows it back toward ``max_group_rows``.
-The pipeline therefore idles at whatever rate the writer sustains
-instead of OOMing its buffer or hot-spinning on rejections.
+The same backoff covers the pre-submit roll — a rolling target's
+``prepare`` submits slab-zeroing groups through the same bounded
+queue, and an overload there retries instead of killing the run. The
+pipeline therefore idles at whatever rate the writer sustains instead
+of OOMing its buffer or hot-spinning on rejections.
 """
 
 from __future__ import annotations
@@ -54,8 +57,10 @@ from repro.ingest.checkpoint import CheckpointStore
 from repro.ingest.deadletter import DeadLetterFile
 from repro.metrics.ingest import IngestMetrics
 
-#: one buffered encoded row: (source offset, cell coords, delta)
-Row = Tuple[int, Tuple[int, ...], float]
+#: one buffered encoded row: (source offset, cell coords, delta,
+#: original record — kept so a row expired by its own group's roll can
+#: dead-letter with its source contents, not just the encoded cell)
+Row = Tuple[int, Tuple[int, ...], float, object]
 
 
 class IngestReport(dict):
@@ -280,7 +285,7 @@ class IngestPipeline:
                     f"cell {coords[0]} not admissible", record,
                 )
                 continue
-            rows.append((offset, coords[0], coords[1]))
+            rows.append((offset, coords[0], coords[1], record))
         return rows
 
     def _encode_coords(self, record) -> Tuple[Tuple[int, ...], float]:
@@ -322,20 +327,25 @@ class IngestPipeline:
             # zeroing groups the advance submits
             before = getattr(self.target, "roller", None)
             newest_before = before.newest_slot if before else None
-            self.target.prepare([(c, d) for _, c, d in rows])
+            pairs_to_roll = [(c, d) for _, c, d, _ in rows]
+            self._retry_on_overload(
+                lambda: self.target.prepare(
+                    pairs_to_roll, timeout=self.submit_timeout
+                )
+            )
             if before is not None and before.newest_slot != newest_before:
                 self.metrics.record_roll(before.newest_slot - newest_before)
             self._boundary("roll")
             admitted: List[Row] = []
-            for offset, coords, delta in rows:
+            for offset, coords, delta, record in rows:
                 ok, reason = self.target.admit(coords)
                 if ok:
-                    admitted.append((offset, coords, delta))
+                    admitted.append((offset, coords, delta, record))
                 else:
                     self._quarantine(
                         offset, reason,
                         f"cell {coords} expired during the group's roll",
-                        None,
+                        record,
                     )
             rows = admitted
         self.deadletter.sync()
@@ -362,17 +372,26 @@ class IngestPipeline:
         self._adapt_group_size()
 
     def _submit_with_backpressure(self, pairs, expect) -> None:
+        self._retry_on_overload(
+            lambda: self.target.submit_fenced(
+                pairs, expect, timeout=self.submit_timeout
+            )
+        )
+        self.metrics.record_group(len(pairs))
+
+    def _retry_on_overload(self, operation) -> None:
+        """Run ``operation`` under the overload backoff: each rejection
+        shrinks future groups and waits before retrying. Used for both
+        the fenced submit and the pre-submit roll — both must be safe
+        to re-run as-is, which submits are (the intent is durable) and
+        the roll is (``advance`` moves the window only past slabs whose
+        zeroing group was acked)."""
         for attempt in range(self.max_submit_retries + 1):
             try:
-                self.target.submit_fenced(
-                    pairs, expect, timeout=self.submit_timeout
-                )
-                self.metrics.record_group(len(pairs))
+                operation()
                 return
             except ServiceOverloadedError:
                 self.metrics.record_overload()
-                # shrink future groups and give the writer room; the
-                # formed group retries as-is (its intent is durable)
                 self.group_rows = max(
                     self.min_group_rows, self.group_rows // 2
                 )
@@ -435,8 +454,8 @@ def _coalesce(rows: List[Row]) -> List[Tuple[Tuple[int, ...], float]]:
     """
     if not rows:
         return []
-    coords = np.asarray([c for _, c, _ in rows], dtype=np.intp)
-    deltas = np.asarray([d for _, _, d in rows], dtype=np.float64)
+    coords = np.asarray([row[1] for row in rows], dtype=np.intp)
+    deltas = np.asarray([row[2] for row in rows], dtype=np.float64)
     cells, inverse = np.unique(coords, axis=0, return_inverse=True)
     sums = np.zeros(len(cells), dtype=np.float64)
     np.add.at(sums, inverse.reshape(-1), deltas)

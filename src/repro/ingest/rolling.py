@@ -95,7 +95,12 @@ class RollingCubeService:
         from the published snapshot (flushed first, so the snapshot is
         current). Zeroing an already-empty slice submits nothing, which
         makes a crash-resume re-advance a no-op — the property the
-        ingest fence relies on.
+        ingest fence relies on. ``newest_slot`` moves only after the
+        slice's zeroing group is acked, so a
+        :class:`~repro.errors.ServiceOverloadedError` from the bounded
+        queue leaves the window where it was and a backed-off retry
+        redoes the slot from the snapshot — never opening a slot over a
+        still-dirty slab.
 
         Returns the new newest logical slot.
         """
@@ -103,8 +108,8 @@ class RollingCubeService:
             raise RangeError(f"can only advance forward, got {slots}")
         with self._lock:
             for _ in range(int(slots)):
-                self.newest_slot += 1
-                physical = self.newest_slot % self.window
+                opening = self.newest_slot + 1
+                physical = opening % self.window
                 self.service.flush(timeout=timeout)
                 array, _ = self.service.snapshot_array()
                 slab = np.asarray(array[physical])
@@ -124,7 +129,8 @@ class RollingCubeService:
                     # see the retired tenant's data, so the pending
                     # mass is tracked under the new logical slot
                     mass = float(np.abs(slab).sum())
-                    self._pending[seq] = {self.newest_slot: (mass, mass)}
+                    self._pending[seq] = {opening: (mass, mass)}
+                self.newest_slot = opening
             return self.newest_slot
 
     # -- writes --------------------------------------------------------------

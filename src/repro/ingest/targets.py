@@ -250,8 +250,16 @@ class ClusterTarget:
         *, timeout: Optional[float] = None,
     ) -> Dict:
         """Drive ``pairs`` until every touched shard meets its
-        expectation, resubmitting only still-missing shards."""
-        remaining = list(pairs)
+        expectation, resubmitting only still-missing shards.
+
+        The fence filter applies *before* the first attempt, not only
+        between attempts: an overloaded shard's
+        :class:`~repro.errors.ServiceOverloadedError` escapes to the
+        pipeline's backpressure loop after earlier shards in the group
+        already durably acked, and the loop re-enters here with the
+        full group — resubmitting the acked shards' sub-updates would
+        apply them twice."""
+        remaining = self._missing_pairs(list(pairs), expect)
         last_error: Optional[BaseException] = None
         for attempt in range(self.retries + 1):
             if not remaining:

@@ -33,6 +33,15 @@ class TestIntegerEncoder:
         with pytest.raises(EncodingError):
             IntegerEncoder(5, 4)
 
+    def test_unparseable_value_raises_encoding_error(self):
+        """The encode contract: typed EncodingError, never a raw
+        ValueError — the ingest quarantine catches only the former."""
+        enc = IntegerEncoder(0, 9)
+        with pytest.raises(EncodingError):
+            enc.encode("notanint")
+        with pytest.raises(EncodingError):
+            enc.encode(None)
+
     def test_encode_range(self):
         enc = IntegerEncoder(20, 69)
         assert enc.encode_range(37, 52) == (17, 32)
@@ -58,6 +67,10 @@ class TestCategoricalEncoder:
         enc = CategoricalEncoder(["a", "b"])
         with pytest.raises(EncodingError):
             enc.encode("c")
+
+    def test_unhashable_value_raises_encoding_error(self):
+        with pytest.raises(EncodingError):
+            CategoricalEncoder(["a", "b"]).encode(["a"])
 
     def test_duplicates_rejected(self):
         with pytest.raises(EncodingError):
@@ -91,6 +104,10 @@ class TestBinningEncoder:
             enc.encode(-0.5)
         with pytest.raises(EncodingError):
             enc.encode(10.5)
+
+    def test_unparseable_value_raises_encoding_error(self):
+        with pytest.raises(EncodingError):
+            BinningEncoder([0, 10]).encode("cheap")
 
     def test_decode_returns_lower_edge(self):
         enc = BinningEncoder([0, 10, 20, 30])
@@ -165,6 +182,10 @@ class TestIdentityEncoder:
             enc.encode(9)
         with pytest.raises(EncodingError):
             enc.encode(-1)
+
+    def test_unparseable_value_raises_encoding_error(self):
+        with pytest.raises(EncodingError):
+            IdentityEncoder(9).encode("five")
 
     def test_zero_size_rejected(self):
         with pytest.raises(EncodingError):

@@ -154,6 +154,16 @@ class TestDeadLetterFile:
         with pytest.raises(DeadLetterCorruptionError):
             read_dead_letters(path)
 
+    def test_clean_stream_creates_no_file(self, tmp_path):
+        """The append handle opens lazily: a run that quarantines
+        nothing must not leave an empty quarantine file behind."""
+        path = tmp_path / "dead.log"
+        with DeadLetterFile(path) as dl:
+            assert dl.total == 0
+            dl.sync()
+            assert dl.truncate_from(0) == 0
+        assert not os.path.exists(path)
+
     def test_truncate_from_drops_replayed_entries(self, tmp_path):
         path = tmp_path / "dead.log"
         with DeadLetterFile(path) as dlq:
@@ -345,6 +355,7 @@ class TestPipeline:
         assert np.array_equal(array, oracle_of(records))
         assert report["rows_applied"] == 300
         assert report["deadletter_total"] == 0
+        assert not os.path.exists(tmp_path / "dead.log")
 
     def test_quarantine_reasons(self, tmp_path, rng):
         records = make_records(rng, 100)
@@ -362,6 +373,17 @@ class TestPipeline:
         assert reasons["schema"] == 3
         dead = read_dead_letters(tmp_path / "dead.log")
         assert sorted(e["offset"] for e in dead) == [10, 20, 30, 40]
+
+    def test_unparseable_dimension_value_quarantines(self, tmp_path, rng):
+        """A dimension value the encoder cannot even parse (the CSV
+        reality: 'notanint' in an integer column) quarantines as an
+        encoding failure instead of killing the run."""
+        records = make_records(rng, 60)
+        records.insert(7, {"x": "notanint", "y": 0, "sales": 1.0})
+        report, array, _ = self.run_pipeline(tmp_path, records)
+        assert report["quarantine_reasons"] == {"encoding": 1}
+        expected = oracle_of([r for i, r in enumerate(records) if i != 7])
+        assert np.array_equal(array, expected)
 
     def test_measure_dtype_gate_quarantines_fractions(self, tmp_path, rng):
         records = make_records(rng, 50)
@@ -429,3 +451,97 @@ class TestPipeline:
             ) as pipe:
                 with pytest.raises(FenceError):
                     pipe.run()
+
+
+class OverloadFirstZeroing:
+    """Service proxy: overloads the first slab-zeroing (all-negative)
+    group, then behaves — the roll-path overload image."""
+
+    def __init__(self, service):
+        self._service = service
+        self.tripped = False
+
+    def __getattr__(self, name):
+        return getattr(self._service, name)
+
+    def submit_batch(self, updates, **kwargs):
+        updates = list(updates)
+        if not self.tripped and updates and all(
+            delta < 0 for _, delta in updates
+        ):
+            self.tripped = True
+            raise ServiceOverloadedError("synthetic overload during roll")
+        return self._service.submit_batch(updates, **kwargs)
+
+
+class TestRollingPipelineEdges:
+    """The pre-submit roll under backpressure and mid-group expiry."""
+
+    def slot_schema(self):
+        return CubeSchema(
+            [Dimension("x", IntegerEncoder(0, 7))], "sales"
+        )
+
+    def day_records(self, rng, day, n):
+        return [
+            {
+                "day": day,
+                "x": int(rng.integers(0, 8)),
+                "sales": float(rng.integers(1, 10)),
+            }
+            for _ in range(n)
+        ]
+
+    def run_rolling(self, tmp_path, records, wrap=None, **kwargs):
+        svc = CubeService(RelativePrefixSumCube, np.zeros((2, 8)))
+        with svc:
+            roller = RollingCubeService(wrap(svc) if wrap else svc)
+            kwargs.setdefault("group_rows", 64)
+            with IngestPipeline(
+                MemorySource(records, chunk_rows=32), self.slot_schema(),
+                RollingServiceTarget(roller),
+                checkpoint_path=tmp_path / "ck.json",
+                deadletter_path=tmp_path / "dead.log",
+                time_column="day",
+                queue_depth_low=-1, queue_depth_high=10 ** 9,
+                backoff_seconds=0.001,
+                **kwargs,
+            ) as pipe:
+                report = pipe.run()
+            svc.flush()
+            array, _ = svc.snapshot_array()
+        return report, array, roller
+
+    def test_roll_overload_backs_off_and_rezeroes(self, tmp_path, rng):
+        """An overloaded slab-zeroing submit during ``prepare`` must
+        back off and retry (not kill the run), and the retried advance
+        must re-zero the slab it stopped in front of."""
+        records = (
+            self.day_records(rng, 0, 64) + self.day_records(rng, 2, 64)
+        )
+        report, array, roller = self.run_rolling(
+            tmp_path, records, wrap=OverloadFirstZeroing
+        )
+        expected = np.zeros((2, 8))
+        for r in records[64:]:  # day 2 lands on physical slot 0
+            expected[0, r["x"]] += r["sales"]
+        assert np.array_equal(array, expected)
+        assert report["overload_backoffs"] >= 1
+        assert report["deadletter_total"] == 0
+        assert roller.newest_slot == 2
+
+    def test_roll_expired_rows_keep_their_records(self, tmp_path, rng):
+        """A row expired by its own group's roll dead-letters with the
+        original source record, not a placeholder — the entry must stay
+        replayable."""
+        day0 = self.day_records(rng, 0, 32)
+        day2 = self.day_records(rng, 2, 32)
+        report, array, _ = self.run_rolling(tmp_path, day0 + day2)
+        expected = np.zeros((2, 8))
+        for r in day2:
+            expected[0, r["x"]] += r["sales"]
+        assert np.array_equal(array, expected)
+        assert report["quarantine_reasons"] == {"expired_slot": 32}
+        dead = read_dead_letters(tmp_path / "dead.log")
+        assert sorted(e["offset"] for e in dead) == list(range(32))
+        assert [e["record"] for e in dead] == day0

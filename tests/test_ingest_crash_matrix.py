@@ -14,6 +14,7 @@ from repro import RelativePrefixSumCube
 from repro.cluster import CubeCluster
 from repro.cube.encoders import IntegerEncoder
 from repro.cube.schema import CubeSchema, Dimension
+from repro.errors import ServiceOverloadedError
 from repro.faults import FaultPlan, InjectedFault
 from repro.ingest import (
     CheckpointStore,
@@ -309,6 +310,50 @@ class TestClusterMatrix:
         dead = read_dead_letters(tmp_path / "dead.log")
         assert sorted(e["offset"] for e in dead) == poison
         assert report["offset"] == len(records)
+
+    def test_overloaded_shard_mid_group_does_not_double_apply(
+        self, tmp_path, rng
+    ):
+        """A ``ServiceOverloadedError`` from one shard's bounded queue
+        escapes to the backpressure loop *after* earlier shards in the
+        group durably acked; the retried fenced submit must resubmit
+        only the unmet shards — resubmitting the acked ones would apply
+        their sub-updates twice."""
+        records = flat_records(rng)
+        expected, poison = flat_oracle(records)
+        with self.make_cluster(tmp_path) as cluster:
+            victim = cluster.replica_sets[-1]
+            original = victim.submit
+            state = {"tripped": False}
+
+            def flaky_submit(updates, **kwargs):
+                if not state["tripped"]:
+                    state["tripped"] = True
+                    raise ServiceOverloadedError("synthetic shard overload")
+                return original(updates, **kwargs)
+
+            victim.submit = flaky_submit
+            with self.pipeline(cluster, records, tmp_path) as pipe:
+                report = pipe.run()
+            cluster.flush()
+            assert state["tripped"]
+            assert report["overload_backoffs"] == 1
+            assert np.array_equal(self.cluster_array(cluster), expected)
+        dead = read_dead_letters(tmp_path / "dead.log")
+        assert sorted(e["offset"] for e in dead) == poison
+
+    def test_fenced_resubmit_of_committed_group_is_noop(self, tmp_path):
+        """Re-entering a fenced submit whose expectations are already
+        met everywhere (the post-ack overload image) applies nothing."""
+        with self.make_cluster(tmp_path) as cluster:
+            target = ClusterTarget(cluster)
+            pairs = [((0, 0), 1.0), ((SIZE - 1, SIZE - 1), 2.0)]
+            expect = target.expect(pairs)
+            target.submit_fenced(pairs, expect)
+            assert target.committed(expect) == "all"
+            target.submit_fenced(pairs, expect)
+            cluster.flush()
+            assert self.cluster_array(cluster).sum() == 3.0
 
     def test_primary_failover_under_the_stream(self, tmp_path, rng):
         records = flat_records(rng)
